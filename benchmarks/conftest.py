@@ -1,0 +1,27 @@
+"""Benchmark support: every table/figure bench writes its rendered
+table to ``benchmarks/output/`` so the regenerated artifacts survive
+the run even under pytest's output capture."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> Path:
+        path = artifact_dir / name
+        path.write_text(text + "\n")
+        return path
+
+    return _save

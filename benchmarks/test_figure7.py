@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 7 (tile-size sweep)."""
+
+from repro.core import find_optimum
+from repro.experiments import figure7
+
+
+def test_figure7_regeneration(benchmark, save_artifact):
+    result = benchmark(figure7.run)
+    assert len(result.rows) == 15
+    assert max(result.column("fmax_MHz")) >= 199.0
+    text = figure7.render(result) + "\n\n" + figure7.ascii_plot(result)
+    save_artifact("figure7.txt", text)
+    print("\n" + text)
+
+
+def test_figure7_optimum_stability(benchmark):
+    """The sweep's argmin must be deterministic run to run."""
+
+    def optimum():
+        from repro.core import tile_size_sweep
+
+        best_freq, best_lat = find_optimum(tile_size_sweep())
+        return (best_freq.tiles_mha, best_freq.tiles_ffn,
+                best_lat.tiles_mha, best_lat.tiles_ffn)
+
+    assert benchmark(optimum) == (12, 6, 12, 6)

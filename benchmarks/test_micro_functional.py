@@ -1,0 +1,99 @@
+"""Micro-benchmarks: the functional fixed-point datapath.
+
+These time the simulator itself (Python-side throughput), which is
+what a user iterating on quantization or tiling options experiences.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ProTEA, SynthParams, TransformerConfig
+from repro.core import DatapathFormats, SoftmaxUnit
+from repro.core.engines import tiled_fx_matmul_2d, tiled_fx_matmul_reduction
+from repro.fixedpoint import FxTensor, QFormat
+from repro.nn import build_encoder
+
+CFG = TransformerConfig("bench", d_model=128, num_heads=4, num_layers=2,
+                        seq_len=32)
+SYNTH = SynthParams(ts_mha=32, ts_ffn=64, max_heads=4, max_layers=4,
+                    max_d_model=128, max_seq_len=64, seq_chunk=32)
+
+
+@pytest.fixture(scope="module")
+def accel():
+    a = ProTEA.synthesize(SYNTH, enforce_fit=False)
+    a.program(CFG).load_weights(build_encoder(CFG, seed=0))
+    return a
+
+
+@pytest.fixture(scope="module")
+def x_fx(accel):
+    x = np.random.default_rng(0).normal(0, 0.5, (32, 128))
+    return FxTensor.from_float(x, accel.formats.activation)
+
+
+def test_bench_full_forward_fix8(benchmark, accel, x_fx):
+    out = benchmark(accel.run_fx, x_fx)
+    assert out.raw.shape == (32, 128)
+
+
+def test_bench_attention_module(benchmark, accel, x_fx):
+    layer = accel.weights.layers[0]
+    concat, _ = benchmark(accel.attention.forward, x_fx, layer)
+    assert concat.raw.shape == (32, 128)
+
+
+def test_bench_ffn_module(benchmark, accel, x_fx):
+    layer = accel.weights.layers[0]
+    concat, _ = accel.attention.forward(x_fx, layer)
+    trace = benchmark(accel.ffn.forward, concat, x_fx, layer)
+    assert trace.out.raw.shape == (32, 128)
+
+
+def test_bench_softmax_unit(benchmark):
+    unit = SoftmaxUnit()
+    scores = FxTensor.from_float(
+        np.random.default_rng(1).normal(0, 2, (64, 64)), QFormat(8, 4))
+    probs = benchmark(unit, scores)
+    assert probs.raw.shape == (64, 64)
+
+
+def test_bench_tiled_matmul_reduction(benchmark):
+    rng = np.random.default_rng(2)
+    x = FxTensor(rng.integers(-128, 128, (64, 768)), QFormat(8, 4))
+    w = FxTensor(rng.integers(-128, 128, (768, 96)), QFormat(8, 4))
+    out = benchmark(tiled_fx_matmul_reduction, x, w, 64)
+    assert np.array_equal(out.raw, x.raw @ w.raw)
+
+
+def test_bench_tiled_matmul_2d(benchmark):
+    rng = np.random.default_rng(3)
+    x = FxTensor(rng.integers(-128, 128, (64, 768)), QFormat(8, 4))
+    w = FxTensor(rng.integers(-128, 128, (768, 768)), QFormat(8, 4))
+    out = benchmark(tiled_fx_matmul_2d, x, w, 128, 128)
+    assert out.raw.shape == (64, 768)
+
+
+def test_bench_quantize_roundtrip(benchmark):
+    from repro.fixedpoint import dequantize, quantize
+
+    data = np.random.default_rng(4).normal(size=(256, 768))
+    fmt = QFormat(8, 4)
+
+    def roundtrip():
+        return dequantize(quantize(data, fmt), fmt)
+
+    out = benchmark(roundtrip)
+    assert out.shape == data.shape
+
+
+def test_bench_fix16_overhead(benchmark):
+    """fix16 is the same code path — the bench documents its cost."""
+    a = ProTEA.synthesize(SYNTH, formats=DatapathFormats.fix16(),
+                          enforce_fit=False)
+    a.program(CFG).load_weights(build_encoder(CFG, seed=0))
+    x = FxTensor.from_float(
+        np.random.default_rng(0).normal(0, 0.5, (32, 128)),
+        a.formats.activation)
+    out = benchmark(a.run_fx, x)
+    assert out.raw.shape == (32, 128)

@@ -1,0 +1,59 @@
+"""Micro-benchmarks: the analytical models (scheduler, latency, DSE).
+
+These are the models a design-space exploration loops over thousands
+of times; their evaluation speed is the simulator's headline capability
+versus the paper's 36-hour HLS compile per point.
+"""
+
+import pytest
+
+from repro import ProTEA, SynthParams
+from repro.core import accelerator_resources, tile_size_sweep
+from repro.core.attention_module import AttentionModule
+from repro.core.engines import DatapathFormats
+from repro.core.ffn_module import FFNModule
+from repro.core.latency import LatencyModel
+from repro.isa import compile_program
+from repro.nn import BERT_VARIANT
+
+
+@pytest.fixture(scope="module")
+def latency_model():
+    synth = SynthParams()
+    fmts = DatapathFormats.fix8()
+    return LatencyModel(synth, AttentionModule(synth, fmts),
+                        FFNModule(synth, fmts))
+
+
+def test_bench_latency_evaluation(benchmark, latency_model):
+    rep = benchmark(latency_model.evaluate, BERT_VARIANT, 200.0)
+    assert rep.latency_ms > 0
+
+
+def test_bench_synthesize(benchmark):
+    accel = benchmark(ProTEA.synthesize, SynthParams())
+    assert accel.clock_mhz == pytest.approx(200.0)
+
+
+def test_bench_resource_estimation(benchmark):
+    est = benchmark(accelerator_resources, SynthParams())
+    assert est.dsps == 3612
+
+
+def test_bench_compile_bert_program(benchmark):
+    prog = benchmark(compile_program, BERT_VARIANT, SynthParams())
+    assert len(prog) > 1000
+
+
+def test_bench_full_tile_sweep(benchmark):
+    points = benchmark(tile_size_sweep)
+    assert len(points) == 15
+
+
+def test_bench_scheduler_deep_nest(benchmark):
+    from repro.core.engines import qkv_loop_nest
+    from repro.hls import schedule_loop
+
+    nest = qkv_loop_nest(64, 96, 64)
+    sched = benchmark(schedule_loop, nest)
+    assert sched.cycles > 0

@@ -1,0 +1,46 @@
+"""Bench: power/efficiency profile of the published instance.
+
+Not a paper table (the paper reports no watts) — this bench supplies
+the energy-efficiency column the comparison implicitly argues about,
+using published comparator TDPs.
+"""
+
+from repro.analysis import gops, render_table
+from repro.analysis.traffic import analyze_traffic
+from repro.experiments.common import default_accelerator
+from repro.fpga.power import GPU_CPU_TDP_W, PowerModel, PowerReport
+from repro.nn import BERT_VARIANT, get_model
+
+
+def test_power_profile(benchmark, save_artifact):
+    accel = default_accelerator()
+
+    def profile():
+        rows = []
+        for cfg in (BERT_VARIANT, get_model("model2-lhc-trigger")):
+            rep = accel.latency_report(cfg)
+            traffic = analyze_traffic(accel, cfg)
+            g = gops(cfg, rep.latency_s)
+            power = PowerReport.evaluate(
+                PowerModel(), accel.resources, accel.clock_mhz,
+                rep.latency_s, g, traffic.achieved_gbps)
+            rows.append((cfg.name, round(power.total_w, 1),
+                         round(power.energy_per_inference_j, 4),
+                         round(power.gops_per_w, 2)))
+        return rows
+
+    rows = benchmark(profile)
+    watts = rows[0][1]
+    assert 8.0 < watts < 40.0  # plausible U55C kernel power band
+
+    # Efficiency comparison against comparator TDPs (GOPS at their
+    # published latencies over their TDP).
+    titan_eff = (2.07 / GPU_CPU_TDP_W["NVIDIA Titan XP GPU"])
+    table = render_table(
+        ["workload", "board W", "J/inference", "GOPS/W"],
+        rows, title="ProTEA power profile (model, not measured by paper)")
+    table += (f"\n  Titan XP GOPS/TDP on model2 ≈ {titan_eff:.4f} — "
+              f"ProTEA is >{rows[1][3] / max(titan_eff, 1e-9):.0f}x more "
+              f"energy-efficient on that workload")
+    save_artifact("power_profile.txt", table)
+    print("\n" + table)

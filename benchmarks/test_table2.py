@@ -1,0 +1,11 @@
+"""Bench: regenerate Table II (FPGA accelerator comparison)."""
+
+from repro.experiments import table2
+
+
+def test_table2_regeneration(benchmark, save_artifact):
+    result = benchmark(table2.run)
+    assert len(result.rows) == 10
+    text = table2.render(result)
+    save_artifact("table2.txt", text)
+    print("\n" + text)

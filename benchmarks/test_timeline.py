@@ -1,0 +1,25 @@
+"""Bench: event-driven timeline simulation throughput + agreement."""
+
+from repro.core import DatapathFormats, TimelineSimulator
+from repro.core.attention_module import AttentionModule
+from repro.core.ffn_module import FFNModule
+from repro.core.latency import LatencyModel, LatencyOptions
+from repro.isa import SynthParams
+from repro.nn import BERT_VARIANT
+
+
+def test_bench_timeline_simulation(benchmark, save_artifact):
+    synth = SynthParams()
+    fmts = DatapathFormats.fix8()
+    att, ffn = AttentionModule(synth, fmts), FFNModule(synth, fmts)
+    opts = LatencyOptions()
+    sim = TimelineSimulator(att, ffn, opts)
+    cfg = BERT_VARIANT  # full 12-layer program (~10k instructions)
+
+    timeline = benchmark(sim.simulate, cfg)
+    analytic = LatencyModel(synth, att, ffn, opts).evaluate(cfg, 200.0)
+    ratio = timeline.total_cycles / analytic.total_cycles
+    assert 0.98 < ratio < 1.02
+    save_artifact("timeline_gantt.txt",
+                  timeline.gantt(width=100)
+                  + f"\n\nagreement with closed form: {ratio:.4f}")

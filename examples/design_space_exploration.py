@@ -1,0 +1,53 @@
+"""Design-space exploration: reproduce Fig. 7 and go beyond it.
+
+The paper spent ~36 hours of HLS compilation per tile configuration;
+the analytic models answer the same questions in milliseconds.  This
+example (a) regenerates the published sweep, (b) extends it to a finer
+FFN-tile grid the paper could not afford, and (c) recomputes the
+"8 parallel heads fit the U55C" analysis and tries the same design on
+other boards.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import ALVEO_U55C, SynthParams, get_part, max_parallel_heads, tile_size_sweep
+from repro.analysis import render_table
+from repro.core import find_optimum
+from repro.fpga import OverUtilizationError
+
+# ----------------------------------------------------------------- #
+# (a) The published Fig. 7 grid.
+# ----------------------------------------------------------------- #
+points = tile_size_sweep()
+best_freq, best_lat = find_optimum(points)
+print(render_table(
+    ["tiles_MHA", "tiles_FFN", "fmax_MHz", "latency_ms", "norm"],
+    [(p.tiles_mha, p.tiles_ffn, round(p.fmax_mhz, 1),
+      round(p.latency_ms, 1), round(p.normalized_latency, 2))
+     for p in points],
+    title="Fig. 7 sweep"))
+print(f"\noptimum: {best_lat.tiles_mha} MHA tiles / {best_lat.tiles_ffn} "
+      f"FFN tiles @ {best_freq.fmax_mhz:.0f} MHz "
+      f"(paper: 12 / 6 @ 200 MHz)\n")
+
+# ----------------------------------------------------------------- #
+# (b) A finer grid the paper could not afford to synthesize.
+# ----------------------------------------------------------------- #
+fine = tile_size_sweep(tiles_mha_options=(8, 12, 16, 24),
+                       tiles_ffn_options=(4, 6, 8, 12))
+fb, fl = find_optimum(fine)
+print(f"finer grid optimum: {fl.tiles_mha} MHA / {fl.tiles_ffn} FFN tiles "
+      f"→ {fl.latency_ms:.1f} ms @ {fl.fmax_mhz:.0f} MHz")
+
+# ----------------------------------------------------------------- #
+# (c) Head-count feasibility per device.
+# ----------------------------------------------------------------- #
+print("\nmax parallel attention heads (85% LUT routability ceiling):")
+for part_name in ("Alveo U55C", "Alveo U250", "Alveo U200", "VCU118"):
+    device = get_part(part_name)
+    try:
+        h = max_parallel_heads(SynthParams(), device)
+        note = " <- the paper's 8" if device is ALVEO_U55C and h == 8 else ""
+        print(f"  {part_name:12s}: {h}{note}")
+    except OverUtilizationError as exc:
+        print(f"  {part_name:12s}: does not fit ({exc})")

@@ -1,0 +1,63 @@
+"""Quantization study: where the 8-bit datapath loses precision.
+
+The paper: "Data was quantized to 8-bit fixed-point format; while this
+might result in accuracy loss depending on the application, it was not
+a primary focus."  This example makes the loss a first-class artifact:
+it runs the same encoder through the Fix8 and Fix16 datapaths, prints a
+stagewise SQNR table, identifies the weakest stage, and profiles the
+off-chip traffic both variants generate.
+
+Run:  python examples/quantization_study.py
+"""
+
+import numpy as np
+
+from repro import ProTEA, SynthParams, TransformerConfig
+from repro.analysis import analyze_traffic, evaluate_accuracy, render_table
+from repro.core import DatapathFormats
+from repro.nn import BERT_VARIANT, build_encoder
+
+cfg = TransformerConfig("study", d_model=64, num_heads=2, num_layers=3,
+                        seq_len=16)
+synth = SynthParams(ts_mha=16, ts_ffn=32, max_heads=2, max_layers=4,
+                    max_d_model=64, max_seq_len=16, seq_chunk=16)
+encoder = build_encoder(cfg, seed=9)
+x = np.random.default_rng(9).normal(0.0, 0.5, (16, 64))
+
+rows = []
+reports = {}
+for name, fmts in (("Fix8 (published)", DatapathFormats.fix8()),
+                   ("Fix16 (wider variant)", DatapathFormats.fix16())):
+    accel = ProTEA.synthesize(synth, formats=fmts, enforce_fit=False)
+    accel.program(cfg).load_weights(encoder)
+    report = evaluate_accuracy(accel, encoder, x)
+    reports[name] = report
+    worst = report.worst_stage()
+    rows.append((name, f"{report.output_rms:.4f}",
+                 f"{report.output_sqnr_db:.1f}",
+                 f"L{worst.layer}:{worst.stage}",
+                 f"{worst.sqnr_db:.1f}"))
+
+print(render_table(
+    ["datapath", "output RMS", "output SQNR dB", "worst stage",
+     "worst SQNR dB"],
+    rows, title="End-to-end quantization accuracy"))
+
+print("\nStagewise SQNR (dB), Fix8:")
+for stage in reports["Fix8 (published)"].stages:
+    bar = "#" * max(1, int(stage.sqnr_db))
+    print(f"  L{stage.layer} {stage.stage:17s} {stage.sqnr_db:6.1f} {bar}")
+
+# Traffic: what the bit width costs off-chip at BERT scale.
+print("\nOff-chip traffic at BERT scale:")
+for name, fmts in (("Fix8", DatapathFormats.fix8()),
+                   ("Fix16", DatapathFormats.fix16())):
+    accel = ProTEA.synthesize(SynthParams(), formats=fmts,
+                              enforce_fit=False)
+    t = analyze_traffic(accel, BERT_VARIANT)
+    bound = "compute-bound" if t.compute_bound else "memory-bound"
+    print(f"  {name:6s}: {t.total_bytes / 1e6:7.1f} MB/inference, "
+          f"{t.achieved_gbps:6.2f} GB/s achieved "
+          f"({100 * t.bandwidth_utilization:.1f}% of peak), "
+          f"intensity {t.arithmetic_intensity:.0f} ops/B → {bound}")
+print("quantization study OK")

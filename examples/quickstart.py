@@ -1,0 +1,56 @@
+"""Quickstart: synthesize ProTEA once, program it, run an encoder.
+
+Mirrors the paper's headline flow on the published configuration
+(TS_MHA=64, TS_FFN=128, Alveo U55C, 8-bit fixed point):
+
+1. synthesize            — the once-per-bitstream step;
+2. program(BERT_VARIANT) — runtime CSR writes;
+3. load_weights + run    — bit-accurate fixed-point inference on a
+   small stand-in model (BERT-768 functional sim takes minutes in
+   NumPy; the latency/throughput numbers come from the cycle model
+   and are reported for the real BERT variant).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BERT_VARIANT, ProTEA, SynthParams, TransformerConfig
+from repro.nn import build_encoder
+
+# ----------------------------------------------------------------- #
+# 1. Synthesize the published instance (resource check + Fmax).
+# ----------------------------------------------------------------- #
+accel = ProTEA.synthesize(SynthParams())
+print("synthesized:", accel.summary())
+
+# ----------------------------------------------------------------- #
+# 2. Program the BERT variant of Table I and read the cycle model.
+# ----------------------------------------------------------------- #
+accel.program(BERT_VARIANT)
+report = accel.latency_report()
+print(f"\nBERT variant (SL=64, d=768, h=8, N=12):")
+print(f"  latency    : {report.latency_ms:8.1f} ms   (paper: 279 ms)")
+print(f"  throughput : {accel.throughput_gops():8.1f} GOPS (paper: 53 GOPS)")
+print("  per-engine ms:", {k: round(v, 1)
+                           for k, v in report.breakdown_ms().items()})
+
+# ----------------------------------------------------------------- #
+# 3. Functional inference on a small workload (same datapath).
+# ----------------------------------------------------------------- #
+small = TransformerConfig("quickstart", d_model=64, num_heads=2,
+                          num_layers=2, seq_len=16)
+small_synth = SynthParams(ts_mha=16, ts_ffn=32, max_heads=2, max_layers=2,
+                          max_d_model=64, max_seq_len=16, seq_chunk=16)
+sim = ProTEA.synthesize(small_synth, enforce_fit=False)
+encoder = build_encoder(small, seed=0)
+sim.program(small).load_weights(encoder)
+
+x = np.random.default_rng(0).normal(0.0, 0.5, (16, 64))
+y_fx = sim.run(x)            # 8-bit fixed-point datapath
+y_golden = encoder(x)        # float64 golden reference
+rms = float(np.sqrt(np.mean((y_fx - y_golden) ** 2)))
+print(f"\nfunctional check (8-bit datapath vs float golden):")
+print(f"  output shape {y_fx.shape}, RMS error {rms:.4f}")
+assert rms < 0.25, "8-bit datapath drifted from the golden model"
+print("quickstart OK")

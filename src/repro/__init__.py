@@ -1,0 +1,53 @@
+"""repro — a functional + cycle-level reproduction of
+
+    *ProTEA: Programmable Transformer Encoder Acceleration on FPGA*
+    (Kabir, Bakos, Andrews, Huang — SC24 Workshops, arXiv:2409.13975).
+
+Quickstart::
+
+    from repro import ProTEA, BERT_VARIANT, build_encoder
+    accel = ProTEA.synthesize()            # freeze tiles, place, close timing
+    accel.program(BERT_VARIANT)            # runtime CSR writes, no resynthesis
+    accel.load_weights(build_encoder(BERT_VARIANT))
+    y = accel.run(x)                       # bit-accurate fixed-point inference
+    print(accel.latency_ms(), accel.throughput_gops())
+
+Package map: ``repro.core`` (the accelerator), ``repro.nn`` (golden
+float reference + model zoo), ``repro.fixedpoint`` / ``repro.hls`` /
+``repro.memory`` / ``repro.fpga`` / ``repro.isa`` (substrates),
+``repro.baselines`` (comparators), ``repro.experiments`` (Tables I-III
+and Fig. 7 regenerators).
+"""
+
+from .core import (
+    DatapathFormats,
+    ProTEA,
+    RuntimeSession,
+    find_optimum,
+    max_parallel_heads,
+    tile_size_sweep,
+)
+from .fpga import ALVEO_U55C, get_part
+from .isa import ResynthesisRequiredError, SynthParams
+from .nn import BERT_VARIANT, MODEL_ZOO, TransformerConfig, build_encoder, get_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProTEA",
+    "SynthParams",
+    "DatapathFormats",
+    "RuntimeSession",
+    "ResynthesisRequiredError",
+    "tile_size_sweep",
+    "find_optimum",
+    "max_parallel_heads",
+    "TransformerConfig",
+    "BERT_VARIANT",
+    "MODEL_ZOO",
+    "get_model",
+    "build_encoder",
+    "ALVEO_U55C",
+    "get_part",
+    "__version__",
+]

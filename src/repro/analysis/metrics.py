@@ -1,0 +1,87 @@
+"""Workload accounting: operation counts, GOPS, normalized throughput.
+
+The paper reports throughput as "the number of giga operations per
+second (GOPS)" over the *model's* arithmetic work (multiply and add
+each count as one op, the standard convention), and Table II adds the
+normalized "GOPS/DSP x 1000" metric from [15] for cross-platform
+fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.model_zoo import TransformerConfig
+
+__all__ = [
+    "encoder_layer_ops",
+    "encoder_ops",
+    "gops",
+    "gops_per_dsp",
+    "speedup",
+    "OpBreakdown",
+]
+
+
+@dataclass(frozen=True)
+class OpBreakdown:
+    """Per-component operation counts of one encoder layer."""
+
+    qkv: int
+    scores: int
+    attention_apply: int
+    projection: int
+    ffn: int
+
+    @property
+    def total(self) -> int:
+        return (self.qkv + self.scores + self.attention_apply
+                + self.projection + self.ffn)
+
+
+def encoder_layer_ops(config: TransformerConfig) -> OpBreakdown:
+    """Arithmetic operations (mul + add) of one encoder layer.
+
+    * QKV projections: ``3 . 2 . SL . d . d_k . h = 6 . SL . d²``
+    * scores ``QK^T``: ``2 . SL² . d_k . h = 2 . SL² . d``
+    * attention apply ``SV``: ``2 . SL² . d``
+    * output projection: ``2 . SL . d²``
+    * FFN (two linears, 4x expansion): ``16 . SL . d . d_ff/4 ...``
+      computed from the configured ``d_ff``.
+    """
+    sl, d, dff = config.seq_len, config.d_model, config.d_ff
+    return OpBreakdown(
+        qkv=6 * sl * d * d,
+        scores=2 * sl * sl * d,
+        attention_apply=2 * sl * sl * d,
+        projection=2 * sl * d * d,
+        ffn=2 * sl * d * dff + 2 * sl * dff * d,
+    )
+
+
+def encoder_ops(config: TransformerConfig) -> int:
+    """Total arithmetic operations of the full encoder stack."""
+    return encoder_layer_ops(config).total * config.num_layers
+
+
+def gops(config: TransformerConfig, latency_s: float) -> float:
+    """Throughput in giga-operations per second."""
+    if latency_s <= 0:
+        raise ValueError("latency must be positive")
+    return encoder_ops(config) / latency_s / 1e9
+
+
+def gops_per_dsp(gops_value: float, dsps: int, scaled: bool = True) -> float:
+    """Normalized throughput; ``scaled=True`` returns the Table II
+    convention ``(GOPS/DSP) x 1000``."""
+    if dsps <= 0:
+        raise ValueError("dsps must be positive")
+    v = gops_value / dsps
+    return v * 1000.0 if scaled else v
+
+
+def speedup(base_latency: float, new_latency: float) -> float:
+    """``base / new`` — >1 means ``new`` is faster (Table III column)."""
+    if base_latency <= 0 or new_latency <= 0:
+        raise ValueError("latencies must be positive")
+    return base_latency / new_latency

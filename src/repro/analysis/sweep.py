@@ -1,0 +1,58 @@
+"""Generic parameter-sweep driver.
+
+A tiny cartesian-grid evaluator used by the ablation benchmarks: give
+it named parameter axes and an evaluation function, get back one record
+per grid point.  (The Fig. 7 tile sweep has its own dedicated driver in
+:mod:`repro.core.design_space`; this one serves the extra ablations —
+AXI width, buffering, sequence chunking.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+__all__ = ["SweepResult", "grid_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """One evaluated grid point."""
+
+    params: Dict[str, Any]
+    value: Any
+    error: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+
+def grid_sweep(
+    axes: Mapping[str, Sequence],
+    evaluate: Callable[..., Any],
+    continue_on_error: bool = False,
+) -> List[SweepResult]:
+    """Evaluate ``evaluate(**point)`` over the cartesian grid of ``axes``.
+
+    With ``continue_on_error`` the sweep records failures (e.g. a
+    design point that does not fit the device) instead of raising —
+    matching how a real DSE flow tolerates infeasible corners.
+    """
+    if not axes:
+        raise ValueError("need at least one axis")
+    names = list(axes)
+    results: List[SweepResult] = []
+    for combo in product(*(axes[n] for n in names)):
+        params = dict(zip(names, combo))
+        try:
+            value = evaluate(**params)
+            results.append(SweepResult(params=params, value=value))
+        except Exception as exc:  # noqa: BLE001 - DSE tolerates corners
+            if not continue_on_error:
+                raise
+            results.append(SweepResult(params=params, value=None,
+                                       error=f"{type(exc).__name__}: {exc}"))
+    return results

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the experiment reports.
+
+Every experiment prints its regenerated table in the same row/column
+structure the paper uses, with a "paper" column next to each "measured"
+column so deltas are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v, precision: int = 3) -> str:
+    """Human formatting: floats get ``precision`` significant digits,
+    everything else goes through ``str``."""
+    if isinstance(v, bool) or v is None:
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        av = abs(v)
+        if av >= 10 ** precision or av < 10 ** -(precision + 1):
+            return f"{v:.{precision}g}"
+        return f"{v:.{precision}g}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Fixed-width ASCII table."""
+    srows: List[List[str]] = [
+        [format_value(c, precision) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in srows)
+    return "\n".join(lines)

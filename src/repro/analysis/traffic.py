@@ -1,0 +1,85 @@
+"""Memory-traffic accounting and the accelerator's own roofline position.
+
+The paper motivates tiling with on-chip capacity ("on-chip memory of
+FPGAs typically does not exceed 36MB and off-chip memory bandwidth is
+sometimes limited").  This module quantifies the consequence: per-layer
+off-chip bytes, the achieved bandwidth at the modelled latency, the
+workload's arithmetic intensity, and whether the design runs compute-
+or memory-bound on its device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoid circular import at runtime
+    from ..core.accelerator import ProTEA
+from ..nn.model_zoo import TransformerConfig
+from .metrics import encoder_ops
+
+__all__ = ["TrafficReport", "analyze_traffic"]
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Off-chip traffic profile of one workload on one instance."""
+
+    config_name: str
+    weight_bytes: int
+    activation_bytes: int
+    total_bytes: int
+    latency_s: float
+    achieved_gbps: float
+    device_peak_gbps: float
+    arithmetic_intensity: float  # ops per off-chip byte
+    machine_balance: float       # device ops-per-byte break-even
+    compute_bound: bool
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of the card's peak bandwidth actually used."""
+        return self.achieved_gbps / self.device_peak_gbps
+
+
+def analyze_traffic(accel: "ProTEA", config: TransformerConfig) -> TrafficReport:
+    """Traffic profile of ``config`` on ``accel``.
+
+    Weight traffic: every layer's Q/K/V/output/FFN weights stream in
+    once per inference (single-buffered tiles, no on-chip weight reuse
+    across layers).  Activation traffic: the input and output of the
+    encoder cross the boundary once; intermediates stay on chip — that
+    is what the tiling buys.
+    """
+    elem = (accel.formats.weight_bits + 7) // 8
+    d, dff, sl, n = (config.d_model, config.d_ff, config.seq_len,
+                     config.num_layers)
+    weight_bytes = n * elem * (3 * d * d + d * d + d * dff + dff * d)
+    act_elem = (accel.formats.activation.total_bits + 7) // 8
+    activation_bytes = 2 * sl * d * act_elem
+    total = weight_bytes + activation_bytes
+
+    report = accel.latency_report(config)
+    latency_s = report.latency_s
+    achieved = total / latency_s / 1e9
+
+    ops = encoder_ops(config)
+    intensity = ops / total
+    peak_gbps = accel.device.hbm_bandwidth_gbps
+    # Device compute ceiling: every DSP is one MAC (2 ops) per cycle.
+    peak_ops = accel.resources.dsps * 2 * accel.clock_mhz * 1e6
+    balance = peak_ops / (peak_gbps * 1e9)
+
+    return TrafficReport(
+        config_name=config.name,
+        weight_bytes=weight_bytes,
+        activation_bytes=activation_bytes,
+        total_bytes=total,
+        latency_s=latency_s,
+        achieved_gbps=achieved,
+        device_peak_gbps=peak_gbps,
+        arithmetic_intensity=intensity,
+        machine_balance=balance,
+        compute_bound=intensity >= balance,
+    )

@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` / ``table2`` / ``table3`` / ``figure7`` — regenerate one
+  evaluation artifact and print the paper-style table.
+* ``all`` — regenerate everything.
+* ``summary`` — synthesize the published instance and print its
+  resource/clock summary plus the BERT-variant headline numbers.
+* ``latency <model>`` — latency/GOPS of one model-zoo workload
+  (``--list`` to enumerate).
+* ``power`` — power/energy profile of the published instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ProTEA reproduction — regenerate the paper's "
+                    "tables/figures and query the models.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table1", "table2", "table3", "figure7", "all", "summary",
+                 "power"):
+        sub.add_parser(name)
+    lat = sub.add_parser("latency")
+    lat.add_argument("model", nargs="?", default=None,
+                     help="model-zoo key (omit with --list)")
+    lat.add_argument("--list", action="store_true", dest="list_models")
+    return parser
+
+
+def _cmd_experiment(name: str) -> None:
+    from . import experiments
+
+    module = getattr(experiments, name)
+    print(module.render())
+    if name == "figure7":
+        print()
+        print(module.ascii_plot())
+
+
+def _cmd_summary() -> None:
+    from .experiments.common import default_accelerator
+    from .nn import BERT_VARIANT
+
+    accel = default_accelerator()
+    print(accel.summary())
+    rep = accel.latency_report(BERT_VARIANT)
+    print(f"BERT variant: {rep.latency_ms:.1f} ms, "
+          f"{accel.throughput_gops(BERT_VARIANT):.1f} GOPS "
+          f"(paper: 279 ms, 53 GOPS)")
+
+
+def _cmd_latency(model: Optional[str], list_models: bool) -> None:
+    from .analysis.metrics import gops
+    from .experiments.common import default_accelerator
+    from .nn import MODEL_ZOO, get_model
+
+    if list_models or model is None:
+        for name, cfg in sorted(MODEL_ZOO.items()):
+            print(f"{name:24s} SL={cfg.seq_len:4d} d={cfg.d_model:4d} "
+                  f"h={cfg.num_heads} N={cfg.num_layers}")
+        return
+    cfg = get_model(model)
+    accel = default_accelerator()
+    rep = accel.latency_report(cfg)
+    print(f"{cfg.name}: {rep.latency_ms:.3f} ms, "
+          f"{gops(cfg, rep.latency_s):.2f} GOPS "
+          f"@ {accel.clock_mhz:.0f} MHz")
+
+
+def _cmd_power() -> None:
+    from .analysis.metrics import gops
+    from .analysis.traffic import analyze_traffic
+    from .experiments.common import default_accelerator
+    from .fpga.power import GPU_CPU_TDP_W, PowerModel, PowerReport
+    from .nn import BERT_VARIANT
+
+    accel = default_accelerator()
+    rep = accel.latency_report(BERT_VARIANT)
+    traffic = analyze_traffic(accel, BERT_VARIANT)
+    g = gops(BERT_VARIANT, rep.latency_s)
+    power = PowerReport.evaluate(
+        PowerModel(), accel.resources, accel.clock_mhz,
+        rep.latency_s, g, traffic.achieved_gbps)
+    print(f"ProTEA on {accel.device.name}:")
+    print(f"  board power : {power.total_w:6.1f} W "
+          f"({power.static_w:.1f} static + {power.dynamic_w:.1f} dynamic)")
+    print(f"  energy      : {power.energy_per_inference_j:6.3f} J/inference")
+    print(f"  efficiency  : {power.gops_per_w:6.2f} GOPS/W")
+    print("\ncomparator TDPs (published):")
+    for name, tdp in sorted(GPU_CPU_TDP_W.items()):
+        print(f"  {name:24s} {tdp:6.1f} W")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("table1", "table2", "table3", "figure7"):
+        _cmd_experiment(args.command)
+    elif args.command == "all":
+        for name in ("table1", "table2", "table3", "figure7"):
+            _cmd_experiment(name)
+            print()
+    elif args.command == "summary":
+        _cmd_summary()
+    elif args.command == "latency":
+        _cmd_latency(args.model, args.list_models)
+    elif args.command == "power":
+        _cmd_power()
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

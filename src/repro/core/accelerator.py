@@ -1,0 +1,200 @@
+"""ProTEA top level: synthesize once, program at runtime, run.
+
+The lifecycle mirrors the silicon reality:
+
+1. :meth:`ProTEA.synthesize` — freeze tile sizes and maxima, place the
+   design on a device (resource check), close timing (Fmax model).
+   This is the ~36-hour step the paper performs exactly once.
+2. :meth:`ProTEA.program` — MicroBlaze writes the four runtime
+   parameters over AXI-Lite.  Milliseconds; no resynthesis.  Raises
+   :class:`~repro.isa.controller.ResynthesisRequiredError` if a request
+   exceeds the synthesized maxima.
+3. :meth:`ProTEA.load_weights` / :meth:`ProTEA.run` — bit-accurate
+   fixed-point inference through the tiled engines.
+4. :meth:`ProTEA.latency_report` / :meth:`ProTEA.throughput_gops` —
+   the measured quantities of Tables I–III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.metrics import encoder_ops, gops
+from ..fixedpoint import FxTensor
+from ..fpga.device import FPGADevice, Utilization
+from ..fpga.parts import ALVEO_U55C
+from ..hls import DEFAULT_TIMING, ResourceEstimate, TimingModel
+from ..isa.controller import ConfigRegisterFile, ResynthesisRequiredError, SynthParams
+from ..nn.encoder import Encoder
+from ..nn.model_zoo import TransformerConfig
+from .attention_module import AttentionModule
+from .engines import DatapathFormats
+from .ffn_module import FFNModule
+from .latency import LatencyModel, LatencyOptions, LatencyReport
+from .quantized import QuantizedEncoder
+from .resource_model import accelerator_resources, device_utilization
+
+__all__ = ["ProTEA"]
+
+
+@dataclass
+class ProTEA:
+    """One synthesized ProTEA instance (use :meth:`synthesize`)."""
+
+    synth: SynthParams
+    device: FPGADevice
+    formats: DatapathFormats
+    clock_mhz: float
+    attention: AttentionModule
+    ffn: FFNModule
+    latency_model: LatencyModel
+    resources: ResourceEstimate
+    utilization: Utilization
+    csr: ConfigRegisterFile = field(init=False)
+    _weights: Optional[QuantizedEncoder] = field(default=None, init=False)
+    _config: Optional[TransformerConfig] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.csr = ConfigRegisterFile(self.synth)
+
+    # ------------------------------------------------------------------
+    # 1. Synthesis
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthesize(
+        cls,
+        synth: SynthParams | None = None,
+        device: FPGADevice = ALVEO_U55C,
+        formats: DatapathFormats | None = None,
+        scale_mode: str = "sqrt_dk",
+        timing: TimingModel = DEFAULT_TIMING,
+        latency_options: LatencyOptions | None = None,
+        enforce_fit: bool = True,
+    ) -> "ProTEA":
+        """Build (and "place & route") one accelerator instance.
+
+        The achieved clock is the Fmax model evaluated over every
+        engine's critical path, capped by the device's practical
+        kernel-clock ceiling.
+        """
+        synth = synth or SynthParams()
+        formats = formats or DatapathFormats.fix8()
+        attention = AttentionModule(synth, formats, scale_mode=scale_mode)
+        ffn = FFNModule(synth, formats)
+        resources = accelerator_resources(synth, formats)
+        utilization = device_utilization(synth, device, formats,
+                                         enforce=enforce_fit)
+        paths = attention.timing_paths() + ffn.timing_paths()
+        clock = min(timing.fmax_mhz(paths), device.default_clock_mhz)
+        model = LatencyModel(synth, attention, ffn, latency_options)
+        return cls(
+            synth=synth,
+            device=device,
+            formats=formats,
+            clock_mhz=clock,
+            attention=attention,
+            ffn=ffn,
+            latency_model=model,
+            resources=resources,
+            utilization=utilization,
+        )
+
+    # ------------------------------------------------------------------
+    # 2. Runtime programming
+    # ------------------------------------------------------------------
+    def program(self, config: TransformerConfig) -> "ProTEA":
+        """Write the runtime parameters; validates against the maxima."""
+        self.csr.program(config)
+        self._config = config
+        return self
+
+    @property
+    def config(self) -> TransformerConfig:
+        if self._config is None:
+            raise RuntimeError("accelerator not programmed; call program()")
+        return self._config
+
+    # ------------------------------------------------------------------
+    # 3. Weights and inference
+    # ------------------------------------------------------------------
+    def load_weights(self, model: Encoder | QuantizedEncoder) -> "ProTEA":
+        """Quantize (if needed) and stage the model's weights."""
+        if isinstance(model, Encoder):
+            model = QuantizedEncoder.from_encoder(model, self.formats)
+        self._weights = model
+        if self._config is not None and model.num_layers < self._config.num_layers:
+            raise ValueError(
+                f"model has {model.num_layers} layers but the programmed "
+                f"configuration needs {self._config.num_layers}"
+            )
+        return self
+
+    @property
+    def weights(self) -> QuantizedEncoder:
+        if self._weights is None:
+            raise RuntimeError("no weights loaded; call load_weights()")
+        return self._weights
+
+    def run_fx(self, x: FxTensor) -> FxTensor:
+        """Fixed-point inference through the programmed layer count."""
+        cfg = self.config
+        if x.raw.shape != (cfg.seq_len, cfg.d_model):
+            raise ValueError(
+                f"input shape {x.raw.shape} does not match the programmed "
+                f"(SL, d_model) = ({cfg.seq_len}, {cfg.d_model})"
+            )
+        state = x
+        for li in range(cfg.num_layers):
+            layer = self.weights.layers[li]
+            concat, _ = self.attention.forward(state, layer)
+            trace = self.ffn.forward(concat, state, layer)
+            state = trace.out
+        return state
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Float-in/float-out inference (quantize, run, dequantize)."""
+        fx = FxTensor.from_float(np.asarray(x, dtype=np.float64),
+                                 self.formats.activation)
+        return self.run_fx(fx).to_float()
+
+    # ------------------------------------------------------------------
+    # 4. Measurements
+    # ------------------------------------------------------------------
+    def latency_report(
+        self, config: TransformerConfig | None = None
+    ) -> LatencyReport:
+        """Latency of ``config`` (default: the programmed workload)."""
+        cfg = config or self.config
+        if config is not None:
+            # evaluate() re-validates against the synthesized maxima
+            pass
+        return self.latency_model.evaluate(cfg, self.clock_mhz)
+
+    def latency_ms(self, config: TransformerConfig | None = None) -> float:
+        return self.latency_report(config).latency_ms
+
+    def throughput_gops(
+        self, config: TransformerConfig | None = None
+    ) -> float:
+        cfg = config or self.config
+        return gops(cfg, self.latency_report(cfg).latency_s)
+
+    def ops(self, config: TransformerConfig | None = None) -> int:
+        return encoder_ops(config or self.config)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-paragraph instance description (README/examples)."""
+        u = self.utilization
+        return (
+            f"ProTEA on {self.device.name} @ {self.clock_mhz:.0f} MHz | "
+            f"TS_MHA={self.synth.ts_mha}, TS_FFN={self.synth.ts_ffn}, "
+            f"h<= {self.synth.max_heads}, N<= {self.synth.max_layers}, "
+            f"d<= {self.synth.max_d_model}, SL<= {self.synth.max_seq_len} | "
+            f"DSP {u.used['dsp']} ({u.percent['dsp']:.0f}%), "
+            f"LUT {u.used['lut']} ({u.percent['lut']:.0f}%), "
+            f"FF {u.used['ff']} ({u.percent['ff']:.0f}%)"
+        )

@@ -1,0 +1,284 @@
+"""Compute-engine building blocks shared by the MHA and FFN modules.
+
+Contains:
+
+* :class:`DatapathFormats` — the fixed-point formats flowing between
+  engines (``fix8`` reproduces the paper's 8-bit datapath; ``fix16``
+  is the "larger bit width" variant mentioned in Section V).
+* Exact tiled integer matmuls (:func:`tiled_fx_matmul_reduction`,
+  :func:`tiled_fx_matmul_2d`) — the functional semantics of a PE-array
+  sweep over weight tiles, accumulating in wide registers exactly like
+  the DSP48 cascade.
+* Loop-nest builders (``*_loop_nest``) — the pragma-annotated loop
+  structures of Algorithms 1–4, consumed by the HLS scheduler for cycle
+  counts and by the resource estimator for PE counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..fixedpoint import FxTensor, QFormat, requantize, saturate
+from ..hls import Loop, Pipeline, Statement, Unroll
+
+__all__ = [
+    "DatapathFormats",
+    "tiled_fx_matmul_reduction",
+    "tiled_fx_matmul_2d",
+    "qkv_loop_nest",
+    "qk_loop_nest",
+    "sv_loop_nest",
+    "ffn_loop_nest",
+    "softmax_loop_nest",
+    "layernorm_loop_nest",
+    "MAC_DEPTH",
+]
+
+#: Pipeline depth of one DSP48 MAC stage at 200+ MHz (mult reg + two
+#: accumulate regs + output reg).
+MAC_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class DatapathFormats:
+    """Fixed-point formats at each inter-engine buffer.
+
+    Attributes
+    ----------
+    weight_bits:
+        Storage width of weights (per-tensor fractional calibration).
+    activation:
+        Encoder input/output and residual-path format.
+    qkv:
+        Q/K/V intermediate-buffer format.
+    score:
+        Attention-score buffer (post scaling).
+    prob:
+        Softmax output format (values in [0, 1]).
+    hidden:
+        FFN intermediate (post-activation) format.
+    """
+
+    weight_bits: int = 8
+    activation: QFormat = QFormat(8, 4)
+    qkv: QFormat = QFormat(8, 4)
+    score: QFormat = QFormat(8, 4)
+    prob: QFormat = QFormat(8, 6)
+    hidden: QFormat = QFormat(8, 4)
+
+    @classmethod
+    def fix8(cls) -> "DatapathFormats":
+        """The paper's 8-bit datapath."""
+        return cls()
+
+    @classmethod
+    def fix16(cls) -> "DatapathFormats":
+        """16-bit variant: tight agreement with the float golden model."""
+        return cls(
+            weight_bits=16,
+            activation=QFormat(16, 10),
+            qkv=QFormat(16, 10),
+            score=QFormat(16, 10),
+            prob=QFormat(16, 14),
+            hidden=QFormat(16, 10),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Exact tiled integer matmuls
+# ---------------------------------------------------------------------------
+
+def _accumulate_fmt(a: QFormat, b: QFormat, reduction: int) -> QFormat:
+    """Exact accumulator format for a ``reduction``-length dot product."""
+    guard = max(1, math.ceil(math.log2(max(reduction, 2))))
+    return QFormat(a.total_bits + b.total_bits + guard,
+                   a.frac_bits + b.frac_bits, True)
+
+
+def tiled_fx_matmul_reduction(
+    x: FxTensor, w: FxTensor, tile: int
+) -> FxTensor:
+    """MHA-style tiled matmul: reduction-axis tiles, exact accumulation.
+
+    ``x`` is ``(SL, d)``, ``w`` is ``(d, d_k)``; tiles split ``d``.
+    Bit-identical to the untiled product — the tests assert this, which
+    is the functional content of Fig. 5.
+    """
+    sl, d = x.raw.shape
+    if w.raw.shape[0] != d:
+        raise ValueError("reduction dimensions disagree")
+    acc = np.zeros((sl, w.raw.shape[1]), dtype=np.int64)
+    for start in range(0, d, tile):
+        stop = min(start + tile, d)
+        acc += x.raw[:, start:stop] @ w.raw[start:stop, :]
+    fmt = _accumulate_fmt(x.fmt, w.fmt, d)
+    return FxTensor(saturate(acc, fmt), fmt)
+
+
+def tiled_fx_matmul_2d(
+    x: FxTensor, w: FxTensor, tile_rows: int, tile_cols: int
+) -> FxTensor:
+    """FFN-style tiled matmul: 2-D weight tiles, exact accumulation.
+
+    Column tiles outer, reduction (row) tiles inner — Fig. 6's order.
+    """
+    sl, d_in = x.raw.shape
+    if w.raw.shape[0] != d_in:
+        raise ValueError("reduction dimensions disagree")
+    d_out = w.raw.shape[1]
+    out = np.zeros((sl, d_out), dtype=np.int64)
+    for c0 in range(0, d_out, tile_cols):
+        c1 = min(c0 + tile_cols, d_out)
+        for r0 in range(0, d_in, tile_rows):
+            r1 = min(r0 + tile_rows, d_in)
+            out[:, c0:c1] += x.raw[:, r0:r1] @ w.raw[r0:r1, c0:c1]
+    fmt = _accumulate_fmt(x.fmt, w.fmt, d_in)
+    return FxTensor(saturate(out, fmt), fmt)
+
+
+def add_bias_and_requantize(
+    acc: FxTensor, bias: FxTensor, out_fmt: QFormat
+) -> FxTensor:
+    """Bias add in the accumulator domain, then requantize to ``out_fmt``.
+
+    Mirrors the hardware: "biases ... are simultaneously loaded into
+    registers ... subsequently added to the Q, K, and V matrices".
+    """
+    aligned = requantize(bias.raw, bias.fmt, acc.fmt)
+    summed = saturate(acc.raw + aligned, acc.fmt)
+    return FxTensor(requantize(summed, acc.fmt, out_fmt), out_fmt)
+
+
+# ---------------------------------------------------------------------------
+# Loop-nest builders (Algorithms 1-4)
+# ---------------------------------------------------------------------------
+
+def _mac(name: str = "mac", depth: int = MAC_DEPTH) -> Statement:
+    return Statement(name=name, depth=depth, dsps=1)
+
+
+def qkv_loop_nest(seq_len: int, d_k: int, ts_mha: int, ii: int = 1) -> Loop:
+    """Algorithm 1: one tile iteration of ``QKV_CE``.
+
+    Outer row loop (pipeline off) over ``SL``; middle loop over
+    ``d_k`` pipelined at ``II=ii``; inner loop over the tile width
+    fully unrolled with *three* MACs (Sq, Sk, Sv computed together).
+    """
+    inner = Loop(
+        name="j_tile",
+        trip=ts_mha,
+        body=[_mac("mac_q"), _mac("mac_k"), _mac("mac_v")],
+        unroll=Unroll(None),
+    )
+    middle = Loop(name="k_dk", trip=d_k, body=[inner], pipeline=Pipeline(ii=ii))
+    return Loop(name="i_rows", trip=seq_len, body=[middle],
+                pipeline=Pipeline(off=True))
+
+
+def qk_loop_nest(q_rows: int, k_rows: int, d_k_unroll: int,
+                 reduction_passes: int = 1, ii: int = 1) -> Loop:
+    """Algorithm 2: ``Q x K^T``.
+
+    ``d_k_unroll`` is the synthesized inner unroll (``d_model_max /
+    h_max``); when the runtime ``d_k`` exceeds it the reduction takes
+    ``reduction_passes`` sweeps.
+    """
+    inner = Loop(name="k_dk", trip=d_k_unroll, body=[_mac("mac_qk")],
+                 unroll=Unroll(None))
+    middle = Loop(name="j_cols", trip=k_rows * reduction_passes, body=[inner],
+                  pipeline=Pipeline(ii=ii))
+    return Loop(name="i_rows", trip=q_rows, body=[middle],
+                pipeline=Pipeline(off=True))
+
+
+def sv_loop_nest(q_rows: int, d_k: int, sl_unroll: int,
+                 key_chunks: int = 1, ii: int = 1) -> Loop:
+    """Algorithm 3: ``S x V``.
+
+    Inner reduction over keys is unrolled ``sl_unroll`` wide (the
+    synthesized sequence chunk); longer runtime sequences accumulate
+    over ``key_chunks`` sweeps.
+    """
+    inner = Loop(name="k_keys", trip=sl_unroll, body=[_mac("mac_sv")],
+                 unroll=Unroll(None))
+    middle = Loop(name="j_dk", trip=d_k * key_chunks, body=[inner],
+                  pipeline=Pipeline(ii=ii))
+    return Loop(name="i_rows", trip=q_rows, body=[middle],
+                pipeline=Pipeline(off=True))
+
+
+def ffn_loop_nest(seq_len: int, out_cols: int, reduction_unroll: int,
+                  ii: int = 1, name: str = "ffn") -> Loop:
+    """Algorithm 4: one tile invocation of an FFN engine.
+
+    ``out_cols`` output columns per tile (pipelined middle loop),
+    ``reduction_unroll`` MACs fully unrolled (TS_FFN, or 4*TS_FFN for
+    FFN3 which the paper gives 4x the PEs).
+    """
+    inner = Loop(name="k_red", trip=reduction_unroll, body=[_mac(f"mac_{name}")],
+                 unroll=Unroll(None))
+    middle = Loop(name="j_cols", trip=out_cols, body=[inner],
+                  pipeline=Pipeline(ii=ii))
+    return Loop(name="i_rows", trip=seq_len, body=[middle],
+                pipeline=Pipeline(off=True))
+
+
+def softmax_loop_nest(rows: int, row_len: int) -> Loop:
+    """Softmax unit: per row, three pipelined passes (max, exp+sum,
+    normalize) plus one reciprocal lookup.
+
+    The exp and reciprocal LUT statements carry their own depths; the
+    two DSPs per unit (scale multiply + normalize multiply) match the
+    paper's residual DSP count.
+    """
+    max_pass = Loop(name="max", trip=row_len,
+                    body=[Statement("cmp", depth=1)], pipeline=Pipeline(ii=1))
+    exp_pass = Loop(name="exp_sum", trip=row_len,
+                    body=[Statement("exp_lut", depth=3),
+                          Statement("sum", depth=1)],
+                    pipeline=Pipeline(ii=1))
+    recip = Statement("recip_lut", depth=8, dsps=1)
+    norm_pass = Loop(name="normalize", trip=row_len,
+                     body=[Statement("mul", depth=MAC_DEPTH, dsps=1)],
+                     pipeline=Pipeline(ii=1))
+    return Loop(name="rows", trip=rows,
+                body=[max_pass, exp_pass, recip, norm_pass],
+                pipeline=Pipeline(off=True))
+
+
+def layernorm_loop_nest(rows: int, row_len: int) -> Loop:
+    """Layer-norm unit: mean pass, variance pass, normalize pass.
+
+    Three pipelined sweeps over each row plus an rsqrt lookup; six DSPs
+    per unit (squaring, two scaling multipliers x pipelining) as per
+    the residual DSP accounting.
+    """
+    mean_pass = Loop(name="mean", trip=row_len,
+                     body=[Statement("sum", depth=1)], pipeline=Pipeline(ii=1))
+    var_pass = Loop(name="var", trip=row_len,
+                    body=[Statement("square", depth=MAC_DEPTH, dsps=2),
+                          Statement("sum", depth=1)],
+                    pipeline=Pipeline(ii=1))
+    rsqrt = Statement("rsqrt_lut", depth=8, dsps=2)
+    norm_pass = Loop(name="normalize", trip=row_len,
+                     body=[Statement("scale", depth=MAC_DEPTH, dsps=2)],
+                     pipeline=Pipeline(ii=1))
+    return Loop(name="rows", trip=rows,
+                body=[mean_pass, var_pass, rsqrt, norm_pass],
+                pipeline=Pipeline(off=True))
+
+
+def reduction_passes(runtime_extent: int, synth_unroll: int) -> Tuple[int, int]:
+    """How a runtime reduction maps onto a fixed synthesized unroll.
+
+    Returns ``(passes, padded_extent)``; short extents still occupy one
+    full pass (lanes beyond the extent are gated off).
+    """
+    if runtime_extent < 1 or synth_unroll < 1:
+        raise ValueError("extents must be positive")
+    passes = math.ceil(runtime_extent / synth_unroll)
+    return passes, passes * synth_unroll

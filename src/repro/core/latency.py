@@ -1,0 +1,201 @@
+"""End-to-end latency model: compute cycles + weight/input loads.
+
+Composition per encoder layer (all cycle counts at the kernel clock):
+
+* **MHA stage** — per tile iteration, every active head's Wq/Wk/Wv tile
+  plus the shared X tile stream over the (single, shared) weight-load
+  AXI master, then the QKV engines compute; QK → softmax → SV follow
+  with no further off-chip traffic.
+* **FFN stages** — per tile invocation, one weight tile load (only
+  *real* weights are fetched — output-grid invocations past the
+  runtime ``d_model`` compute on zero-gated lanes without traffic)
+  then the engine sweep.
+* Loads and compute serialize by default (the published design
+  single-buffers its weight tiles; BRAM was spent on banking width,
+  not depth).  ``double_buffered=True`` enables the Section V overlap
+  study — the model then hides each tile's load under the previous
+  tile's compute.
+
+The FFN output-dimension invocation grid stays at the synthesized
+maximum while only the reduction-dim tile count tracks the runtime
+``d_model`` — reproducing the *linear* latency scaling in ``d_model``
+the paper measures (Tests 6–7), where a naive model would predict
+quadratic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa.controller import ConfigRegisterFile, SynthParams
+from ..memory.axi import AXI4Master
+from ..memory.dma import TilePhase, overlapped_cycles, serialized_cycles
+from ..memory.hbm import HBMSubsystem
+from ..nn.model_zoo import TransformerConfig
+from .attention_module import AttentionModule
+from .ffn_module import FFNModule
+
+__all__ = ["LatencyOptions", "LayerLatency", "LatencyReport", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyOptions:
+    """Knobs of the latency composition (defaults = published design)."""
+
+    double_buffered: bool = False
+    axi: AXI4Master = field(default_factory=lambda: AXI4Master(data_bits=64))
+    hbm: HBMSubsystem = field(default_factory=HBMSubsystem)
+
+
+@dataclass
+class LayerLatency:
+    """Cycle breakdown of one encoder layer."""
+
+    compute: Dict[str, int]
+    loads: Dict[str, int]
+    total: int
+
+    @property
+    def compute_total(self) -> int:
+        return sum(self.compute.values())
+
+    @property
+    def load_total(self) -> int:
+        return sum(self.loads.values())
+
+
+@dataclass
+class LatencyReport:
+    """Whole-model latency at a given clock."""
+
+    layer: LayerLatency
+    num_layers: int
+    clock_mhz: float
+    config: TransformerConfig
+
+    @property
+    def total_cycles(self) -> int:
+        return self.layer.total * self.num_layers
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e3)
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_ms / 1e3
+
+    def breakdown_ms(self) -> Dict[str, float]:
+        """Per-engine milliseconds over the whole model."""
+        scale = self.num_layers / (self.clock_mhz * 1e3)
+        out = {k: v * scale for k, v in self.layer.compute.items()}
+        out.update({f"load_{k}": v * scale for k, v in self.layer.loads.items()})
+        return out
+
+
+class LatencyModel:
+    """Latency evaluator for one synthesized accelerator instance."""
+
+    def __init__(
+        self,
+        synth: SynthParams,
+        attention: AttentionModule,
+        ffn: FFNModule,
+        options: LatencyOptions | None = None,
+    ):
+        self.synth = synth
+        self.attention = attention
+        self.ffn = ffn
+        self.options = options or LatencyOptions()
+
+    # ------------------------------------------------------------------
+    def _xfer(self, nbytes: int) -> int:
+        """Cycles for one load through the shared AXI weight port."""
+        return self.options.hbm.transfer_cycles(nbytes, self.options.axi)
+
+    def _stage(self, n_tiles: int, load: int, compute: int) -> int:
+        """Total for a tiled stage under the configured buffering."""
+        phases = [TilePhase(load=load, compute=compute)] * n_tiles
+        if self.options.double_buffered:
+            return overlapped_cycles(phases).total
+        return serialized_cycles(phases).total
+
+    # ------------------------------------------------------------------
+    def layer_cycles(
+        self, seq_len: int, d_model: int, num_heads: int
+    ) -> LayerLatency:
+        """One encoder layer's full cycle breakdown."""
+        synth = self.synth
+        att = self.attention.compute_cycles(seq_len, d_model, num_heads)
+        ffn = self.ffn.compute_cycles(seq_len, d_model)
+
+        # --- MHA loads: per tile, every head's W tiles + shared X tile.
+        tiles_mha = max(1, math.ceil(d_model / synth.ts_mha))
+        w_tile = self.attention.weight_bytes_per_tile(d_model, num_heads)
+        x_tile = self.attention.input_bytes_per_tile(seq_len)
+        qkv_tile_load = num_heads * self._xfer(w_tile) + self._xfer(x_tile)
+        qkv_per_tile_compute = att["qkv"] // tiles_mha
+        qkv_stage = self._stage(tiles_mha, qkv_tile_load, qkv_per_tile_compute)
+
+        # --- FFN loads: real weight tiles only.
+        elem = (self.attention.formats.weight_bits + 7) // 8
+        t_in = max(1, math.ceil(d_model / synth.ts_ffn))
+        ffn12_tile_bytes = synth.ts_ffn * synth.ts_ffn * elem
+        ffn3_tile_bytes = 4 * synth.ts_ffn * synth.ts_ffn * elem
+        grid = self.ffn.tile_grid(d_model)
+        real = {
+            "ffn1": t_in * t_in,
+            "ffn2": t_in * max(1, math.ceil(4 * d_model / synth.ts_ffn)),
+            "ffn3": t_in * t_in,
+        }
+        stages: Dict[str, int] = {}
+        loads: Dict[str, int] = {
+            "qkv": tiles_mha * qkv_tile_load,
+        }
+        for name, tile_bytes in (("ffn1", ffn12_tile_bytes),
+                                 ("ffn2", ffn12_tile_bytes),
+                                 ("ffn3", ffn3_tile_bytes)):
+            inv = grid[name]
+            per_inv = ffn[name] // inv
+            n_loaded = min(real[name], inv)
+            load = self._xfer(tile_bytes)
+            loaded_part = self._stage(n_loaded, load, per_inv)
+            dry_part = (inv - n_loaded) * per_inv
+            stages[name] = loaded_part + dry_part
+            loads[name] = n_loaded * load
+
+        compute = {
+            "qkv": att["qkv"],
+            "qk": att["qk"],
+            "softmax": att["softmax"],
+            "sv": att["sv"],
+            "ffn1": ffn["ffn1"],
+            "ffn2": ffn["ffn2"],
+            "ffn3": ffn["ffn3"],
+            "ln": ffn["ln"],
+        }
+        total = (
+            qkv_stage
+            + att["qk"] + att["softmax"] + att["sv"]
+            + stages["ffn1"] + stages["ffn2"] + stages["ffn3"]
+            + ffn["ln"]
+        )
+        return LayerLatency(compute=compute, loads=loads, total=total)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, config: TransformerConfig, clock_mhz: float
+    ) -> LatencyReport:
+        """Latency of a runtime-programmed workload at ``clock_mhz``.
+
+        Programs a register file first so every synthesized-maximum
+        constraint is enforced exactly once, here.
+        """
+        csr = ConfigRegisterFile(self.synth)
+        csr.program(config)
+        layer = self.layer_cycles(config.seq_len, config.d_model,
+                                  config.num_heads)
+        return LatencyReport(layer=layer, num_layers=config.num_layers,
+                             clock_mhz=clock_mhz, config=config)

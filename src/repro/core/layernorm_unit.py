@@ -1,0 +1,95 @@
+"""Fixed-point layer-normalization hardware unit.
+
+Each of the two LN modules (after FFN1 and after FFN3) normalizes a
+``(SL, d_model)`` activation row-wise:
+
+1. **mean pass** — wide integer row sum, multiply by the precomputed
+   ``1/d`` constant (integer multiplier + shift);
+2. **variance pass** — sum of squared deviations (DSP squarer);
+3. **normalize pass** — rsqrt LUT of the variance, per-element scale
+   by ``gamma * rsqrt`` plus ``beta``.
+
+Residual addition happens at the unit's input (the hardware adds the
+skip path while streaming rows in), so :meth:`__call__` takes both the
+sublayer output and the residual operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fixedpoint import FxTensor, QFormat, RsqrtLUT, quantize
+from ..hls import Loop
+from .engines import DatapathFormats, layernorm_loop_nest
+
+__all__ = ["LayerNormUnit"]
+
+_GAMMA_FMT = QFormat(16, 12)
+_RSQRT_FMT = QFormat(18, 12)
+
+
+@dataclass
+class LayerNormUnit:
+    """Row-wise fixed-point layer norm with fused residual add."""
+
+    formats: DatapathFormats = field(default_factory=DatapathFormats.fix8)
+    rsqrt_lut: RsqrtLUT = field(
+        default_factory=lambda: RsqrtLUT(lo=2.0 ** -12, hi=256.0, entries=4096)
+    )
+    eps: float = 1e-5
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        x: FxTensor,
+        residual: FxTensor | None,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+    ) -> FxTensor:
+        """Normalize ``x (+ residual)`` row-wise; output in the
+        activation format."""
+        if x.raw.ndim != 2:
+            raise ValueError("layer-norm unit expects a 2-D activation")
+        val = x.to_float()
+        if residual is not None:
+            if residual.raw.shape != x.raw.shape:
+                raise ValueError("residual shape mismatch")
+            val = val + residual.to_float()
+        # Integer-pipeline equivalents: the mean/variance are exact wide
+        # sums scaled by 1/d; only the rsqrt goes through a LUT and only
+        # gamma/beta are quantized parameters.
+        mean = val.mean(axis=1, keepdims=True)
+        centered = val - mean
+        var = np.mean(centered * centered, axis=1, keepdims=True)
+        inv = quantize(self.rsqrt_lut(var + self.eps), _RSQRT_FMT) * _RSQRT_FMT.scale
+        g = quantize(np.asarray(gamma, dtype=np.float64), _GAMMA_FMT) * _GAMMA_FMT.scale
+        b = quantize(np.asarray(beta, dtype=np.float64), _GAMMA_FMT) * _GAMMA_FMT.scale
+        out = centered * inv * g + b
+        return FxTensor.from_float(out, self.formats.activation)
+
+    def reference(
+        self,
+        x: FxTensor,
+        residual: FxTensor | None,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+    ) -> np.ndarray:
+        """Float layer norm of the dequantized inputs."""
+        val = x.to_float()
+        if residual is not None:
+            val = val + residual.to_float()
+        mean = val.mean(axis=1, keepdims=True)
+        var = val.var(axis=1, keepdims=True)
+        return gamma * (val - mean) / np.sqrt(var + self.eps) + beta
+
+    # ------------------------------------------------------------------
+    def loop_nest(self, rows: int, row_len: int) -> Loop:
+        """Cycle-model loop nest (three pipelined passes per row)."""
+        return layernorm_loop_nest(rows, row_len)
+
+    @property
+    def dsps(self) -> int:
+        """Six DSPs: squarer pair, rsqrt scale pair, gamma-scale pair."""
+        return 6

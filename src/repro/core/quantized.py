@@ -1,0 +1,117 @@
+"""Quantized weight containers: the golden encoder, deployed.
+
+The deployment flow quantizes every weight tensor independently
+(per-tensor fractional-bit calibration) into the accelerator's weight
+width.  These containers are what the LOAD instructions stream into the
+on-chip buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..fixedpoint import FxTensor, calibrate_format
+from ..nn.encoder import Encoder, EncoderLayer
+from ..nn.linear import Linear
+from .engines import DatapathFormats
+
+__all__ = ["QuantizedLinear", "QuantizedLayer", "QuantizedEncoder"]
+
+
+@dataclass
+class QuantizedLinear:
+    """A linear layer's weight/bias as calibrated fixed-point tensors."""
+
+    weight: FxTensor
+    bias: FxTensor
+
+    @classmethod
+    def from_linear(cls, lin: Linear, weight_bits: int) -> "QuantizedLinear":
+        wfmt = calibrate_format(lin.weight, total_bits=weight_bits)
+        bfmt = calibrate_format(lin.bias, total_bits=max(16, weight_bits))
+        return cls(
+            weight=FxTensor.from_float(lin.weight, wfmt),
+            bias=FxTensor.from_float(lin.bias, bfmt),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Off-chip footprint of the weights (bias registers excluded)."""
+        return self.weight.raw.size * ((self.weight.fmt.total_bits + 7) // 8)
+
+
+@dataclass
+class QuantizedLayer:
+    """One encoder layer's weights in deployment form."""
+
+    wq: List[QuantizedLinear]
+    wk: List[QuantizedLinear]
+    wv: List[QuantizedLinear]
+    wo: QuantizedLinear
+    w1: QuantizedLinear
+    w2: QuantizedLinear
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+    activation: str
+
+    @classmethod
+    def from_layer(cls, layer: EncoderLayer, weight_bits: int) -> "QuantizedLayer":
+        q = lambda lin: QuantizedLinear.from_linear(lin, weight_bits)  # noqa: E731
+        return cls(
+            wq=[q(l) for l in layer.attention.wq],
+            wk=[q(l) for l in layer.attention.wk],
+            wv=[q(l) for l in layer.attention.wv],
+            wo=q(layer.attention.wo),
+            w1=q(layer.ffn.w1),
+            w2=q(layer.ffn.w2),
+            ln1_gamma=np.asarray(layer.ln1_gamma, dtype=np.float64),
+            ln1_beta=np.asarray(layer.ln1_beta, dtype=np.float64),
+            ln2_gamma=np.asarray(layer.ln2_gamma, dtype=np.float64),
+            ln2_beta=np.asarray(layer.ln2_beta, dtype=np.float64),
+            activation=layer.ffn.activation,
+        )
+
+    @property
+    def num_heads(self) -> int:
+        return len(self.wq)
+
+    @property
+    def d_model(self) -> int:
+        return self.wq[0].weight.raw.shape[0]
+
+    def weight_bytes(self) -> int:
+        """Total off-chip weight traffic for this layer."""
+        total = sum(q.nbytes for q in (*self.wq, *self.wk, *self.wv))
+        total += self.wo.nbytes + self.w1.nbytes + self.w2.nbytes
+        return total
+
+
+@dataclass
+class QuantizedEncoder:
+    """The full deployed model."""
+
+    layers: List[QuantizedLayer]
+    formats: DatapathFormats
+
+    @classmethod
+    def from_encoder(
+        cls, encoder: Encoder, formats: DatapathFormats | None = None
+    ) -> "QuantizedEncoder":
+        formats = formats or DatapathFormats.fix8()
+        return cls(
+            layers=[QuantizedLayer.from_layer(l, formats.weight_bits)
+                    for l in encoder.layers],
+            formats=formats,
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def weight_bytes(self) -> int:
+        return sum(l.weight_bytes() for l in self.layers)

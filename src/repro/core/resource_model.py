@@ -1,0 +1,87 @@
+"""Whole-accelerator resource model and device-fit analysis.
+
+Reproduces the paper's Table I utilization row and its design
+discussion: "The design achieved high resource utilization, with 40% of
+DSPs and 76% of LUTs in use.  Further DSP utilization was limited by
+the available LUTs, and the optimal number of parallel attention heads
+was determined to be 8 on the Alveo U55C to avoid overutilization by
+the QKV_CE engine."  :func:`max_parallel_heads` recomputes that "8".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..fpga.device import FPGADevice, OverUtilizationError, Utilization
+from ..hls import ResourceEstimate, static_infrastructure
+from ..isa.controller import SynthParams
+from .attention_module import AttentionModule
+from .engines import DatapathFormats
+from .ffn_module import FFNModule
+
+__all__ = [
+    "accelerator_resources",
+    "device_utilization",
+    "max_parallel_heads",
+]
+
+
+def accelerator_resources(
+    synth: SynthParams,
+    formats: Optional[DatapathFormats] = None,
+) -> ResourceEstimate:
+    """Full-design resource estimate for one set of synthesis params."""
+    formats = formats or DatapathFormats.fix8()
+    attention = AttentionModule(synth, formats)
+    ffn = FFNModule(synth, formats)
+    return attention.resources() + ffn.resources() + static_infrastructure()
+
+
+def device_utilization(
+    synth: SynthParams,
+    device: FPGADevice,
+    formats: Optional[DatapathFormats] = None,
+    enforce: bool = True,
+    limit_pct: float = 100.0,
+) -> Utilization:
+    """Utilization of ``synth`` on ``device`` (optionally enforcing fit)."""
+    est = accelerator_resources(synth, formats)
+    used = est.as_dict()
+    if enforce:
+        device.check_fit(used, limit_pct=limit_pct)
+    return device.utilization(used)
+
+
+def max_parallel_heads(
+    synth: SynthParams,
+    device: FPGADevice,
+    formats: Optional[DatapathFormats] = None,
+    limit_pct: float = 85.0,
+    search_up_to: int = 32,
+) -> int:
+    """Largest ``max_heads`` whose QKV engine replication still fits.
+
+    Sweeps the head count holding everything else fixed; the binding
+    resource on the U55C is LUTs (per-PE control logic), exactly as the
+    paper reports.  ``limit_pct`` defaults to 85% — the practical LUT
+    ceiling for closing timing at 200 MHz on an UltraScale+ SLR; above
+    it routing congestion collapses Fmax (which is what the paper means
+    by "avoid overutilization by the QKV_CE engine").
+    """
+    best = 0
+    for h in range(1, search_up_to + 1):
+        if synth.max_d_model % h:
+            continue
+        candidate = replace(synth, max_heads=h)
+        try:
+            device_utilization(candidate, device, formats,
+                               enforce=True, limit_pct=limit_pct)
+        except OverUtilizationError:
+            break
+        best = h
+    if best == 0:
+        raise OverUtilizationError(
+            f"no head count fits {device.name} with these tile sizes"
+        )
+    return best

@@ -1,0 +1,86 @@
+"""Fixed-point softmax hardware unit.
+
+"The softmax function, implemented in HLS, utilizes LUTs and flip-flops
+to compute the result" (Section IV-A2).  The unit works row-wise in
+three pipelined passes:
+
+1. **max pass** — integer row maximum (exact);
+2. **exp pass** — subtract the max (exact in the score format), look
+   up ``exp`` in a sampled table, accumulate the sum in a wide
+   register;
+3. **normalize pass** — reciprocal lookup of the sum, one multiply per
+   element, output quantized to the probability format.
+
+The LUT outputs themselves are quantized (the tables store fixed-point
+codes), so the whole unit is a deterministic integer pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fixedpoint import ExpLUT, FxTensor, QFormat, ReciprocalLUT, quantize
+from ..hls import Loop
+from .engines import DatapathFormats, softmax_loop_nest
+
+__all__ = ["SoftmaxUnit"]
+
+#: Internal format of tabulated exp values (sub-unit, fine resolution).
+_EXP_FMT = QFormat(16, 15)
+#: Internal format of the row-sum reciprocal.
+_RECIP_FMT = QFormat(18, 16)
+
+
+@dataclass
+class SoftmaxUnit:
+    """One per-head softmax unit (LUT-based, fixed point)."""
+
+    formats: DatapathFormats = field(default_factory=DatapathFormats.fix8)
+    exp_lut: ExpLUT = field(default_factory=lambda: ExpLUT(entries=512))
+    recip_lut: ReciprocalLUT = field(
+        default_factory=lambda: ReciprocalLUT(lo=0.5, hi=1024.0, entries=2048)
+    )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+    def __call__(self, scores: FxTensor) -> FxTensor:
+        """Row-wise softmax of a ``(rows, cols)`` score tensor."""
+        raw = scores.raw
+        if raw.ndim != 2:
+            raise ValueError("softmax unit expects a 2-D score matrix")
+        # Pass 1: integer row max (exact).
+        row_max = raw.max(axis=1, keepdims=True)
+        shifted = (raw - row_max) * scores.fmt.scale  # real-valued, <= 0
+        # Pass 2: exp LUT (table stores _EXP_FMT codes) + wide-sum.
+        exp_codes = quantize(self.exp_lut(shifted), _EXP_FMT)
+        row_sum = exp_codes.sum(axis=1, keepdims=True) * _EXP_FMT.scale
+        # Pass 3: reciprocal LUT + one multiply per element.
+        recip_codes = quantize(self.recip_lut(row_sum), _RECIP_FMT)
+        probs = (exp_codes * _EXP_FMT.scale) * (recip_codes * _RECIP_FMT.scale)
+        return FxTensor.from_float(probs, self.formats.prob)
+
+    def reference(self, scores: FxTensor) -> np.ndarray:
+        """Float softmax of the dequantized scores (accuracy baseline)."""
+        x = scores.to_float()
+        shifted = x - x.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def max_abs_error(self, scores: FxTensor) -> float:
+        """Worst-case deviation of the unit vs. float softmax."""
+        return float(np.max(np.abs(self(scores).to_float() - self.reference(scores))))
+
+    # ------------------------------------------------------------------
+    # Hardware model
+    # ------------------------------------------------------------------
+    def loop_nest(self, rows: int, row_len: int) -> Loop:
+        """Cycle-model loop nest (three pipelined passes per row)."""
+        return softmax_loop_nest(rows, row_len)
+
+    @property
+    def dsps(self) -> int:
+        """Two DSPs per unit: normalization multiply + reciprocal scale."""
+        return 2

@@ -1,0 +1,146 @@
+"""Tiling strategies for MHA and FFN weight matrices (Figs. 5 & 6).
+
+**MHA tiling** (Fig. 5): the per-head weight matrices are stored
+transposed as ``(d_k, d_model)`` and tiled *only along the second
+dimension* (the ``d_model`` reduction axis) into ``d_model/TS_MHA``
+column tiles; the input buffer is tiled the same way.  Each iteration
+multiplies one input tile ``(SL, TS)`` with one weight tile ``(TS,
+d_k)`` and accumulates: "the final output is the cumulative sum of the
+results computed across all tiles".
+
+**FFN tiling** (Fig. 6): weight matrices are tiled along *both*
+dimensions into ``TS_FFN x TS_FFN`` blocks; for every output-column
+tile the engine sweeps the reduction (row) tiles and accumulates, then
+moves to the next output tile — "results are first accumulated along
+the columns, followed by accumulation along the rows".
+
+Both iterators yield views (no copies) in the exact order the
+controller issues LOAD/RUN instructions, so the functional engines and
+the instruction compiler agree on tile identity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TileIndex",
+    "Tile2D",
+    "num_tiles",
+    "iter_reduction_tiles",
+    "iter_tiles_2d",
+    "tiled_matmul_mha",
+    "tiled_matmul_ffn",
+]
+
+
+@dataclass(frozen=True)
+class TileIndex:
+    """Identity of one 1-D (reduction) tile."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class Tile2D:
+    """Identity of one 2-D FFN tile (reduction row-block x output col-block)."""
+
+    row: int
+    col: int
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    @property
+    def linear(self) -> int:
+        """Row-major linear index (matches the instruction encoding)."""
+        return self.row * 10**6 + self.col  # unique, order-preserving per row
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.row_stop - self.row_start, self.col_stop - self.col_start)
+
+
+def num_tiles(extent: int, tile: int) -> int:
+    """Tiles needed to cover ``extent`` with stride ``tile``."""
+    if extent < 1 or tile < 1:
+        raise ValueError("extent and tile must be positive")
+    return math.ceil(extent / tile)
+
+
+def iter_reduction_tiles(extent: int, tile: int) -> Iterator[TileIndex]:
+    """1-D tile sweep along a reduction axis of length ``extent``."""
+    for i in range(num_tiles(extent, tile)):
+        yield TileIndex(index=i, start=i * tile, stop=min((i + 1) * tile, extent))
+
+
+def iter_tiles_2d(
+    rows: int, cols: int, tile_rows: int, tile_cols: int
+) -> Iterator[Tile2D]:
+    """2-D tile sweep: output-column-major, reduction rows inner.
+
+    Iteration order (col block outer, row block inner) matches Fig. 6:
+    for each output tile, all reduction tiles are accumulated before
+    moving on.
+    """
+    for c in range(num_tiles(cols, tile_cols)):
+        for r in range(num_tiles(rows, tile_rows)):
+            yield Tile2D(
+                row=r,
+                col=c,
+                row_start=r * tile_rows,
+                row_stop=min((r + 1) * tile_rows, rows),
+                col_start=c * tile_cols,
+                col_stop=min((c + 1) * tile_cols, cols),
+            )
+
+
+def tiled_matmul_mha(
+    x: np.ndarray, w: np.ndarray, ts_mha: int
+) -> np.ndarray:
+    """Reference float tiled matmul with MHA (reduction-only) tiling.
+
+    ``x`` is ``(SL, d_model)``, ``w`` is ``(d_model, d_k)``.  Exactly
+    equivalent to ``x @ w`` — the point of the function (and its tests)
+    is that the tile-accumulation order of Fig. 5 is lossless.
+    """
+    sl, d_model = x.shape
+    if w.shape[0] != d_model:
+        raise ValueError("reduction dimensions disagree")
+    acc = np.zeros((sl, w.shape[1]), dtype=np.float64)
+    for t in iter_reduction_tiles(d_model, ts_mha):
+        acc += x[:, t.start:t.stop] @ w[t.start:t.stop, :]
+    return acc
+
+
+def tiled_matmul_ffn(
+    x: np.ndarray, w: np.ndarray, ts_ffn: int, ts_out: int | None = None
+) -> np.ndarray:
+    """Reference float tiled matmul with FFN (2-D) tiling.
+
+    ``x`` is ``(SL, d_in)``, ``w`` is ``(d_in, d_out)``; tiles are
+    ``ts_ffn`` tall (reduction) and ``ts_out`` wide (defaults to
+    ``ts_ffn`` — square tiles as in the paper).
+    """
+    ts_out = ts_ffn if ts_out is None else ts_out
+    sl, d_in = x.shape
+    if w.shape[0] != d_in:
+        raise ValueError("reduction dimensions disagree")
+    out = np.zeros((sl, w.shape[1]), dtype=np.float64)
+    for t in iter_tiles_2d(d_in, w.shape[1], ts_ffn, ts_out):
+        out[:, t.col_start:t.col_stop] += (
+            x[:, t.row_start:t.row_stop] @ w[t.row_start:t.row_stop,
+                                             t.col_start:t.col_stop]
+        )
+    return out

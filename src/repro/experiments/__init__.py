@@ -1,0 +1,24 @@
+"""Experiment regenerators — one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — runtime programmability (Table I).
+* :mod:`repro.experiments.table2` — FPGA accelerator comparison
+  (Table II) incl. sparsity what-ifs.
+* :mod:`repro.experiments.table3` — cross-platform comparison
+  (Table III).
+* :mod:`repro.experiments.figure7` — tile-size sweep (Fig. 7).
+
+Each exposes ``run() -> ExperimentResult`` and ``render() -> str``.
+"""
+
+from . import figure7, table1, table2, table3
+from .common import ExperimentResult, default_accelerator, relative_error
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "figure7",
+    "ExperimentResult",
+    "default_accelerator",
+    "relative_error",
+]

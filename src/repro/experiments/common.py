@@ -1,0 +1,51 @@
+"""Shared experiment scaffolding.
+
+Every experiment module exposes ``run() -> ExperimentResult`` (pure
+data) and ``render(result) -> str`` (the paper-style table with a
+"paper" column beside each measured one), so the benchmarks can time
+``run`` and print ``render``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Sequence
+
+from ..core.accelerator import ProTEA
+from ..isa.controller import SynthParams
+
+__all__ = ["ExperimentResult", "default_accelerator", "relative_error"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + headers of one regenerated table/figure."""
+
+    name: str
+    headers: List[str]
+    rows: List[Sequence]
+    notes: List[str] = field(default_factory=list)
+    series: Dict[str, list] = field(default_factory=dict)
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+@lru_cache(maxsize=1)
+def default_accelerator() -> ProTEA:
+    """The evaluation instance: published tile sizes on the U55C.
+
+    Cached because synthesis (resource + timing evaluation) is the
+    expensive step, exactly as in the real flow.
+    """
+    return ProTEA.synthesize(SynthParams())
+
+
+def relative_error(measured: float, paper: float) -> float:
+    """Signed relative deviation of a measured value from the paper's."""
+    if paper == 0:
+        raise ValueError("paper value is zero; relative error undefined")
+    return (measured - paper) / paper

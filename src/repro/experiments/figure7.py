@@ -1,0 +1,87 @@
+"""Figure 7 — choosing the optimum tile size.
+
+Sweeps the number of tiles in MHA over {6, 12, 48} and, for each, the
+number of tiles in FFN over {2..6}; reports the achieved frequency and
+the latency normalized to the sweep minimum — the two y-axes of Fig. 7.
+
+Published headline: the optimum is **12 tiles in MHA and 6 tiles in
+FFN**, reaching 200 MHz; both the frequency maximum and the latency
+minimum coincide there.  ``run()`` asserts nothing — the figure's
+checks live in ``tests/experiments`` and ``benchmarks``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..analysis.tables import render_table
+from ..core.design_space import find_optimum, tile_size_sweep
+from .common import ExperimentResult
+
+__all__ = ["run", "render", "main", "PAPER_OPTIMUM"]
+
+#: Published optimum: (tiles_mha, tiles_ffn, fmax_MHz).
+PAPER_OPTIMUM: Tuple[int, int, float] = (12, 6, 200.0)
+
+
+def run() -> ExperimentResult:
+    """Regenerate the Fig. 7 grid."""
+    points = tile_size_sweep()
+    rows = [
+        (p.tiles_mha, p.tiles_ffn, p.ts_mha, p.ts_ffn,
+         round(p.fmax_mhz, 1), round(p.latency_ms, 2),
+         round(p.normalized_latency, 3), p.dsps)
+        for p in points
+    ]
+    best_freq, best_lat = find_optimum(points)
+    series: Dict[str, list] = {}
+    for p in points:
+        series.setdefault(f"freq_mha{p.tiles_mha}", []).append(
+            (p.tiles_ffn, p.fmax_mhz))
+        series.setdefault(f"latency_mha{p.tiles_mha}", []).append(
+            (p.tiles_ffn, p.normalized_latency))
+    notes = [
+        f"highest frequency: {best_freq.tiles_mha} MHA tiles / "
+        f"{best_freq.tiles_ffn} FFN tiles @ {best_freq.fmax_mhz:.0f} MHz",
+        f"lowest latency:    {best_lat.tiles_mha} MHA tiles / "
+        f"{best_lat.tiles_ffn} FFN tiles @ {best_lat.latency_ms:.1f} ms",
+        f"paper optimum:     {PAPER_OPTIMUM[0]} MHA tiles / "
+        f"{PAPER_OPTIMUM[1]} FFN tiles @ {PAPER_OPTIMUM[2]:.0f} MHz",
+    ]
+    return ExperimentResult(
+        name="Figure 7 — tile-size sweep (frequency & normalized latency)",
+        headers=["tiles_MHA", "tiles_FFN", "TS_MHA", "TS_FFN",
+                 "fmax_MHz", "latency_ms", "norm_latency", "DSPs"],
+        rows=rows,
+        notes=notes,
+        series=series,
+    )
+
+
+def render(result: ExperimentResult | None = None) -> str:
+    result = result or run()
+    table = render_table(result.headers, result.rows, title=result.name)
+    return table + "\n" + "\n".join(f"  {n}" for n in result.notes)
+
+
+def ascii_plot(result: ExperimentResult | None = None, width: int = 60) -> str:
+    """Poor-man's Fig. 7: frequency bars per (MHA, FFN) tile pair."""
+    result = result or run()
+    lines: List[str] = ["fmax (MHz) by tiles_FFN, one block per tiles_MHA:"]
+    fmax_col = result.column("fmax_MHz")
+    peak = max(fmax_col)
+    for row in result.rows:
+        tiles_mha, tiles_ffn, _, _, fmax = row[:5]
+        bar = "#" * max(1, int(width * fmax / peak))
+        lines.append(f"MHA={tiles_mha:2d} FFN={tiles_ffn}: {bar} {fmax:.0f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+    print()
+    print(ascii_plot())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,113 @@
+"""Table III — cross-platform comparison (CPUs, GPUs, ProTEA).
+
+Four TNN models (#1–#4, hyper-parameters from the cited works) run on:
+
+* the published base platform (CPU or GPU) — the anchored roofline
+  model reproduces the published latency on the anchor workload by
+  construction;
+* any additional published platform for that row;
+* ProTEA — *measured* on our simulated instance, reprogrammed per model
+  at runtime (no resynthesis between rows: that is the paper's point).
+
+The speed-up column is relative to each row's base platform, exactly
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.metrics import speedup
+from ..analysis.tables import render_table
+from ..baselines.cpu import intel_i5_4460, intel_i5_5257u
+from ..baselines.gpu import jetson_tx2, rtx_3060, titan_xp_hep, titan_xp_nlp
+from ..core.runtime import RuntimeSession
+from ..nn.model_zoo import get_model
+from .common import ExperimentResult, default_accelerator
+
+__all__ = ["run", "render", "main", "PAPER_TABLE3"]
+
+#: Published rows: model → [(platform, freq_GHz, latency_ms, speedup)].
+PAPER_TABLE3 = {
+    "#1": [("Intel i5-5257U CPU", 2.7, 3.54, 1.0),
+           ("Jetson TX2 GPU", 1.3, 0.673, 5.3),
+           ("ProTEA (FPGA)", 0.2, 4.48, 0.79)],
+    "#2": [("NVIDIA Titan XP GPU", 1.4, 1.062, 1.0),
+           ("ProTEA (FPGA)", 0.2, 0.425, 2.5)],
+    "#3": [("Intel i5-4460 CPU", 3.2, 4.66, 1.0),
+           ("NVIDIA RTX 3060 GPU", 1.3, 0.71, 6.5),
+           ("ProTEA (FPGA)", 0.2, 5.18, 0.89)],
+    "#4": [("NVIDIA Titan XP GPU", 1.4, 147.0, 1.0),
+           ("ProTEA (FPGA)", 0.2, 9.12, 16.0)],
+}
+
+#: model id → (zoo key, [platform models], citation)
+_ROWS = [
+    ("#1", "model1-peng-isqed21",
+     [intel_i5_5257u, jetson_tx2], "[21]"),
+    ("#2", "model2-lhc-trigger",
+     [titan_xp_hep], "[23]"),
+    ("#3", "model3-efa-trans",
+     [intel_i5_4460, rtx_3060], "[25]"),
+    ("#4", "model4-qi-iccad21",
+     [titan_xp_nlp], "[28]"),
+]
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table III."""
+    accel = default_accelerator()
+    session = RuntimeSession(accel)
+    rows: List[tuple] = []
+    notes: List[str] = []
+    for model_id, zoo_key, platform_factories, citation in _ROWS:
+        cfg = get_model(zoo_key)
+        base_ms = None
+        for factory in platform_factories:
+            platform = factory()
+            ms = platform.latency_ms(cfg)
+            if base_ms is None:
+                base_ms = ms
+                su = 1.0
+            else:
+                su = speedup(base_ms, ms)
+            rows.append((model_id, citation, platform.name,
+                         platform.frequency_ghz, round(ms, 3),
+                         round(su, 2)))
+        protea_ms = session.latency_ms(cfg)
+        assert base_ms is not None
+        rows.append((model_id, citation, "ProTEA (FPGA, ours)",
+                     accel.clock_mhz / 1000.0, round(protea_ms, 3),
+                     round(speedup(base_ms, protea_ms), 2)))
+        paper_protea = PAPER_TABLE3[model_id][-1]
+        notes.append(
+            f"{model_id}: paper ProTEA {paper_protea[2]} ms "
+            f"({paper_protea[3]}x vs base); ours {protea_ms:.3f} ms "
+            f"({speedup(base_ms, protea_ms):.2f}x)"
+        )
+    notes.append(
+        f"single synthesized instance reprogrammed "
+        f"{session.reprogram_count} times, resynthesized "
+        f"{session.resynthesis_count} times"
+    )
+    return ExperimentResult(
+        name="Table III — cross-platform comparison",
+        headers=["model", "work", "platform", "freq_GHz", "latency_ms",
+                 "speedup_vs_base"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def render(result: ExperimentResult | None = None) -> str:
+    result = result or run()
+    table = render_table(result.headers, result.rows, title=result.name)
+    return table + "\n" + "\n".join(f"  {n}" for n in result.notes)
+
+
+def main() -> None:  # pragma: no cover
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,29 @@
+"""FPGA device capacity models (Alveo U55C and the comparison parts)."""
+
+from .device import FPGADevice, OverUtilizationError, Utilization
+from .power import GPU_CPU_TDP_W, PowerModel, PowerReport
+from .parts import (
+    ALVEO_U200,
+    ALVEO_U250,
+    ALVEO_U55C,
+    PART_CATALOG,
+    VCU118,
+    ZCU102,
+    get_part,
+)
+
+__all__ = [
+    "PowerModel",
+    "PowerReport",
+    "GPU_CPU_TDP_W",
+    "FPGADevice",
+    "Utilization",
+    "OverUtilizationError",
+    "ALVEO_U55C",
+    "ALVEO_U200",
+    "ALVEO_U250",
+    "ZCU102",
+    "VCU118",
+    "PART_CATALOG",
+    "get_part",
+]

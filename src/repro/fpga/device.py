@@ -1,0 +1,93 @@
+"""FPGA device resource models.
+
+A device is a budget of DSP slices, logic LUTs, flip-flops, BRAM18K
+blocks and URAM blocks, plus its off-chip memory system.  The resource
+model in :mod:`repro.core.resource_model` checks a synthesized design
+against this budget and computes the utilization percentages of
+Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["FPGADevice", "Utilization", "OverUtilizationError"]
+
+
+class OverUtilizationError(RuntimeError):
+    """Raised when a design does not fit the targeted device."""
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity model of one FPGA card/part.
+
+    Attributes
+    ----------
+    dsp, lut, ff:
+        DSP48 slices, logic LUTs, flip-flops.
+    bram18k:
+        Number of 18 Kbit block-RAM units (a BRAM36 counts as two).
+    uram:
+        288 Kbit UltraRAM blocks (0 on parts without URAM).
+    hbm_bandwidth_gbps:
+        Aggregate off-chip bandwidth in GB/s (HBM2 or DDR).
+    hbm_channels:
+        Independent memory channels (HBM pseudo-channels or DDR banks).
+    default_clock_mhz:
+        Typical achievable kernel clock for HLS designs on this part.
+    """
+
+    name: str
+    dsp: int
+    lut: int
+    ff: int
+    bram18k: int
+    uram: int
+    hbm_bandwidth_gbps: float
+    hbm_channels: int
+    default_clock_mhz: float = 200.0
+
+    def capacity(self, resource: str) -> int:
+        """Budget for ``resource`` ('dsp' | 'lut' | 'ff' | 'bram18k' | 'uram')."""
+        try:
+            return int(getattr(self, resource))
+        except AttributeError:
+            raise KeyError(f"unknown resource {resource!r}") from None
+
+    def utilization(self, used: Dict[str, int]) -> "Utilization":
+        """Percent utilization of each resource in ``used``."""
+        pct = {
+            res: 100.0 * amount / self.capacity(res)
+            for res, amount in used.items()
+            if self.capacity(res) > 0
+        }
+        return Utilization(device=self.name, used=dict(used), percent=pct)
+
+    def check_fit(self, used: Dict[str, int], limit_pct: float = 100.0) -> None:
+        """Raise :class:`OverUtilizationError` if any resource exceeds
+        ``limit_pct`` percent of the device budget."""
+        util = self.utilization(used)
+        over = {r: p for r, p in util.percent.items() if p > limit_pct}
+        if over:
+            detail = ", ".join(f"{r}={p:.1f}%" for r, p in sorted(over.items()))
+            raise OverUtilizationError(
+                f"design exceeds {limit_pct:.0f}% of {self.name}: {detail}"
+            )
+
+
+@dataclass(frozen=True)
+class Utilization:
+    """Absolute and percent resource usage on a specific device."""
+
+    device: str
+    used: Dict[str, int]
+    percent: Dict[str, float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            f"{r}={self.used[r]} ({self.percent.get(r, 0.0):.0f}%)"
+            for r in sorted(self.used)
+        ]
+        return f"[{self.device}] " + ", ".join(parts)

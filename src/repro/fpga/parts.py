@@ -1,0 +1,106 @@
+"""Catalog of the FPGA parts appearing in the paper's tables.
+
+Capacities are taken from the public Xilinx/AMD data sheets:
+
+* Alveo U55C  — XCU55C (Virtex UltraScale+ HBM2): 9,024 DSP, 1,304K LUT,
+  2,607K FF, 2,016 BRAM18K, 960 URAM, 16 GB HBM2 @ 460 GB/s.
+* Alveo U200  — XCU200: 6,840 DSP, 1,182K LUT, 2,364K FF, 4,320 BRAM18K,
+  960 URAM, 4x DDR4 @ 77 GB/s.
+* Alveo U250  — XCU250: 12,288 DSP, 1,728K LUT, 3,456K FF, 5,376 BRAM18K,
+  1,280 URAM, DDR4 @ 77 GB/s.
+* ZCU102      — XCZU9EG: 2,520 DSP, 274K LUT, 548K FF, 1,824 BRAM18K,
+  0 URAM, DDR4 @ 19 GB/s.
+* VCU118      — XCVU9P: 6,840 DSP, 1,182K LUT, 2,364K FF, 4,320 BRAM18K,
+  960 URAM, DDR4 @ 38 GB/s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .device import FPGADevice
+
+__all__ = [
+    "ALVEO_U55C",
+    "ALVEO_U200",
+    "ALVEO_U250",
+    "ZCU102",
+    "VCU118",
+    "PART_CATALOG",
+    "get_part",
+]
+
+ALVEO_U55C = FPGADevice(
+    name="Alveo U55C",
+    dsp=9024,
+    lut=1303680,
+    ff=2607360,
+    bram18k=2016,
+    uram=960,
+    hbm_bandwidth_gbps=460.0,
+    hbm_channels=32,
+    default_clock_mhz=200.0,
+)
+
+ALVEO_U200 = FPGADevice(
+    name="Alveo U200",
+    dsp=6840,
+    lut=1182240,
+    ff=2364480,
+    bram18k=4320,
+    uram=960,
+    hbm_bandwidth_gbps=77.0,
+    hbm_channels=4,
+    default_clock_mhz=200.0,
+)
+
+ALVEO_U250 = FPGADevice(
+    name="Alveo U250",
+    dsp=12288,
+    lut=1728000,
+    ff=3456000,
+    bram18k=5376,
+    uram=1280,
+    hbm_bandwidth_gbps=77.0,
+    hbm_channels=4,
+    default_clock_mhz=200.0,
+)
+
+ZCU102 = FPGADevice(
+    name="ZCU102",
+    dsp=2520,
+    lut=274080,
+    ff=548160,
+    bram18k=1824,
+    uram=0,
+    hbm_bandwidth_gbps=19.0,
+    hbm_channels=1,
+    default_clock_mhz=200.0,
+)
+
+VCU118 = FPGADevice(
+    name="VCU118",
+    dsp=6840,
+    lut=1182240,
+    ff=2364480,
+    bram18k=4320,
+    uram=960,
+    hbm_bandwidth_gbps=38.0,
+    hbm_channels=2,
+    default_clock_mhz=200.0,
+)
+
+PART_CATALOG: Dict[str, FPGADevice] = {
+    dev.name: dev
+    for dev in (ALVEO_U55C, ALVEO_U200, ALVEO_U250, ZCU102, VCU118)
+}
+
+
+def get_part(name: str) -> FPGADevice:
+    """Look up a device by catalog name (raises with available names)."""
+    try:
+        return PART_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown part {name!r}; available: {sorted(PART_CATALOG)}"
+        ) from None

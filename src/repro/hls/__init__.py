@@ -1,0 +1,63 @@
+"""Mini-HLS substrate: pragmas, loop-nest IR, scheduler, arrays, timing.
+
+This package stands in for Vitis HLS in the reproduction: the ProTEA
+engines (``repro.core``) are described as pragma-annotated loop nests,
+and this package turns them into cycle counts
+(:func:`~repro.hls.scheduler.schedule_loop`), resource estimates
+(:func:`~repro.hls.resources.estimate_loop_resources`) and an
+achievable clock (:class:`~repro.hls.timing.TimingModel`).
+"""
+
+from .arrays import (
+    ArraySpec,
+    BankBinding,
+    LUTRAM_THRESHOLD_BITS,
+    PortConflictError,
+    fully_partitioned,
+    total_binding,
+)
+from .loopnest import MAC_STATEMENT, Body, Loop, Statement, walk_statements
+from .pragmas import ArrayPartition, PartitionKind, Pipeline, Unroll
+from .resources import (
+    FF_PER_BANK,
+    FF_PER_PE,
+    LUT_PER_BANK_MUX,
+    LUT_PER_PE,
+    ResourceEstimate,
+    estimate_loop_resources,
+    static_infrastructure,
+)
+from .scheduler import LoopSchedule, schedule_body, schedule_loop
+from .timing import DEFAULT_TIMING, EnginePath, TimingModel, tile_regularity
+
+__all__ = [
+    "Pipeline",
+    "Unroll",
+    "ArrayPartition",
+    "PartitionKind",
+    "Statement",
+    "Loop",
+    "Body",
+    "MAC_STATEMENT",
+    "walk_statements",
+    "LoopSchedule",
+    "schedule_loop",
+    "schedule_body",
+    "ArraySpec",
+    "BankBinding",
+    "PortConflictError",
+    "LUTRAM_THRESHOLD_BITS",
+    "fully_partitioned",
+    "total_binding",
+    "ResourceEstimate",
+    "estimate_loop_resources",
+    "static_infrastructure",
+    "LUT_PER_PE",
+    "FF_PER_PE",
+    "LUT_PER_BANK_MUX",
+    "FF_PER_BANK",
+    "TimingModel",
+    "EnginePath",
+    "DEFAULT_TIMING",
+    "tile_regularity",
+]

@@ -1,0 +1,96 @@
+"""HLS pragma descriptors.
+
+The paper's engines are written as C loop nests annotated with
+``#pragma HLS pipeline II=1``, ``#pragma HLS unroll`` and
+``#pragma HLS array_partition``.  These dataclasses are the IR-level
+equivalents consumed by :mod:`repro.hls.scheduler` and
+:mod:`repro.hls.arrays`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["Pipeline", "Unroll", "PartitionKind", "ArrayPartition"]
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """``#pragma HLS pipeline II=<ii>``.
+
+    ``ii`` is the initiation interval: a new loop iteration starts every
+    ``ii`` cycles once the pipeline is full.  HLS fully unrolls all
+    loops nested inside a pipelined loop — the scheduler reproduces
+    that behaviour.  ``off=True`` models ``#pragma HLS pipeline off``
+    (the paper puts it on every outer row loop), which forces purely
+    sequential iteration.
+    """
+
+    ii: int = 1
+    off: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise ValueError("initiation interval must be >= 1")
+
+
+@dataclass(frozen=True)
+class Unroll:
+    """``#pragma HLS unroll [factor=<f>]``.
+
+    ``factor=None`` means complete unrolling (every iteration becomes a
+    parallel hardware copy — this is what creates the PE arrays).
+    """
+
+    factor: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.factor is not None and self.factor < 1:
+            raise ValueError("unroll factor must be >= 1")
+
+    def instances(self, trip: int) -> int:
+        """Parallel copies produced for a loop of ``trip`` iterations."""
+        if self.factor is None:
+            return trip
+        return min(self.factor, trip)
+
+
+class PartitionKind(Enum):
+    """``array_partition`` variants."""
+
+    CYCLIC = "cyclic"
+    BLOCK = "block"
+    COMPLETE = "complete"
+
+
+@dataclass(frozen=True)
+class ArrayPartition:
+    """``#pragma HLS array_partition variable=x <kind> factor=<f> dim=<d>``.
+
+    ``dim`` is 1-based as in HLS (0 means "all dims" for COMPLETE).
+    """
+
+    kind: PartitionKind = PartitionKind.CYCLIC
+    factor: int = 1
+    dim: int = 1
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError("partition factor must be >= 1")
+        if self.dim < 0:
+            raise ValueError("dim must be >= 0")
+
+    def banks(self, shape: tuple) -> int:
+        """Number of physical banks this partition creates for ``shape``."""
+        if self.kind is PartitionKind.COMPLETE:
+            if self.dim == 0:
+                out = 1
+                for s in shape:
+                    out *= int(s)
+                return out
+            return int(shape[self.dim - 1])
+        if self.dim == 0:
+            raise ValueError("dim=0 only valid for COMPLETE partitioning")
+        return min(self.factor, int(shape[self.dim - 1]))

@@ -1,0 +1,157 @@
+"""Resource aggregation: loop nests + arrays → DSP/LUT/FF/BRAM counts.
+
+The DSP count is *structural*: one DSP48 per unrolled MAC instance,
+which is exactly the paper's own accounting (QKV: 3·TS_MHA·h, QK:
+d_k·h, SV: SL·h, FFN1/2: TS_FFN each, FFN3: 4·TS_FFN — totalling 3,584
+for the published configuration, plus softmax/LN helpers = 3,612).
+
+LUT and FF counts are structural-plus-calibrated: each PE carries
+control/muxing logic and pipeline registers whose per-instance
+coefficients (:data:`LUT_PER_PE`, :data:`FF_PER_PE`, …) are fitted once
+against the published Table I utilization row (993,107 LUT / 704,115 FF
+at 3,612 DSP) and then held fixed for every other configuration —
+i.e. the *model* is calibrated, individual experiments are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Union
+
+from .arrays import ArraySpec
+from .loopnest import Body, Loop, walk_statements
+
+__all__ = [
+    "ResourceEstimate",
+    "estimate_loop_resources",
+    "LUT_PER_PE",
+    "FF_PER_PE",
+    "LUT_PER_BANK_MUX",
+    "FF_PER_BANK",
+]
+
+# ---------------------------------------------------------------------------
+# Calibration coefficients (fitted once against Table I; see module doc).
+# ---------------------------------------------------------------------------
+#: Control/steering LUTs accompanying each unrolled PE (operand muxing,
+#: address decode, accumulate-select).
+LUT_PER_PE = 182
+#: Pipeline/accumulator registers per PE.
+FF_PER_PE = 130
+#: Bank-selection mux LUTs per physical memory bank.
+LUT_PER_BANK_MUX = 33
+#: Output registers per bank.
+FF_PER_BANK = 21
+#: Static infrastructure (AXI masters/slave, controller FSMs, softmax
+#: normalization, load units) — independent of tile sizes.
+STATIC_LUTS = 97000
+STATIC_FFS = 118000
+STATIC_DSPS = 0
+STATIC_BRAM18K = 64  # AXI data FIFOs
+
+
+@dataclass
+class ResourceEstimate:
+    """Additive resource usage of a design fragment."""
+
+    dsps: int = 0
+    luts: int = 0
+    ffs: int = 0
+    bram18k: int = 0
+    uram: int = 0
+    pes: int = 0
+    banks: int = 0
+    breakdown: Dict[str, int] = field(default_factory=dict)
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        merged = dict(self.breakdown)
+        for k, v in other.breakdown.items():
+            merged[k] = merged.get(k, 0) + v
+        return ResourceEstimate(
+            dsps=self.dsps + other.dsps,
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            bram18k=self.bram18k + other.bram18k,
+            uram=self.uram + other.uram,
+            pes=self.pes + other.pes,
+            banks=self.banks + other.banks,
+            breakdown=merged,
+        )
+
+    def scaled(self, n: int) -> "ResourceEstimate":
+        """Resources of ``n`` identical copies (e.g. one per head)."""
+        return ResourceEstimate(
+            dsps=self.dsps * n,
+            luts=self.luts * n,
+            ffs=self.ffs * n,
+            bram18k=self.bram18k * n,
+            uram=self.uram * n,
+            pes=self.pes * n,
+            banks=self.banks * n,
+            breakdown={k: v * n for k, v in self.breakdown.items()},
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Device-facing view for :meth:`repro.fpga.FPGADevice.check_fit`."""
+        return {
+            "dsp": self.dsps,
+            "lut": self.luts,
+            "ff": self.ffs,
+            "bram18k": self.bram18k,
+            "uram": self.uram,
+        }
+
+
+def estimate_loop_resources(
+    nest: Union[Loop, Body],
+    arrays: Iterable[ArraySpec] = (),
+    label: str = "",
+) -> ResourceEstimate:
+    """Estimate the hardware resources of one engine.
+
+    Compute side: walk the loop nest, count statement instances implied
+    by unrolling; every instance with ``dsps > 0`` is a PE carrying the
+    per-PE LUT/FF overhead.  Memory side: bind each array to banks and
+    charge BRAM/LUTRAM plus mux/register overhead per bank.
+    """
+    loops: List[Loop]
+    if isinstance(nest, Body):
+        loops = list(nest.loops)
+        label = label or nest.name
+    else:
+        loops = [nest]
+        label = label or nest.name
+
+    est = ResourceEstimate()
+    pes = 0
+    for lp in loops:
+        for stmt, instances in walk_statements(lp):
+            est.dsps += stmt.dsps * instances
+            est.luts += stmt.luts * instances
+            est.ffs += stmt.ffs * instances
+            if stmt.dsps > 0:
+                pes += instances
+    est.pes = pes
+    est.luts += pes * LUT_PER_PE
+    est.ffs += pes * FF_PER_PE
+
+    for spec in arrays:
+        binding = spec.bind()
+        est.bram18k += binding.bram18k
+        est.luts += binding.lutram_luts + binding.banks * LUT_PER_BANK_MUX
+        est.ffs += binding.banks * FF_PER_BANK
+        est.banks += binding.banks
+
+    est.breakdown[label or "engine"] = est.dsps
+    return est
+
+
+def static_infrastructure() -> ResourceEstimate:
+    """Tile-size-independent infrastructure (AXI, controller, DMA)."""
+    return ResourceEstimate(
+        dsps=STATIC_DSPS,
+        luts=STATIC_LUTS,
+        ffs=STATIC_FFS,
+        bram18k=STATIC_BRAM18K,
+        breakdown={"infrastructure": STATIC_DSPS},
+    )

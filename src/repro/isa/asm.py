@@ -1,0 +1,85 @@
+"""Textual assembly for controller programs.
+
+A human-readable, round-trippable rendering of instruction streams —
+the artifact you diff when debugging the compiler or the executor::
+
+    CONFIGURE        tile=0 arg=8          ; register=num_heads
+    LOAD_QKV_WEIGHTS layer=0 head=2 tile=5
+    RUN_QKV          layer=0 tile=5
+    HALT
+
+``assemble(disassemble(prog)) == prog`` for every compilable program
+(property-tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .instructions import Instruction, Opcode
+
+__all__ = ["disassemble", "assemble", "AsmSyntaxError"]
+
+
+class AsmSyntaxError(ValueError):
+    """A line of assembly could not be parsed."""
+
+
+_FIELDS = ("layer", "head", "tile", "arg")
+_LINE_RE = re.compile(
+    r"^\s*(?P<op>[A-Z_][A-Z0-9_]*)"
+    r"(?P<fields>(\s+[a-z]+=\d+)*)"
+    r"\s*(?:;.*)?$"
+)
+_FIELD_RE = re.compile(r"([a-z]+)=(\d+)")
+
+
+def disassemble(program: List[Instruction]) -> str:
+    """Render a program as text (omits zero-valued fields)."""
+    lines = []
+    for instr in program:
+        parts = [f"{instr.opcode.name:18s}"]
+        for f in _FIELDS:
+            v = getattr(instr, f)
+            if v:
+                parts.append(f"{f}={v}")
+        comment = ""
+        if instr.meta:
+            comment = "  ; " + ", ".join(
+                f"{k}={v}" for k, v in sorted(instr.meta.items()))
+        lines.append(" ".join(parts).rstrip() + comment)
+    return "\n".join(lines)
+
+
+def assemble(text: str) -> List[Instruction]:
+    """Parse assembly text back into instructions.
+
+    Blank lines and ``;`` comments are ignored; unknown opcodes or
+    fields raise :class:`AsmSyntaxError` with the line number.
+    """
+    program: List[Instruction] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise AsmSyntaxError(f"line {lineno}: cannot parse {raw!r}")
+        name = m.group("op")
+        try:
+            opcode = Opcode[name]
+        except KeyError:
+            raise AsmSyntaxError(
+                f"line {lineno}: unknown opcode {name!r}") from None
+        fields = {}
+        for key, val in _FIELD_RE.findall(m.group("fields") or ""):
+            if key not in _FIELDS:
+                raise AsmSyntaxError(
+                    f"line {lineno}: unknown field {key!r}")
+            fields[key] = int(val)
+        try:
+            program.append(Instruction(opcode, **fields))
+        except ValueError as exc:
+            raise AsmSyntaxError(f"line {lineno}: {exc}") from exc
+    return program

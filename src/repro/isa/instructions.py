@@ -1,0 +1,104 @@
+"""Instruction encodings for the accelerator controller.
+
+Section IV-D: the MicroBlaze software "utilizes the extracted data to
+generate instructions and control signals.  These signals guide the
+processor in activating the relevant parts of the accelerator
+hardware."  We define a compact 64-bit instruction word:
+
+========  ======  =====================================================
+bits      field   meaning
+========  ======  =====================================================
+63..56    opcode  :class:`Opcode`
+55..44    layer   encoder layer index (12 bits)
+43..36    head    attention head index (8 bits)
+35..20    tile    tile index — linearized (row-major for 2-D FFN tiles)
+19..0     arg     opcode-specific immediate (e.g. CSR value)
+========  ======  =====================================================
+
+Encode/decode round-trips exactly; the compiler emits
+:class:`Instruction` objects and the interpreter dispatches on opcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+__all__ = ["Opcode", "Instruction", "encode", "decode"]
+
+
+class Opcode(IntEnum):
+    """Controller operations, one per activatable hardware behaviour."""
+
+    CONFIGURE = 0x01      # write a config register (arg = packed reg:val)
+    LOAD_INPUT = 0x10     # fetch an input tile into the X buffers
+    LOAD_QKV_WEIGHTS = 0x11  # fetch one Wq/Wk/Wv tile for one head
+    LOAD_FFN_WEIGHTS = 0x12  # fetch one FFN weight tile
+    LOAD_BIASES = 0x13    # fetch bias vectors
+    RUN_QKV = 0x20        # QKV_CE over the resident tile
+    RUN_QK = 0x21         # QK_CE (scores)
+    RUN_SOFTMAX = 0x22    # softmax unit
+    RUN_SV = 0x23         # SV_CE (attention output)
+    RUN_FFN1 = 0x30       # attention output projection tile
+    RUN_FFN2 = 0x31       # expansion linear tile
+    RUN_FFN3 = 0x32       # contraction linear tile
+    RUN_LN1 = 0x38        # layer norm after FFN1
+    RUN_LN2 = 0x39        # layer norm after FFN3
+    STORE_OUTPUT = 0x40   # write encoder output back to HBM
+    BARRIER = 0x50        # wait for outstanding engines
+    HALT = 0x7F           # end of program
+
+
+_LAYER_BITS, _HEAD_BITS, _TILE_BITS, _ARG_BITS = 12, 8, 16, 20
+_LAYER_MAX = (1 << _LAYER_BITS) - 1
+_HEAD_MAX = (1 << _HEAD_BITS) - 1
+_TILE_MAX = (1 << _TILE_BITS) - 1
+_ARG_MAX = (1 << _ARG_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded controller instruction."""
+
+    opcode: Opcode
+    layer: int = 0
+    head: int = 0
+    tile: int = 0
+    arg: int = 0
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.layer <= _LAYER_MAX):
+            raise ValueError(f"layer {self.layer} out of field range")
+        if not (0 <= self.head <= _HEAD_MAX):
+            raise ValueError(f"head {self.head} out of field range")
+        if not (0 <= self.tile <= _TILE_MAX):
+            raise ValueError(f"tile {self.tile} out of field range")
+        if not (0 <= self.arg <= _ARG_MAX):
+            raise ValueError(f"arg {self.arg} out of field range")
+
+
+def encode(instr: Instruction) -> int:
+    """Pack an instruction into its 64-bit word."""
+    word = int(instr.opcode) & 0xFF
+    word = (word << _LAYER_BITS) | instr.layer
+    word = (word << _HEAD_BITS) | instr.head
+    word = (word << _TILE_BITS) | instr.tile
+    word = (word << _ARG_BITS) | instr.arg
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 64-bit word back into an :class:`Instruction`."""
+    if word < 0 or word >= (1 << 64):
+        raise ValueError("instruction word must fit in 64 bits")
+    arg = word & _ARG_MAX
+    word >>= _ARG_BITS
+    tile = word & _TILE_MAX
+    word >>= _TILE_BITS
+    head = word & _HEAD_MAX
+    word >>= _HEAD_BITS
+    layer = word & _LAYER_MAX
+    word >>= _LAYER_BITS
+    opcode = Opcode(word & 0xFF)
+    return Instruction(opcode=opcode, layer=layer, head=head, tile=tile, arg=arg)

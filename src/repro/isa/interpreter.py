@@ -1,0 +1,83 @@
+"""Instruction-stream interpreter.
+
+Executes a compiled program by dispatching each opcode to a registered
+handler (the functional accelerator in :mod:`repro.core` registers its
+engines here).  The interpreter itself knows nothing about tensors —
+it is the controller FSM: ordering, dispatch, instruction accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .instructions import Instruction, Opcode
+
+__all__ = ["Interpreter", "ExecutionTrace", "UnhandledOpcodeError"]
+
+
+class UnhandledOpcodeError(RuntimeError):
+    """An instruction reached the interpreter with no registered handler."""
+
+
+@dataclass
+class ExecutionTrace:
+    """Record of one program execution."""
+
+    executed: int = 0
+    by_opcode: Dict[Opcode, int] = field(default_factory=dict)
+    halted: bool = False
+    log: List[Instruction] = field(default_factory=list)
+    keep_log: bool = False
+
+    def note(self, instr: Instruction) -> None:
+        self.executed += 1
+        self.by_opcode[instr.opcode] = self.by_opcode.get(instr.opcode, 0) + 1
+        if self.keep_log:
+            self.log.append(instr)
+
+
+Handler = Callable[[Instruction], None]
+
+
+class Interpreter:
+    """Opcode-dispatch execution engine.
+
+    Handlers are registered per opcode; ``BARRIER`` and ``HALT`` have
+    built-in semantics (barriers invoke an optional drain callback,
+    HALT stops execution).
+    """
+
+    def __init__(self, on_barrier: Optional[Callable[[], None]] = None):
+        self._handlers: Dict[Opcode, Handler] = {}
+        self._on_barrier = on_barrier
+
+    def register(self, opcode: Opcode, handler: Handler) -> None:
+        """Attach ``handler`` to ``opcode`` (overwrites silently)."""
+        self._handlers[opcode] = handler
+
+    def register_many(self, handlers: Dict[Opcode, Handler]) -> None:
+        for op, h in handlers.items():
+            self.register(op, h)
+
+    def run(
+        self, program: List[Instruction], keep_log: bool = False
+    ) -> ExecutionTrace:
+        """Execute ``program`` to HALT; returns the execution trace."""
+        trace = ExecutionTrace(keep_log=keep_log)
+        for instr in program:
+            trace.note(instr)
+            if instr.opcode is Opcode.HALT:
+                trace.halted = True
+                break
+            if instr.opcode is Opcode.BARRIER:
+                if self._on_barrier is not None:
+                    self._on_barrier()
+                continue
+            handler = self._handlers.get(instr.opcode)
+            if handler is None:
+                raise UnhandledOpcodeError(
+                    f"no handler registered for {instr.opcode.name}"
+                )
+            handler(instr)
+        return trace

@@ -1,0 +1,28 @@
+"""Memory-system substrate: HBM channels, AXI transactions, buffer
+fill costs and double-buffered load/compute overlap."""
+
+from .axi import AXI4Master, AXILiteSlave
+from .bram import BufferFillModel
+from .dma import (
+    OverlapReport,
+    TilePhase,
+    overlapped_cycles,
+    serialized_cycles,
+    tiled_engine_cycles,
+    uniform_phases,
+)
+from .hbm import HBMChannel, HBMSubsystem
+
+__all__ = [
+    "AXI4Master",
+    "AXILiteSlave",
+    "HBMChannel",
+    "HBMSubsystem",
+    "BufferFillModel",
+    "TilePhase",
+    "OverlapReport",
+    "overlapped_cycles",
+    "serialized_cycles",
+    "uniform_phases",
+    "tiled_engine_cycles",
+]

@@ -1,0 +1,52 @@
+"""On-chip buffer write model: filling partitioned BRAM tile buffers.
+
+Loading a tile is not free even when the AXI side streams at full
+rate: the unpacker writes ``write_lanes`` elements per cycle into the
+partitioned banks (limited by bank write ports and the AXI beat
+width).  The effective load time of a tile is the max of the off-chip
+transfer and the on-chip fill.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BufferFillModel"]
+
+
+@dataclass(frozen=True)
+class BufferFillModel:
+    """Element-level write cost into a partitioned on-chip buffer.
+
+    Parameters
+    ----------
+    write_lanes:
+        Elements written per cycle.  An AXI beat of ``data_bits`` bits
+        carries ``data_bits/element_bits`` elements; with cyclic
+        partitioning those land in distinct banks and can be written in
+        parallel, so lanes default to the beat width.
+    element_bits:
+        Storage width of one element.
+    """
+
+    write_lanes: int = 8
+    element_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.write_lanes < 1:
+            raise ValueError("write_lanes must be >= 1")
+        if self.element_bits < 1:
+            raise ValueError("element_bits must be >= 1")
+
+    def fill_cycles(self, elements: int) -> int:
+        """Cycles to write ``elements`` into the buffer."""
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        return math.ceil(elements / self.write_lanes)
+
+    @classmethod
+    def from_axi_beat(cls, data_bits: int, element_bits: int = 8) -> "BufferFillModel":
+        """Lanes implied by unpacking one AXI beat per cycle."""
+        return cls(write_lanes=max(1, data_bits // element_bits),
+                   element_bits=element_bits)

@@ -1,0 +1,125 @@
+"""Golden multi-head attention (Fig. 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .functional import attention_scale, scaled_dot_product_attention, softmax
+from .linear import Linear
+
+__all__ = ["MultiHeadAttention", "AttentionTrace"]
+
+
+@dataclass
+class AttentionTrace:
+    """Intermediate tensors of one MHA forward pass.
+
+    Exposed so the accelerator's per-engine outputs (Q/K/V, scores,
+    attention-weighted values) can be checked stage by stage rather
+    than only end to end.
+    """
+
+    q: List[np.ndarray]
+    k: List[np.ndarray]
+    v: List[np.ndarray]
+    scores: List[np.ndarray]
+    weights: List[np.ndarray]
+    head_outputs: List[np.ndarray]
+    concat: np.ndarray
+    output: np.ndarray
+
+
+@dataclass
+class MultiHeadAttention:
+    """``h`` parallel scaled-dot-product heads + output projection.
+
+    Per-head projections are stored as separate ``(d_model, d_k)``
+    matrices (``wq[i]``…) because that is exactly how the accelerator
+    stores them — one weight buffer per head engine.
+    """
+
+    wq: List[Linear]
+    wk: List[Linear]
+    wv: List[Linear]
+    wo: Linear
+    scale_mode: str = "sqrt_dk"
+
+    def __post_init__(self) -> None:
+        n = len(self.wq)
+        if not (len(self.wk) == len(self.wv) == n) or n == 0:
+            raise ValueError("need equal, non-zero numbers of per-head projections")
+        d_k = self.wq[0].out_features
+        for lin in (*self.wq, *self.wk, *self.wv):
+            if lin.out_features != d_k:
+                raise ValueError("all heads must share d_k")
+        if self.wo.in_features != n * d_k:
+            raise ValueError("output projection must accept h*d_k features")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_heads(self) -> int:
+        return len(self.wq)
+
+    @property
+    def d_k(self) -> int:
+        return self.wq[0].out_features
+
+    @property
+    def d_model(self) -> int:
+        return self.wq[0].in_features
+
+    @classmethod
+    def initialize(
+        cls,
+        rng: np.random.Generator,
+        d_model: int,
+        num_heads: int,
+        scale_mode: str = "sqrt_dk",
+    ) -> "MultiHeadAttention":
+        """Random Xavier weights for ``num_heads`` heads of ``d_model/h``."""
+        if d_model % num_heads:
+            raise ValueError("d_model must be divisible by num_heads")
+        d_k = d_model // num_heads
+        mk = lambda: Linear.initialize(rng, d_model, d_k)  # noqa: E731
+        return cls(
+            wq=[mk() for _ in range(num_heads)],
+            wk=[mk() for _ in range(num_heads)],
+            wv=[mk() for _ in range(num_heads)],
+            wo=Linear.initialize(rng, d_model, d_model),
+            scale_mode=scale_mode,
+        )
+
+    # ------------------------------------------------------------------
+    def forward_trace(
+        self, x: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> AttentionTrace:
+        """Forward pass retaining every intermediate (for validation)."""
+        x = np.asarray(x, dtype=np.float64)
+        scale = attention_scale(self.d_k, self.d_model, self.scale_mode)
+        qs, ks, vs, scs, ws, outs = [], [], [], [], [], []
+        for i in range(self.num_heads):
+            q, k, v = self.wq[i](x), self.wk[i](x), self.wv[i](x)
+            scores = (q @ k.T) * scale
+            if mask is not None:
+                scores = scores + mask
+            w = softmax(scores, axis=-1)
+            qs.append(q); ks.append(k); vs.append(v)
+            scs.append(scores); ws.append(w)
+            outs.append(w @ v)
+        concat = np.concatenate(outs, axis=-1)
+        return AttentionTrace(qs, ks, vs, scs, ws, outs, concat, self.wo(concat))
+
+    def __call__(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Attention output (projection of concatenated heads)."""
+        x = np.asarray(x, dtype=np.float64)
+        scale = attention_scale(self.d_k, self.d_model, self.scale_mode)
+        heads = [
+            scaled_dot_product_attention(
+                self.wq[i](x), self.wk[i](x), self.wv[i](x), mask=mask, scale=scale
+            )
+            for i in range(self.num_heads)
+        ]
+        return self.wo(np.concatenate(heads, axis=-1))

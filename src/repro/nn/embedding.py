@@ -1,0 +1,74 @@
+"""Token embedding and sinusoidal positional encoding (Fig. 1 front-end)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Embedding", "sinusoidal_positional_encoding"]
+
+
+def sinusoidal_positional_encoding(seq_len: int, d_model: int) -> np.ndarray:
+    """The Vaswani et al. fixed sin/cos positional encoding.
+
+    ``PE[pos, 2i] = sin(pos / 10000^(2i/d))``,
+    ``PE[pos, 2i+1] = cos(pos / 10000^(2i/d))``.
+    """
+    if seq_len < 1 or d_model < 1:
+        raise ValueError("seq_len and d_model must be positive")
+    positions = np.arange(seq_len, dtype=np.float64)[:, None]
+    dims = np.arange(d_model, dtype=np.float64)[None, :]
+    angle_rates = 1.0 / np.power(10000.0, (2.0 * (dims // 2)) / d_model)
+    angles = positions * angle_rates
+    pe = np.empty((seq_len, d_model), dtype=np.float64)
+    pe[:, 0::2] = np.sin(angles[:, 0::2])
+    pe[:, 1::2] = np.cos(angles[:, 1::2])
+    return pe
+
+
+@dataclass
+class Embedding:
+    """Token-id → embedding lookup plus positional encoding.
+
+    Attributes
+    ----------
+    table:
+        ``(vocab_size, d_model)`` embedding matrix.
+    add_positional:
+        Whether to add the sinusoidal positional encoding (the paper's
+        front-end always does).
+    """
+
+    table: np.ndarray
+    add_positional: bool = True
+
+    def __post_init__(self) -> None:
+        self.table = np.asarray(self.table, dtype=np.float64)
+        if self.table.ndim != 2:
+            raise ValueError("embedding table must be 2-D")
+
+    @property
+    def vocab_size(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def d_model(self) -> int:
+        return self.table.shape[1]
+
+    @classmethod
+    def initialize(
+        cls, rng: np.random.Generator, vocab_size: int, d_model: int
+    ) -> "Embedding":
+        return cls(table=rng.normal(0.0, 0.02, size=(vocab_size, d_model)))
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 1:
+            raise ValueError("token_ids must be a 1-D sequence")
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.vocab_size):
+            raise ValueError("token id out of vocabulary range")
+        x = self.table[token_ids]
+        if self.add_positional:
+            x = x + sinusoidal_positional_encoding(len(token_ids), self.d_model)
+        return x

@@ -1,0 +1,145 @@
+"""Golden transformer encoder layer and stack (Fig. 1, encoder side)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .functional import gelu, layer_norm, relu
+from .linear import Linear
+
+__all__ = ["FeedForward", "EncoderLayer", "Encoder", "ACTIVATIONS"]
+
+ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "relu": relu,
+    "gelu": gelu,
+}
+
+
+@dataclass
+class FeedForward:
+    """Position-wise FFN: ``act(x W1 + b1) W2 + b2``.
+
+    ``d_ff`` is conventionally ``4 * d_model`` (the paper hard-codes the
+    4x expansion in its FFN tiling).
+    """
+
+    w1: Linear
+    w2: Linear
+    activation: str = "gelu"
+
+    def __post_init__(self) -> None:
+        if self.w1.out_features != self.w2.in_features:
+            raise ValueError("FFN inner dimensions do not match")
+        if self.activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+    @property
+    def d_model(self) -> int:
+        return self.w1.in_features
+
+    @property
+    def d_ff(self) -> int:
+        return self.w1.out_features
+
+    @classmethod
+    def initialize(
+        cls,
+        rng: np.random.Generator,
+        d_model: int,
+        d_ff: Optional[int] = None,
+        activation: str = "gelu",
+    ) -> "FeedForward":
+        d_ff = 4 * d_model if d_ff is None else d_ff
+        return cls(
+            w1=Linear.initialize(rng, d_model, d_ff),
+            w2=Linear.initialize(rng, d_ff, d_model),
+            activation=activation,
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.w2(ACTIVATIONS[self.activation](self.w1(x)))
+
+
+@dataclass
+class EncoderLayer:
+    """One encoder layer: MHA + Add&Norm + FFN + Add&Norm (post-LN).
+
+    The paper's hardware places a layer-norm after the attention output
+    projection (its ``FFN1_CE``) and after the final FFN linear (its
+    ``FFN3_CE``); this is the standard post-LN BERT arrangement and is
+    mirrored here.
+    """
+
+    attention: MultiHeadAttention
+    ffn: FeedForward
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+    eps: float = 1e-5
+
+    @classmethod
+    def initialize(
+        cls,
+        rng: np.random.Generator,
+        d_model: int,
+        num_heads: int,
+        d_ff: Optional[int] = None,
+        activation: str = "gelu",
+        scale_mode: str = "sqrt_dk",
+    ) -> "EncoderLayer":
+        return cls(
+            attention=MultiHeadAttention.initialize(rng, d_model, num_heads, scale_mode),
+            ffn=FeedForward.initialize(rng, d_model, d_ff, activation),
+            ln1_gamma=np.ones(d_model),
+            ln1_beta=np.zeros(d_model),
+            ln2_gamma=np.ones(d_model),
+            ln2_beta=np.zeros(d_model),
+        )
+
+    def __call__(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        attn = self.attention(x, mask=mask)
+        h = layer_norm(x + attn, self.ln1_gamma, self.ln1_beta, self.eps)
+        out = layer_norm(h + self.ffn(h), self.ln2_gamma, self.ln2_beta, self.eps)
+        return out
+
+
+@dataclass
+class Encoder:
+    """A stack of ``N`` identical encoder layers."""
+
+    layers: List[EncoderLayer] = field(default_factory=list)
+
+    @classmethod
+    def initialize(
+        cls,
+        rng: np.random.Generator,
+        num_layers: int,
+        d_model: int,
+        num_heads: int,
+        d_ff: Optional[int] = None,
+        activation: str = "gelu",
+        scale_mode: str = "sqrt_dk",
+    ) -> "Encoder":
+        return cls(
+            layers=[
+                EncoderLayer.initialize(
+                    rng, d_model, num_heads, d_ff, activation, scale_mode
+                )
+                for _ in range(num_layers)
+            ]
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def __call__(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x

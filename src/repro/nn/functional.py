@@ -1,0 +1,101 @@
+"""Reference (float64 NumPy) neural-network primitives.
+
+These are the *golden* definitions the fixed-point accelerator is
+validated against.  Shapes follow the paper: activations are
+``(SL, d_model)`` row-major matrices (sequence length × embedding dim),
+weights are ``(in_features, out_features)`` so a linear layer is a
+plain ``x @ w + b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "relu",
+    "gelu",
+    "layer_norm",
+    "scaled_dot_product_attention",
+    "attention_scale",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Exact GELU using the Gaussian CDF (erf form)."""
+    from scipy.special import erf
+
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + erf(x / np.sqrt(2.0)))
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalization over the last axis."""
+    x = np.asarray(x, dtype=np.float64)
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    return gamma * (x - mean) / np.sqrt(var + eps) + beta
+
+
+def attention_scale(d_k: int, d_model: int, mode: str = "sqrt_dk") -> float:
+    """Score scaling factor.
+
+    ``"sqrt_dk"`` is Eq. (1) of the paper (and Vaswani et al.):
+    ``1/sqrt(d_k)``.  ``"paper_alg2"`` replicates the paper's
+    Algorithm 2 line 9, which divides by the embedding dimension
+    instead — kept selectable so the hardware simulation can be run
+    exactly as published.
+    """
+    if mode == "sqrt_dk":
+        return 1.0 / np.sqrt(float(d_k))
+    if mode == "paper_alg2":
+        return 1.0 / float(d_model)
+    raise ValueError(f"unknown scale mode {mode!r}")
+
+
+def scaled_dot_product_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+) -> np.ndarray:
+    """``softmax(mask(q kᵀ · scale)) v`` for one head.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(SL, d_k)`` matrices.
+    mask:
+        Optional additive mask broadcastable to ``(SL, SL)`` (use
+        ``-inf`` / very negative entries to block positions).
+    scale:
+        Score multiplier; defaults to ``1/sqrt(d_k)``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = (q @ k.T) * scale
+    if mask is not None:
+        scores = scores + mask
+    return softmax(scores, axis=-1) @ v

@@ -1,0 +1,63 @@
+"""Linear layer and parameter initialization helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Linear", "xavier_uniform"]
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a weight matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+@dataclass
+class Linear:
+    """A dense layer ``y = x @ weight + bias``.
+
+    ``weight`` has shape ``(in_features, out_features)`` — the same
+    orientation the accelerator tiles along (columns = output
+    neurons, matching Fig. 5/6 of the paper).
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be 2-D")
+        if self.bias.shape != (self.weight.shape[1],):
+            raise ValueError(
+                f"bias shape {self.bias.shape} does not match "
+                f"out_features {self.weight.shape[1]}"
+            )
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    @classmethod
+    def initialize(
+        cls, rng: np.random.Generator, in_features: int, out_features: int
+    ) -> "Linear":
+        """Xavier-initialized weights, zero bias."""
+        return cls(
+            weight=xavier_uniform(rng, in_features, out_features),
+            bias=np.zeros(out_features),
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return x @ self.weight + self.bias

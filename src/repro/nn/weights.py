@@ -1,0 +1,189 @@
+"""Weight store and trained-model parameter extraction.
+
+The paper's deployment flow: "TNN models are trained using the PyTorch
+framework, and the resulting models should be saved as '.pth' files.
+These files are then processed by a Python interpreter to extract key
+parameters" (Section IV-D).  Torch is unavailable offline, so the store
+round-trips through ``.npz`` with the same key schema a BERT-style
+state dict uses; :func:`extract_hyperparameters` performs the "Python
+interpreter" role of recovering ``(h, N, d_model, SL)`` from a saved
+model — which is what the MicroBlaze software consumes.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .encoder import Encoder, EncoderLayer, FeedForward
+from .linear import Linear
+from .model_zoo import TransformerConfig
+
+__all__ = [
+    "encoder_state_dict",
+    "save_encoder",
+    "load_encoder",
+    "extract_hyperparameters",
+    "build_encoder",
+    "ExtractedParams",
+]
+
+
+def build_encoder(
+    config: TransformerConfig, seed: int = 0
+) -> Encoder:
+    """Randomly initialize a golden encoder matching ``config``."""
+    rng = np.random.default_rng(seed)
+    return Encoder.initialize(
+        rng,
+        num_layers=config.num_layers,
+        d_model=config.d_model,
+        num_heads=config.num_heads,
+        d_ff=config.d_ff,
+        activation=config.activation,
+        scale_mode=config.scale_mode,
+    )
+
+
+def encoder_state_dict(encoder: Encoder) -> Dict[str, np.ndarray]:
+    """Flatten an encoder into a ``name -> array`` state dict.
+
+    Key schema (mirrors a per-head-projection BERT export)::
+
+        layer{L}.attn.head{i}.{wq|wk|wv}.{weight|bias}
+        layer{L}.attn.wo.{weight|bias}
+        layer{L}.ffn.{w1|w2}.{weight|bias}
+        layer{L}.{ln1|ln2}.{gamma|beta}
+    """
+    state: Dict[str, np.ndarray] = {}
+    for li, layer in enumerate(encoder.layers):
+        p = f"layer{li}"
+        for hi in range(layer.attention.num_heads):
+            for nm, lins in (("wq", layer.attention.wq),
+                             ("wk", layer.attention.wk),
+                             ("wv", layer.attention.wv)):
+                state[f"{p}.attn.head{hi}.{nm}.weight"] = lins[hi].weight
+                state[f"{p}.attn.head{hi}.{nm}.bias"] = lins[hi].bias
+        state[f"{p}.attn.wo.weight"] = layer.attention.wo.weight
+        state[f"{p}.attn.wo.bias"] = layer.attention.wo.bias
+        state[f"{p}.ffn.w1.weight"] = layer.ffn.w1.weight
+        state[f"{p}.ffn.w1.bias"] = layer.ffn.w1.bias
+        state[f"{p}.ffn.w2.weight"] = layer.ffn.w2.weight
+        state[f"{p}.ffn.w2.bias"] = layer.ffn.w2.bias
+        state[f"{p}.ln1.gamma"] = layer.ln1_gamma
+        state[f"{p}.ln1.beta"] = layer.ln1_beta
+        state[f"{p}.ln2.gamma"] = layer.ln2_gamma
+        state[f"{p}.ln2.beta"] = layer.ln2_beta
+    return state
+
+
+def save_encoder(
+    encoder: Encoder,
+    path: Union[str, Path, io.BytesIO],
+    config: TransformerConfig | None = None,
+) -> None:
+    """Persist an encoder (and optionally its workload metadata)."""
+    state = encoder_state_dict(encoder)
+    if config is not None:
+        state["__meta.seq_len"] = np.asarray(config.seq_len)
+        state["__meta.activation"] = np.frombuffer(
+            config.activation.encode(), dtype=np.uint8
+        )
+    np.savez(path, **state)
+
+
+@dataclass(frozen=True)
+class ExtractedParams:
+    """Hyper-parameters recovered from a saved model — exactly the
+    quantities the MicroBlaze writes into ProTEA's config registers."""
+
+    num_heads: int
+    num_layers: int
+    d_model: int
+    d_ff: int
+    seq_len: int | None = None
+
+
+def extract_hyperparameters(
+    path_or_state: Union[str, Path, io.BytesIO, Dict[str, np.ndarray]],
+) -> ExtractedParams:
+    """Recover ``(h, N, d_model, d_ff[, SL])`` from a saved state dict.
+
+    This is the "Python interpreter" step of Section IV-D: runtime
+    programming needs only these scalars, never a resynthesis.
+    """
+    if isinstance(path_or_state, dict):
+        state = dict(path_or_state)
+    else:
+        with np.load(path_or_state) as z:
+            state = {k: z[k] for k in z.files}
+    layer_ids = set()
+    head_ids = set()
+    for key in state:
+        m = re.match(r"layer(\d+)\.", key)
+        if m:
+            layer_ids.add(int(m.group(1)))
+        m = re.match(r"layer0\.attn\.head(\d+)\.", key)
+        if m:
+            head_ids.add(int(m.group(1)))
+    if not layer_ids or not head_ids:
+        raise ValueError("state dict does not contain a recognizable encoder")
+    wq = state["layer0.attn.head0.wq.weight"]
+    w1 = state["layer0.ffn.w1.weight"]
+    seq_len = None
+    if "__meta.seq_len" in state:
+        seq_len = int(state["__meta.seq_len"])
+    return ExtractedParams(
+        num_heads=len(head_ids),
+        num_layers=len(layer_ids),
+        d_model=int(wq.shape[0]),
+        d_ff=int(w1.shape[1]),
+        seq_len=seq_len,
+    )
+
+
+def load_encoder(
+    path: Union[str, Path, io.BytesIO],
+    activation: str = "gelu",
+    scale_mode: str = "sqrt_dk",
+) -> Encoder:
+    """Rebuild a golden encoder from a saved state dict."""
+    with np.load(path) as z:
+        state = {k: z[k] for k in z.files}
+    if "__meta.activation" in state:
+        activation = bytes(state["__meta.activation"]).decode()
+    params = extract_hyperparameters(state)
+    layers = []
+    for li in range(params.num_layers):
+        p = f"layer{li}"
+        heads_q, heads_k, heads_v = [], [], []
+        for hi in range(params.num_heads):
+            heads_q.append(Linear(state[f"{p}.attn.head{hi}.wq.weight"],
+                                  state[f"{p}.attn.head{hi}.wq.bias"]))
+            heads_k.append(Linear(state[f"{p}.attn.head{hi}.wk.weight"],
+                                  state[f"{p}.attn.head{hi}.wk.bias"]))
+            heads_v.append(Linear(state[f"{p}.attn.head{hi}.wv.weight"],
+                                  state[f"{p}.attn.head{hi}.wv.bias"]))
+        attn = MultiHeadAttention(
+            wq=heads_q, wk=heads_k, wv=heads_v,
+            wo=Linear(state[f"{p}.attn.wo.weight"], state[f"{p}.attn.wo.bias"]),
+            scale_mode=scale_mode,
+        )
+        ffn = FeedForward(
+            w1=Linear(state[f"{p}.ffn.w1.weight"], state[f"{p}.ffn.w1.bias"]),
+            w2=Linear(state[f"{p}.ffn.w2.weight"], state[f"{p}.ffn.w2.bias"]),
+            activation=activation,
+        )
+        layers.append(EncoderLayer(
+            attention=attn,
+            ffn=ffn,
+            ln1_gamma=state[f"{p}.ln1.gamma"], ln1_beta=state[f"{p}.ln1.beta"],
+            ln2_gamma=state[f"{p}.ln2.gamma"], ln2_beta=state[f"{p}.ln2.beta"],
+        ))
+    return Encoder(layers=layers)

@@ -1,0 +1,68 @@
+"""Unit tests for workload op counting and throughput metrics."""
+
+import pytest
+
+from repro.analysis import (
+    encoder_layer_ops,
+    encoder_ops,
+    gops,
+    gops_per_dsp,
+    speedup,
+)
+from repro.nn import BERT_VARIANT, TransformerConfig
+
+
+class TestOpCounts:
+    def test_bert_variant_total(self):
+        """24·SL·d² + 4·SL²·d per layer, 12 layers ≈ 11.0 GOP."""
+        total = encoder_ops(BERT_VARIANT)
+        expected = 12 * (24 * 64 * 768 ** 2 + 4 * 64 ** 2 * 768)
+        assert total == expected
+
+    def test_breakdown_sums(self):
+        b = encoder_layer_ops(BERT_VARIANT)
+        assert b.total == (b.qkv + b.scores + b.attention_apply
+                           + b.projection + b.ffn)
+
+    def test_ffn_dominates(self):
+        b = encoder_layer_ops(BERT_VARIANT)
+        assert b.ffn > b.qkv > b.scores
+
+    def test_quadratic_in_d_model(self):
+        small = encoder_ops(TransformerConfig("a", 256, 8, 1, 64))
+        big = encoder_ops(TransformerConfig("b", 512, 8, 1, 64))
+        assert big / small == pytest.approx(4.0, rel=0.05)
+
+    def test_custom_d_ff_respected(self):
+        narrow = TransformerConfig("n", 256, 8, 1, 64, d_ff=256)
+        wide = TransformerConfig("w", 256, 8, 1, 64, d_ff=1024)
+        assert (encoder_layer_ops(wide).ffn
+                == 4 * encoder_layer_ops(narrow).ffn)
+
+
+class TestThroughput:
+    def test_gops(self):
+        assert gops(BERT_VARIANT, 1.0) == pytest.approx(
+            encoder_ops(BERT_VARIANT) / 1e9)
+
+    def test_gops_requires_positive_latency(self):
+        with pytest.raises(ValueError):
+            gops(BERT_VARIANT, 0.0)
+
+    def test_gops_per_dsp_scaled(self):
+        assert gops_per_dsp(79.0, 3612) == pytest.approx(21.87, rel=1e-3)
+        assert gops_per_dsp(79.0, 3612, scaled=False) == pytest.approx(
+            0.02187, rel=1e-3)
+
+    def test_gops_per_dsp_validation(self):
+        with pytest.raises(ValueError):
+            gops_per_dsp(1.0, 0)
+
+    def test_speedup_convention(self):
+        assert speedup(10.0, 5.0) == 2.0  # new twice as fast
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_paper_table2_gops_per_dsp_row(self):
+        """[25]: 279 GOPS on 1024 DSPs → 272 (GOPS/DSP)x1000."""
+        assert gops_per_dsp(279.0, 1024) == pytest.approx(272.46, rel=1e-3)

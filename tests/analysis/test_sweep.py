@@ -1,0 +1,40 @@
+"""Unit tests for the generic grid sweep driver."""
+
+import pytest
+
+from repro.analysis import grid_sweep
+
+
+class TestGridSweep:
+    def test_cartesian_product(self):
+        results = grid_sweep({"a": [1, 2], "b": [10, 20, 30]},
+                             evaluate=lambda a, b: a * b)
+        assert len(results) == 6
+        assert {r.value for r in results} == {10, 20, 30, 40, 60}
+        assert all(r.ok for r in results)
+
+    def test_params_recorded(self):
+        results = grid_sweep({"x": [5]}, evaluate=lambda x: x + 1)
+        assert results[0].params == {"x": 5}
+
+    def test_error_propagates_by_default(self):
+        def boom(x):
+            raise RuntimeError("no")
+
+        with pytest.raises(RuntimeError):
+            grid_sweep({"x": [1]}, boom)
+
+    def test_continue_on_error_records_failure(self):
+        def sometimes(x):
+            if x == 2:
+                raise ValueError("bad corner")
+            return x
+
+        results = grid_sweep({"x": [1, 2, 3]}, sometimes,
+                             continue_on_error=True)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "bad corner" in results[1].error
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep({}, lambda: 1)

@@ -1,0 +1,44 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis import format_value, render_table
+
+
+class TestFormatValue:
+    def test_floats_get_sig_digits(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_large_floats_compact(self):
+        assert "e" in format_value(1.23e9) or len(format_value(1.23e9)) <= 10
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_ints_and_strings_passthrough(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_none_and_bool(self):
+        assert format_value(None) == "None"
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_title_and_separator(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+        assert "---" in out or "=" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

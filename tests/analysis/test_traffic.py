@@ -1,0 +1,55 @@
+"""Unit tests for the memory-traffic / roofline analysis."""
+
+import pytest
+
+from repro.analysis import analyze_traffic
+from repro.nn import BERT_VARIANT
+
+
+@pytest.fixture(scope="module")
+def report(default_accel):
+    return analyze_traffic(default_accel, BERT_VARIANT)
+
+
+class TestTrafficAccounting:
+    def test_weight_bytes_exact(self, report):
+        # 12 layers x (3d² + d² + 2·d·4d) bytes at 8-bit.
+        d = 768
+        expected = 12 * (4 * d * d + 8 * d * d)
+        assert report.weight_bytes == expected
+
+    def test_activation_traffic_is_io_only(self, report):
+        assert report.activation_bytes == 2 * 64 * 768
+        assert report.activation_bytes < report.weight_bytes / 100
+
+    def test_totals(self, report):
+        assert report.total_bytes == (report.weight_bytes
+                                      + report.activation_bytes)
+
+
+class TestRooflinePosition:
+    def test_achieved_bandwidth_below_peak(self, report):
+        assert 0 < report.achieved_gbps < report.device_peak_gbps
+        assert 0 < report.bandwidth_utilization < 1
+
+    def test_bert_is_compute_bound_on_u55c(self, report):
+        """With 460 GB/s HBM and ~130 ops/byte intensity vs ~3 ops/byte
+        machine balance, the design is firmly compute-bound — the
+        premise behind the paper's DSP-centric optimization."""
+        assert report.arithmetic_intensity > report.machine_balance
+        assert report.compute_bound
+
+    def test_intensity_value_sane(self, report):
+        # 11.0 GOP / ~85 MB ≈ 130 ops per byte.
+        assert 50 < report.arithmetic_intensity < 500
+
+    def test_fix16_doubles_traffic(self, default_accel):
+        from repro import ProTEA, SynthParams
+        from repro.core import DatapathFormats
+
+        accel16 = ProTEA.synthesize(SynthParams(),
+                                    formats=DatapathFormats.fix16(),
+                                    enforce_fit=False)
+        r8 = analyze_traffic(default_accel, BERT_VARIANT)
+        r16 = analyze_traffic(accel16, BERT_VARIANT)
+        assert r16.weight_bytes == 2 * r8.weight_bytes

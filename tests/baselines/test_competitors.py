@@ -1,0 +1,41 @@
+"""Unit tests for the competitor FPGA records (Table II constants)."""
+
+import pytest
+
+from repro.baselines import TABLE2_COMPETITORS, get_competitor
+from repro.nn import MODEL_ZOO
+
+
+class TestRecords:
+    def test_five_comparators(self):
+        assert len(TABLE2_COMPETITORS) == 5
+
+    def test_published_values_transcribed(self):
+        peng = get_competitor("peng21")
+        assert peng.latency_ms == 0.32
+        assert peng.gops == 555.0
+        assert peng.sparsity == 0.90
+        efa = get_competitor("efa-trans")
+        assert efa.method == "HDL"
+        assert efa.dsp == 1024
+
+    def test_workloads_resolve_in_zoo(self):
+        for rec in TABLE2_COMPETITORS:
+            assert rec.protea_model in MODEL_ZOO
+
+    def test_sparse_flags(self):
+        assert get_competitor("peng21").is_sparse
+        assert get_competitor("ftrans").is_sparse
+        assert not get_competitor("efa-trans").is_sparse
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="peng21"):
+            get_competitor("nonexistent")
+
+    def test_paper_protea_latencies_recorded(self):
+        """The paper's own ProTEA measurements per row — used in the
+        EXPERIMENTS.md delta accounting."""
+        assert get_competitor("peng21").paper_protea_latency_ms == 4.48
+        assert get_competitor("wojcicki22").paper_protea_latency_ms == 0.425
+        assert get_competitor("efa-trans").paper_protea_latency_ms == 5.18
+        assert get_competitor("qi21").paper_protea_latency_ms == 9.12

@@ -1,0 +1,57 @@
+"""Unit tests for the roofline baseline models."""
+
+import pytest
+
+from repro.baselines import PlatformModel, anchored_platform
+from repro.nn import BERT_VARIANT, TransformerConfig
+
+TINY = TransformerConfig("tiny", 64, 2, 1, 16)
+
+
+class TestPlatformModel:
+    def test_latency_has_overhead_floor(self):
+        p = PlatformModel("p", 1.0, compute_tput_gops=1e6,
+                          mem_bandwidth_gbps=1e6, overhead_ms=0.5)
+        assert p.latency_ms(TINY) >= 0.5
+
+    def test_compute_bound_scaling(self):
+        p = PlatformModel("p", 1.0, compute_tput_gops=10,
+                          mem_bandwidth_gbps=1e9, overhead_ms=0.0)
+        small = p.latency_ms(TINY)
+        big = p.latency_ms(TINY.with_(num_layers=4))
+        assert big == pytest.approx(4 * small, rel=1e-6)
+
+    def test_memory_bound_when_bandwidth_tiny(self):
+        fast_mem = PlatformModel("a", 1.0, 100, mem_bandwidth_gbps=1000)
+        slow_mem = PlatformModel("b", 1.0, 100, mem_bandwidth_gbps=0.001)
+        assert slow_mem.latency_ms(BERT_VARIANT) > fast_mem.latency_ms(
+            BERT_VARIANT)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlatformModel("bad", 0.0, 1.0, 1.0)
+
+
+class TestAnchoring:
+    def test_anchor_reproduced_exactly(self):
+        p = anchored_platform("x", 1.0, 100.0, BERT_VARIANT,
+                              anchor_latency_ms=50.0, overhead_ms=0.1)
+        assert p.latency_ms(BERT_VARIANT) == pytest.approx(50.0, rel=1e-6)
+
+    def test_impossible_anchor_rejected(self):
+        with pytest.raises(ValueError, match="overhead"):
+            anchored_platform("x", 1.0, 100.0, BERT_VARIANT,
+                              anchor_latency_ms=0.01, overhead_ms=0.5)
+
+    def test_memory_bound_anchor_accepted(self):
+        """A published number faster than the naive compute estimate but
+        at the memory floor is credited to the bound."""
+        p = anchored_platform("x", 1.0, mem_bandwidth_gbps=0.5,
+                              anchor_config=BERT_VARIANT,
+                              anchor_latency_ms=100.0, overhead_ms=0.1)
+        assert p.compute_tput_gops > 0
+
+    def test_throughput_gops(self):
+        p = anchored_platform("x", 1.0, 100.0, BERT_VARIANT, 50.0)
+        g = p.throughput_gops(BERT_VARIANT)
+        assert g > 0

@@ -1,0 +1,44 @@
+"""Unit tests: the paper's sparsity what-if arithmetic, exactly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import sparsity_adjusted_latency, what_if
+
+
+class TestPaperArithmetic:
+    def test_peng_90_percent(self):
+        """'its latency would mathematically be reduced to 0.448 ms
+        (calculated as 4.48 − 4.48 × 0.9), making it 1.4x slower.'"""
+        wi = what_if(4.48, 0.90, competitor_ms=0.32)
+        assert wi.adjusted_latency_ms == pytest.approx(0.448)
+        assert 1.0 / wi.speedup_vs_competitor == pytest.approx(1.4)
+        assert wi.verdict == "1.4x slower"
+
+    def test_ftrans_93_percent(self):
+        """'its latency would be 0.31 ms (calculated as
+        4.48 − 4.48 × 0.93)' → 9.4x faster than FTRANS' 2.94 ms."""
+        wi = what_if(4.48, 0.93, competitor_ms=2.94)
+        assert wi.adjusted_latency_ms == pytest.approx(0.3136)
+        assert wi.speedup_vs_competitor == pytest.approx(9.375, rel=1e-3)
+        assert wi.verdict == "9.4x faster"
+
+
+class TestProperties:
+    @given(st.floats(0.1, 100.0), st.floats(0.0, 0.99))
+    def test_adjusted_never_negative(self, lat, s):
+        adj = sparsity_adjusted_latency(lat, s)
+        assert 0 < adj <= lat
+
+    @given(st.floats(0.1, 100.0))
+    def test_zero_sparsity_is_identity(self, lat):
+        assert sparsity_adjusted_latency(lat, 0.0) == lat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparsity_adjusted_latency(1.0, 1.0)
+        with pytest.raises(ValueError):
+            sparsity_adjusted_latency(1.0, -0.1)
+        with pytest.raises(ValueError):
+            sparsity_adjusted_latency(0.0, 0.5)

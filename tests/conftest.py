@@ -1,0 +1,78 @@
+"""Shared fixtures: small configurations that keep functional tests fast.
+
+The "small" accelerator uses tiny tile sizes and dimensions so full
+fixed-point forward passes run in milliseconds; the "default" session
+fixture is the published U55C instance (synthesized once per session —
+the expensive step, exactly like the real flow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ProTEA, SynthParams, TransformerConfig
+from repro.core import DatapathFormats
+from repro.nn import build_encoder
+
+SMALL_CONFIG = TransformerConfig(
+    name="small-test", d_model=64, num_heads=2, num_layers=2, seq_len=16
+)
+
+SMALL_SYNTH = SynthParams(
+    ts_mha=16,
+    ts_ffn=32,
+    max_heads=2,
+    max_layers=4,
+    max_d_model=64,
+    max_seq_len=32,
+    seq_chunk=16,
+)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> TransformerConfig:
+    return SMALL_CONFIG
+
+
+@pytest.fixture(scope="session")
+def small_synth() -> SynthParams:
+    return SMALL_SYNTH
+
+
+@pytest.fixture(scope="session")
+def small_encoder():
+    return build_encoder(SMALL_CONFIG, seed=7)
+
+
+@pytest.fixture()
+def small_accel(small_encoder):
+    accel = ProTEA.synthesize(SMALL_SYNTH, enforce_fit=False)
+    accel.program(SMALL_CONFIG).load_weights(small_encoder)
+    return accel
+
+
+@pytest.fixture()
+def small_accel_fix16(small_encoder):
+    accel = ProTEA.synthesize(
+        SMALL_SYNTH, formats=DatapathFormats.fix16(), enforce_fit=False
+    )
+    accel.program(SMALL_CONFIG).load_weights(small_encoder)
+    return accel
+
+
+@pytest.fixture(scope="session")
+def default_accel():
+    """The published U55C instance (synthesized once per test session)."""
+    return ProTEA.synthesize(SynthParams())
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_input() -> np.ndarray:
+    gen = np.random.default_rng(99)
+    return gen.normal(0.0, 0.5, size=(SMALL_CONFIG.seq_len, SMALL_CONFIG.d_model))

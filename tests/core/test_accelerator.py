@@ -1,0 +1,98 @@
+"""Unit tests for the ProTEA top-level lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro import ProTEA, ResynthesisRequiredError, SynthParams
+from repro.nn import BERT_VARIANT, TransformerConfig, build_encoder
+
+
+class TestSynthesis:
+    def test_default_closes_at_200mhz(self, default_accel):
+        assert default_accel.clock_mhz == pytest.approx(200.0)
+
+    def test_summary_mentions_device_and_tiles(self, default_accel):
+        s = default_accel.summary()
+        assert "U55C" in s and "TS_MHA=64" in s
+
+    def test_synthesize_checks_fit(self):
+        import dataclasses
+
+        huge = dataclasses.replace(SynthParams(), max_heads=24)
+        with pytest.raises(Exception):
+            ProTEA.synthesize(huge)
+
+
+class TestProgramming:
+    def test_program_required_before_run(self, small_synth):
+        accel = ProTEA.synthesize(small_synth, enforce_fit=False)
+        with pytest.raises(RuntimeError, match="program"):
+            _ = accel.config
+
+    def test_program_validates_maxima(self, default_accel):
+        too_long = BERT_VARIANT.with_(seq_len=256)
+        with pytest.raises(ResynthesisRequiredError):
+            default_accel.program(too_long)
+
+    def test_weights_required_before_run(self, small_synth, small_config):
+        accel = ProTEA.synthesize(small_synth, enforce_fit=False)
+        accel.program(small_config)
+        with pytest.raises(RuntimeError, match="weights"):
+            _ = accel.weights
+
+    def test_layer_count_consistency(self, small_synth, small_config):
+        accel = ProTEA.synthesize(small_synth, enforce_fit=False)
+        accel.program(small_config.with_(num_layers=3))
+        shallow = build_encoder(small_config.with_(num_layers=1), seed=0)
+        with pytest.raises(ValueError, match="layers"):
+            accel.load_weights(shallow)
+
+
+class TestInference:
+    def test_input_shape_validated(self, small_accel, small_config):
+        with pytest.raises(ValueError, match="shape"):
+            small_accel.run(np.zeros((1, small_config.d_model)))
+
+    def test_run_deterministic(self, small_accel, small_input):
+        y1 = small_accel.run(small_input)
+        y2 = small_accel.run(small_input)
+        assert np.array_equal(y1, y2)
+
+    def test_fix8_tracks_golden(self, small_accel, small_encoder,
+                                small_input):
+        golden = small_encoder(small_input)
+        y = small_accel.run(small_input)
+        rms = np.sqrt(np.mean((y - golden) ** 2))
+        assert rms < 0.2  # 8-bit datapath over 2 layers
+
+    def test_fix16_tracks_golden_tightly(self, small_accel_fix16,
+                                         small_encoder, small_input):
+        golden = small_encoder(small_input)
+        y = small_accel_fix16.run(small_input)
+        rms = np.sqrt(np.mean((y - golden) ** 2))
+        assert rms < 0.02
+
+    def test_fewer_programmed_layers_run_fewer_layers(
+            self, small_accel, small_encoder, small_config, small_input):
+        full = small_accel.run(small_input)
+        small_accel.program(small_config.with_(num_layers=1))
+        one = small_accel.run(small_input)
+        assert not np.allclose(full, one)
+
+
+class TestMeasurements:
+    def test_latency_positive_and_stable(self, default_accel):
+        a = default_accel.latency_ms(BERT_VARIANT)
+        b = default_accel.latency_ms(BERT_VARIANT)
+        assert a == b > 0
+
+    def test_gops_consistent_with_ops(self, default_accel):
+        rep = default_accel.latency_report(BERT_VARIANT)
+        g = default_accel.throughput_gops(BERT_VARIANT)
+        assert g == pytest.approx(
+            default_accel.ops(BERT_VARIANT) / rep.latency_s / 1e9)
+
+    def test_bert_latency_same_order_as_paper(self, default_accel):
+        """Paper: 279 ms. Simulation must land within 2x either way."""
+        ms = default_accel.latency_ms(BERT_VARIANT)
+        assert 140 < ms < 560

@@ -1,0 +1,71 @@
+"""Unit tests for the Fig. 7 design-space sweep."""
+
+import math
+
+import pytest
+
+from repro.core import find_optimum, normalize_latency, tile_size_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return tile_size_sweep()
+
+
+class TestSweepGrid:
+    def test_full_grid(self, sweep):
+        assert len(sweep) == 3 * 5
+        combos = {(p.tiles_mha, p.tiles_ffn) for p in sweep}
+        assert (12, 6) in combos and (48, 2) in combos
+
+    def test_tile_sizes_derived(self, sweep):
+        by = {(p.tiles_mha, p.tiles_ffn): p for p in sweep}
+        assert by[(12, 6)].ts_mha == 64
+        assert by[(12, 6)].ts_ffn == 128
+        assert by[(6, 2)].ts_ffn == 384
+        assert by[(12, 5)].ts_ffn == math.ceil(768 / 5)
+
+
+class TestHeadline:
+    def test_optimum_matches_paper(self, sweep):
+        """Both the frequency max and the latency min sit at 12/6."""
+        best_freq, best_lat = find_optimum(sweep)
+        assert (best_freq.tiles_mha, best_freq.tiles_ffn) == (12, 6)
+        assert (best_lat.tiles_mha, best_lat.tiles_ffn) == (12, 6)
+
+    def test_peak_frequency_200mhz(self, sweep):
+        best_freq, _ = find_optimum(sweep)
+        assert best_freq.fmax_mhz == pytest.approx(200.0)
+
+    def test_frequency_range_matches_figure(self, sweep):
+        """Fig. 7's y-axis spans ~60-240 MHz."""
+        freqs = [p.fmax_mhz for p in sweep]
+        assert min(freqs) >= 55
+        assert max(freqs) <= 240
+
+    def test_biggest_tiles_are_slowest_clock(self, sweep):
+        by = {(p.tiles_mha, p.tiles_ffn): p for p in sweep}
+        assert by[(12, 2)].fmax_mhz < by[(12, 6)].fmax_mhz
+
+    def test_most_fragmented_also_slower(self, sweep):
+        by = {(p.tiles_mha, p.tiles_ffn): p for p in sweep}
+        assert by[(48, 6)].fmax_mhz < by[(12, 6)].fmax_mhz
+
+
+class TestNormalization:
+    def test_minimum_normalizes_to_one(self, sweep):
+        assert min(p.normalized_latency for p in sweep) == pytest.approx(1.0)
+
+    def test_normalize_empty(self):
+        assert normalize_latency([]) == []
+
+    def test_find_optimum_empty(self):
+        with pytest.raises(ValueError):
+            find_optimum([])
+
+
+class TestResourceTradeoff:
+    def test_fewer_tiles_more_dsps(self, sweep):
+        """Bigger tiles → wider PE arrays → more DSPs."""
+        by = {(p.tiles_mha, p.tiles_ffn): p for p in sweep}
+        assert by[(6, 2)].dsps > by[(12, 6)].dsps > by[(48, 6)].dsps

@@ -1,0 +1,126 @@
+"""Unit + property tests for engine building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engines import (
+    DatapathFormats,
+    add_bias_and_requantize,
+    ffn_loop_nest,
+    qk_loop_nest,
+    qkv_loop_nest,
+    reduction_passes,
+    softmax_loop_nest,
+    sv_loop_nest,
+    tiled_fx_matmul_2d,
+    tiled_fx_matmul_reduction,
+)
+from repro.fixedpoint import FxTensor, QFormat
+from repro.hls import estimate_loop_resources, schedule_loop
+
+Q84 = QFormat(8, 4)
+
+
+class TestFormats:
+    def test_fix8_widths(self):
+        f = DatapathFormats.fix8()
+        assert f.weight_bits == 8
+        assert f.activation.total_bits == 8
+
+    def test_fix16_widths(self):
+        f = DatapathFormats.fix16()
+        assert f.weight_bits == 16
+        assert f.qkv.total_bits == 16
+
+
+class TestTiledMatmuls:
+    @settings(max_examples=30)
+    @given(st.integers(1, 12), st.integers(1, 40), st.integers(1, 12),
+           st.integers(1, 16))
+    def test_reduction_tiling_bit_exact(self, sl, d, dk, tile):
+        rng = np.random.default_rng(7)
+        x = FxTensor(rng.integers(-128, 128, (sl, d)), Q84)
+        w = FxTensor(rng.integers(-128, 128, (d, dk)), Q84)
+        out = tiled_fx_matmul_reduction(x, w, tile)
+        assert np.array_equal(out.raw, x.raw @ w.raw)
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 8), st.integers(1, 32), st.integers(1, 32),
+           st.integers(1, 12), st.integers(1, 12))
+    def test_2d_tiling_bit_exact(self, sl, d_in, d_out, tr, tc):
+        rng = np.random.default_rng(8)
+        x = FxTensor(rng.integers(-128, 128, (sl, d_in)), Q84)
+        w = FxTensor(rng.integers(-128, 128, (d_in, d_out)), Q84)
+        out = tiled_fx_matmul_2d(x, w, tr, tc)
+        assert np.array_equal(out.raw, x.raw @ w.raw)
+
+    def test_mismatched_reduction_rejected(self):
+        x = FxTensor(np.zeros((2, 3), dtype=np.int64), Q84)
+        w = FxTensor(np.zeros((4, 2), dtype=np.int64), Q84)
+        with pytest.raises(ValueError):
+            tiled_fx_matmul_reduction(x, w, 2)
+        with pytest.raises(ValueError):
+            tiled_fx_matmul_2d(x, w, 2, 2)
+
+    def test_bias_add_requantize(self):
+        x = FxTensor(np.array([[10, 20]]), Q84)
+        w = FxTensor(np.eye(2, dtype=np.int64) * 16, Q84)  # identity
+        acc = tiled_fx_matmul_reduction(x, w, 1)
+        bias = FxTensor.from_float(np.array([0.5, -0.5]), QFormat(16, 8))
+        out = add_bias_and_requantize(acc, bias, Q84)
+        expect = x.to_float() + np.array([0.5, -0.5])
+        assert np.allclose(out.to_float(), expect, atol=Q84.scale)
+
+
+class TestLoopNests:
+    def test_qkv_pe_count(self):
+        """Algorithm 1 with TS=64 yields 3x64 = 192 PEs per head."""
+        nest = qkv_loop_nest(seq_len=64, d_k=96, ts_mha=64)
+        assert estimate_loop_resources(nest).dsps == 192
+
+    def test_qk_pe_count(self):
+        nest = qk_loop_nest(64, 64, d_k_unroll=96)
+        assert estimate_loop_resources(nest).dsps == 96
+
+    def test_sv_pe_count(self):
+        nest = sv_loop_nest(64, 96, sl_unroll=64)
+        assert estimate_loop_resources(nest).dsps == 64
+
+    def test_ffn_pe_counts(self):
+        assert estimate_loop_resources(
+            ffn_loop_nest(64, 128, 128)).dsps == 128
+        assert estimate_loop_resources(
+            ffn_loop_nest(64, 128, 512)).dsps == 512
+
+    def test_qkv_cycles_scale_with_dk(self):
+        fast = schedule_loop(qkv_loop_nest(64, 48, 64)).cycles
+        slow = schedule_loop(qkv_loop_nest(64, 96, 64)).cycles
+        assert slow > fast
+
+    def test_qk_reduction_passes_multiply_cycles(self):
+        one = schedule_loop(qk_loop_nest(64, 64, 96, reduction_passes=1))
+        four = schedule_loop(qk_loop_nest(64, 64, 96, reduction_passes=4))
+        assert four.cycles > 3 * one.cycles
+
+    def test_softmax_has_three_passes(self):
+        nest = softmax_loop_nest(rows=8, row_len=16)
+        sched = schedule_loop(nest)
+        # at least 3 passes of 16 per row
+        assert sched.cycles >= 8 * 3 * 16
+
+
+class TestReductionPasses:
+    def test_exact_fit(self):
+        assert reduction_passes(96, 96) == (1, 96)
+
+    def test_oversized_runtime_dk(self):
+        assert reduction_passes(384, 96) == (4, 384)
+
+    def test_undersized_still_one_pass(self):
+        assert reduction_passes(32, 96) == (1, 96)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduction_passes(0, 96)

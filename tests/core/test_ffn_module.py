@@ -1,0 +1,113 @@
+"""Unit tests for the FFN module (functional, cycles, resources)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DatapathFormats
+from repro.core.ffn_module import FFNModule
+from repro.core.quantized import QuantizedEncoder
+from repro.fixedpoint import FxTensor
+from repro.isa import SynthParams
+from repro.nn import TransformerConfig, build_encoder
+
+CFG = TransformerConfig("fm", d_model=64, num_heads=2, num_layers=1, seq_len=16)
+SYNTH = SynthParams(ts_mha=16, ts_ffn=32, max_heads=2, max_layers=2,
+                    max_d_model=64, max_seq_len=32, seq_chunk=16)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    enc = build_encoder(CFG, seed=4)
+    fmts = DatapathFormats.fix16()
+    module = FFNModule(SYNTH, fmts)
+    q = QuantizedEncoder.from_encoder(enc, fmts)
+    rng = np.random.default_rng(1)
+    concat = FxTensor.from_float(rng.normal(0, 0.5, (16, 64)), fmts.activation)
+    layer_in = FxTensor.from_float(rng.normal(0, 0.5, (16, 64)), fmts.activation)
+    return module, q.layers[0], concat, layer_in, enc.layers[0]
+
+
+class TestFunctional:
+    def test_trace_shapes(self, setup):
+        module, layer, concat, layer_in, _ = setup
+        t = module.forward(concat, layer_in, layer)
+        assert t.proj.raw.shape == (16, 64)
+        assert t.hidden.raw.shape == (16, 256)
+        assert t.out.raw.shape == (16, 64)
+
+    def test_matches_float_reference(self, setup):
+        """fix16 FFN module tracks the float computation stagewise."""
+        module, layer, concat, layer_in, golden = setup
+        t = module.forward(concat, layer_in, layer)
+        c = concat.to_float()
+        xin = layer_in.to_float()
+        from repro.nn.functional import gelu, layer_norm
+
+        proj = c @ layer.wo.weight.to_float() + layer.wo.bias.to_float()
+        ln1 = layer_norm(proj + xin, layer.ln1_gamma, layer.ln1_beta)
+        hid = gelu(ln1 @ layer.w1.weight.to_float() + layer.w1.bias.to_float())
+        out = layer_norm(
+            hid @ layer.w2.weight.to_float() + layer.w2.bias.to_float() + ln1,
+            layer.ln2_gamma, layer.ln2_beta)
+        assert np.max(np.abs(t.ln1.to_float() - ln1)) < 0.05
+        assert np.max(np.abs(t.out.to_float() - out)) < 0.15
+
+    def test_relu_activation_path(self, setup):
+        module, layer, concat, layer_in, _ = setup
+        import dataclasses
+
+        relu_layer = dataclasses.replace(layer, activation="relu")
+        t = module.forward(concat, layer_in, relu_layer)
+        assert np.all(t.hidden.raw >= 0)
+
+    def test_unknown_activation_rejected(self, setup):
+        module, layer, concat, layer_in, _ = setup
+        import dataclasses
+
+        bad = dataclasses.replace(layer, activation="swish")
+        with pytest.raises(ValueError):
+            module.forward(concat, layer_in, bad)
+
+
+class TestCycles:
+    def test_tile_grid_published_counts(self):
+        """At the published config: FFN1 36, FFN2 144, FFN3 36."""
+        module = FFNModule(SynthParams(), DatapathFormats.fix8())
+        grid = module.tile_grid(768)
+        assert grid == {"ffn1": 36, "ffn2": 144, "ffn3": 36}
+
+    def test_linear_scaling_in_d_model(self):
+        """Output grid frozen at synthesis → invocations linear in the
+        runtime d_model (the Table I tests 6-7 mechanism)."""
+        module = FFNModule(SynthParams(), DatapathFormats.fix8())
+        g768 = module.tile_grid(768)
+        g512 = module.tile_grid(512)
+        g256 = module.tile_grid(256)
+        assert g512["ffn2"] / g768["ffn2"] == pytest.approx(4 / 6)
+        assert g256["ffn2"] / g768["ffn2"] == pytest.approx(2 / 6)
+
+    def test_compute_cycles_dominated_by_ffn2(self):
+        module = FFNModule(SynthParams(), DatapathFormats.fix8())
+        c = module.compute_cycles(64, 768)
+        assert c["ffn2"] > c["ffn1"]
+        assert c["ffn2"] > c["ffn3"]
+        assert c["total"] == c["ffn1"] + c["ffn2"] + c["ffn3"] + c["ln"]
+
+    def test_weight_bytes(self):
+        module = FFNModule(SynthParams(), DatapathFormats.fix8())
+        wb = module.weight_bytes(768)
+        assert wb["ffn1"] == 768 * 768
+        assert wb["ffn2"] == 768 * 3072
+        assert wb["ffn3"] == 3072 * 768
+
+
+class TestResources:
+    def test_published_dsp_budget(self):
+        """128 + 128 + 512 PEs + 2 LN units x 6 DSPs = 780."""
+        module = FFNModule(SynthParams(), DatapathFormats.fix8())
+        assert module.resources().dsps == 128 + 128 + 512 + 12
+
+    def test_timing_paths(self):
+        module = FFNModule(SynthParams(), DatapathFormats.fix8())
+        paths = {p.name: p for p in module.timing_paths()}
+        assert paths["ffn3_ce"].width == 512

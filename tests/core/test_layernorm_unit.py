@@ -1,0 +1,74 @@
+"""Unit tests for the fixed-point layer-norm unit."""
+
+import numpy as np
+import pytest
+
+from repro.core import DatapathFormats, LayerNormUnit
+from repro.fixedpoint import FxTensor
+
+FMT8 = DatapathFormats.fix8()
+FMT16 = DatapathFormats.fix16()
+
+
+def act(arr, fmts=FMT8):
+    return FxTensor.from_float(np.asarray(arr, dtype=float), fmts.activation)
+
+
+class TestFunctional:
+    def test_matches_reference_fix16(self):
+        unit = LayerNormUnit(formats=FMT16)
+        rng = np.random.default_rng(0)
+        x = FxTensor.from_float(rng.normal(0, 1, (8, 32)), FMT16.activation)
+        g, b = np.ones(32), np.zeros(32)
+        out = unit(x, None, g, b).to_float()
+        ref = unit.reference(x, None, g, b)
+        assert np.max(np.abs(out - ref)) < 0.02
+
+    def test_output_rows_normalized(self):
+        unit = LayerNormUnit()
+        rng = np.random.default_rng(1)
+        x = act(rng.normal(0, 1.5, (6, 32)))
+        out = unit(x, None, np.ones(32), np.zeros(32)).to_float()
+        assert np.all(np.abs(out.mean(axis=1)) < 0.1)
+        assert np.all(np.abs(out.std(axis=1) - 1.0) < 0.15)
+
+    def test_residual_added_before_normalization(self):
+        unit = LayerNormUnit()
+        rng = np.random.default_rng(2)
+        x = act(rng.normal(size=(4, 16)))
+        r = act(rng.normal(size=(4, 16)))
+        with_res = unit(x, r, np.ones(16), np.zeros(16)).to_float()
+        manual = unit.reference(x, r, np.ones(16), np.zeros(16))
+        assert np.max(np.abs(with_res - manual)) < 0.15
+
+    def test_gamma_beta_quantized_but_applied(self):
+        unit = LayerNormUnit()
+        x = act(np.random.default_rng(3).normal(size=(4, 16)))
+        g = np.full(16, 2.0)
+        b = np.full(16, -1.0)
+        out = unit(x, None, g, b).to_float()
+        assert np.all(np.abs(out.mean(axis=1) + 1.0) < 0.15)
+
+    def test_residual_shape_mismatch_rejected(self):
+        unit = LayerNormUnit()
+        x = act(np.zeros((4, 16)))
+        r = act(np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            unit(x, r, np.ones(16), np.zeros(16))
+
+    def test_requires_2d(self):
+        unit = LayerNormUnit()
+        with pytest.raises(ValueError):
+            unit(act(np.zeros(16)), None, np.ones(16), np.zeros(16))
+
+
+class TestHardwareModel:
+    def test_three_pass_cycles(self):
+        from repro.hls import schedule_loop
+
+        unit = LayerNormUnit()
+        sched = schedule_loop(unit.loop_nest(8, 64))
+        assert sched.cycles >= 8 * 3 * 64
+
+    def test_dsp_budget(self):
+        assert LayerNormUnit().dsps == 6

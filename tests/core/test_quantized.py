@@ -1,0 +1,61 @@
+"""Unit tests for the quantized weight containers."""
+
+import numpy as np
+
+from repro.core import DatapathFormats, QuantizedEncoder
+from repro.core.quantized import QuantizedLinear
+from repro.nn import Linear, TransformerConfig, build_encoder
+
+CFG = TransformerConfig("q", d_model=32, num_heads=2, num_layers=2, seq_len=8)
+
+
+class TestQuantizedLinear:
+    def test_weight_roundtrip_within_lsb(self, rng):
+        lin = Linear.initialize(rng, 16, 8)
+        q = QuantizedLinear.from_linear(lin, weight_bits=8)
+        err = np.abs(q.weight.to_float() - lin.weight)
+        assert err.max() <= q.weight.fmt.scale / 2 + 1e-12
+
+    def test_bias_uses_wider_format(self, rng):
+        lin = Linear.initialize(rng, 16, 8)
+        q = QuantizedLinear.from_linear(lin, weight_bits=8)
+        assert q.bias.fmt.total_bits >= 16
+
+    def test_nbytes(self, rng):
+        lin = Linear.initialize(rng, 16, 8)
+        q8 = QuantizedLinear.from_linear(lin, 8)
+        q16 = QuantizedLinear.from_linear(lin, 16)
+        assert q8.nbytes == 16 * 8
+        assert q16.nbytes == 16 * 8 * 2
+
+
+class TestQuantizedEncoder:
+    def test_structure_preserved(self):
+        enc = build_encoder(CFG, seed=0)
+        q = QuantizedEncoder.from_encoder(enc)
+        assert q.num_layers == 2
+        assert q.layers[0].num_heads == 2
+        assert q.layers[0].d_model == 32
+        assert q.layers[0].activation == "gelu"
+
+    def test_per_tensor_calibration(self):
+        """Each head's format adapts to that tensor's range."""
+        enc = build_encoder(CFG, seed=0)
+        enc.layers[0].attention.wq[0].weight *= 8.0  # inflate one tensor
+        q = QuantizedEncoder.from_encoder(enc)
+        big = q.layers[0].wq[0].weight.fmt
+        normal = q.layers[0].wq[1].weight.fmt
+        assert big.frac_bits < normal.frac_bits
+
+    def test_weight_bytes_accounting(self):
+        enc = build_encoder(CFG, seed=0)
+        q = QuantizedEncoder.from_encoder(enc)
+        d, dff = 32, 128
+        per_layer = 3 * d * (d // 2) * 2 + d * d + d * dff + dff * d
+        assert q.weight_bytes() == 2 * per_layer
+
+    def test_fix16_doubles_footprint(self):
+        enc = build_encoder(CFG, seed=0)
+        q8 = QuantizedEncoder.from_encoder(enc, DatapathFormats.fix8())
+        q16 = QuantizedEncoder.from_encoder(enc, DatapathFormats.fix16())
+        assert q16.weight_bytes() == 2 * q8.weight_bytes()

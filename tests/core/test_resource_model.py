@@ -1,0 +1,73 @@
+"""Unit tests for the whole-accelerator resource model."""
+
+import pytest
+
+from repro.core import accelerator_resources, device_utilization, max_parallel_heads
+from repro.fpga import ALVEO_U55C, OverUtilizationError, ZCU102
+from repro.isa import SynthParams
+
+
+class TestPublishedNumbers:
+    def test_dsp_count_exact(self):
+        """Table I: 3,612 DSPs."""
+        assert accelerator_resources(SynthParams()).dsps == 3612
+
+    def test_lut_within_one_percent_of_paper(self):
+        est = accelerator_resources(SynthParams())
+        assert abs(est.luts - 993107) / 993107 < 0.01
+
+    def test_ff_within_one_percent_of_paper(self):
+        est = accelerator_resources(SynthParams())
+        assert abs(est.ffs - 704115) / 704115 < 0.01
+
+    def test_utilization_percentages(self):
+        util = device_utilization(SynthParams(), ALVEO_U55C)
+        assert round(util.percent["dsp"]) == 40
+        assert round(util.percent["lut"]) == 76
+        assert round(util.percent["ff"]) == 27
+
+    def test_breakdown_has_all_engines(self):
+        est = accelerator_resources(SynthParams())
+        for name in ("qkv_ce", "qk_ce", "sv_ce", "ffn1_ce", "ffn2_ce",
+                     "ffn3_ce"):
+            assert name in est.breakdown
+
+
+class TestDeviceFit:
+    def test_fits_u55c(self):
+        device_utilization(SynthParams(), ALVEO_U55C, enforce=True)
+
+    def test_does_not_fit_zcu102(self):
+        """The full 8-head design cannot fit the embedded part."""
+        with pytest.raises(OverUtilizationError):
+            device_utilization(SynthParams(), ZCU102, enforce=True)
+
+    def test_enforce_false_reports_anyway(self):
+        util = device_utilization(SynthParams(), ZCU102, enforce=False)
+        assert util.percent["lut"] > 100
+
+
+class TestMaxHeads:
+    def test_u55c_supports_exactly_eight(self):
+        """Section V: 'the optimal number of parallel attention heads
+        was determined to be 8 on the Alveo U55C'."""
+        assert max_parallel_heads(SynthParams(), ALVEO_U55C) == 8
+
+    def test_binding_resource_is_luts(self):
+        """At 8 heads LUTs are near 76%; doubling heads blows LUTs
+        before DSPs reach 9024."""
+        import dataclasses
+
+        synth16 = dataclasses.replace(SynthParams(), max_heads=16)
+        util = device_utilization(synth16, ALVEO_U55C, enforce=False)
+        assert util.percent["lut"] > 100
+        assert util.percent["dsp"] < 100
+
+    def test_small_device_allows_fewer_heads(self):
+        import dataclasses
+
+        small = dataclasses.replace(SynthParams(), ts_mha=16, ts_ffn=32,
+                                    max_d_model=128, max_heads=2,
+                                    max_seq_len=32, seq_chunk=32)
+        heads = max_parallel_heads(small, ZCU102, limit_pct=100.0)
+        assert 1 <= heads < 8

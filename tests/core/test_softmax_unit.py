@@ -1,0 +1,83 @@
+"""Unit tests for the LUT softmax unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import DatapathFormats, SoftmaxUnit
+from repro.fixedpoint import FxTensor, QFormat
+
+SCORE = QFormat(8, 4)
+
+
+def make_scores(arr):
+    return FxTensor.from_float(np.asarray(arr, dtype=float), SCORE)
+
+
+class TestFunctional:
+    def test_rows_approximately_sum_to_one(self):
+        unit = SoftmaxUnit()
+        scores = make_scores(np.random.default_rng(0).normal(0, 2, (8, 16)))
+        probs = unit(scores).to_float()
+        assert np.all(np.abs(probs.sum(axis=1) - 1.0) < 0.08)
+
+    def test_matches_float_softmax(self):
+        unit = SoftmaxUnit()
+        scores = make_scores(np.random.default_rng(1).normal(0, 2, (8, 16)))
+        assert unit.max_abs_error(scores) < 0.05
+
+    def test_error_floor_set_by_lut_not_output_format(self):
+        """With the same exp/recip tables, fix8 and fix16 land at the
+        same error floor (the LUT step dominates); a finer exp table
+        lowers the floor."""
+        from repro.fixedpoint import ExpLUT, ReciprocalLUT
+
+        rng = np.random.default_rng(2)
+        vals = rng.normal(0, 2, (8, 16))
+        u16 = SoftmaxUnit(formats=DatapathFormats.fix16())
+        u16_fine = SoftmaxUnit(
+            formats=DatapathFormats.fix16(),
+            exp_lut=ExpLUT(entries=8192),
+            recip_lut=ReciprocalLUT(lo=0.5, hi=1024.0, entries=1 << 15))
+        s16 = FxTensor.from_float(vals, DatapathFormats.fix16().score)
+        assert u16_fine.max_abs_error(s16) < u16.max_abs_error(s16) / 10
+
+    def test_argmax_preserved(self):
+        unit = SoftmaxUnit()
+        scores = make_scores([[0.0, 3.0, 1.0, -2.0]])
+        probs = unit(scores).to_float()
+        assert probs.argmax() == 1
+
+    def test_extreme_scores_saturate_gracefully(self):
+        unit = SoftmaxUnit()
+        scores = make_scores([[7.9, -8.0, -8.0, -8.0]])
+        probs = unit(scores).to_float()
+        assert probs[0, 0] > 0.9
+
+    def test_requires_2d(self):
+        unit = SoftmaxUnit()
+        with pytest.raises(ValueError):
+            unit(make_scores([1.0, 2.0]))
+
+    @settings(max_examples=25)
+    @given(hnp.arrays(np.float64, (4, 8), elements=st.floats(-7, 7)))
+    def test_probabilities_valid(self, vals):
+        unit = SoftmaxUnit()
+        probs = unit(make_scores(vals)).to_float()
+        assert np.all(probs >= 0.0)
+        assert np.all(probs <= 1.0 + 1/32)
+
+
+class TestHardwareModel:
+    def test_loop_nest_scales_with_row_length(self):
+        from repro.hls import schedule_loop
+
+        unit = SoftmaxUnit()
+        short = schedule_loop(unit.loop_nest(8, 16)).cycles
+        long = schedule_loop(unit.loop_nest(8, 64)).cycles
+        assert long > short * 3
+
+    def test_dsp_budget(self):
+        assert SoftmaxUnit().dsps == 2

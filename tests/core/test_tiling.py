@@ -1,0 +1,109 @@
+"""Unit + property tests for the tiling strategies (Figs. 5 & 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    iter_reduction_tiles,
+    iter_tiles_2d,
+    num_tiles,
+    tiled_matmul_ffn,
+    tiled_matmul_mha,
+)
+
+
+class TestIterators:
+    def test_num_tiles(self):
+        assert num_tiles(768, 64) == 12
+        assert num_tiles(768, 128) == 6
+        assert num_tiles(65, 64) == 2  # ragged
+
+    def test_num_tiles_validation(self):
+        with pytest.raises(ValueError):
+            num_tiles(0, 64)
+
+    def test_reduction_tiles_cover_exactly(self):
+        tiles = list(iter_reduction_tiles(100, 32))
+        assert tiles[0].start == 0
+        assert tiles[-1].stop == 100
+        covered = sum(t.width for t in tiles)
+        assert covered == 100
+
+    def test_2d_order_is_column_major(self):
+        """Fig. 6: all reduction tiles of one output tile before moving
+        to the next output tile."""
+        tiles = list(iter_tiles_2d(4, 6, 2, 3))
+        order = [(t.col, t.row) for t in tiles]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_2d_ragged_edges(self):
+        tiles = list(iter_tiles_2d(5, 7, 2, 3))
+        assert tiles[-1].shape == (1, 1)
+
+
+class TestFig5WorkedExample:
+    """The 2x3 by 3x6 example drawn in Fig. 5."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(5)
+        self.x = rng.integers(-4, 5, size=(2, 3)).astype(float)
+        self.w = rng.integers(-4, 5, size=(3, 6)).astype(float)
+
+    def test_reduction_tiling_lossless(self):
+        # Tile the reduction axis with width 1 (the figure's extreme).
+        out = tiled_matmul_mha(self.x, self.w, ts_mha=1)
+        assert np.allclose(out, self.x @ self.w)
+
+    def test_partial_products_accumulate(self):
+        """First-tile partial product matches the figure's annotation:
+        X00·W00 + 0 (only reduction index 0 contributes)."""
+        partial = self.x[:, :1] @ self.w[:1, :]
+        rest = self.x[:, 1:] @ self.w[1:, :]
+        assert np.allclose(partial + rest, self.x @ self.w)
+
+
+class TestFig6WorkedExample:
+    """The 2x4 by 4x6 example drawn in Fig. 6 (2x2-ish tiles)."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(6)
+        self.x = rng.integers(-4, 5, size=(2, 4)).astype(float)
+        self.w = rng.integers(-4, 5, size=(4, 6)).astype(float)
+
+    def test_2d_tiling_lossless(self):
+        out = tiled_matmul_ffn(self.x, self.w, ts_ffn=2, ts_out=3)
+        assert np.allclose(out, self.x @ self.w)
+
+    def test_column_then_row_accumulation(self):
+        """'Output Column = sum over column tiles' from the figure."""
+        col0 = (self.x[:, :2] @ self.w[:2, :3]
+                + self.x[:, 2:] @ self.w[2:, :3])
+        assert np.allclose(col0, (self.x @ self.w)[:, :3])
+
+
+class TestProperties:
+    @settings(max_examples=40)
+    @given(st.integers(1, 32), st.integers(1, 48), st.integers(1, 24),
+           st.integers(1, 48))
+    def test_mha_tiling_equals_untiled(self, sl, d, dk, ts):
+        rng = np.random.default_rng(sl * 1000 + d)
+        x = rng.normal(size=(sl, d))
+        w = rng.normal(size=(d, dk))
+        assert np.allclose(tiled_matmul_mha(x, w, ts), x @ w)
+
+    @settings(max_examples=40)
+    @given(st.integers(1, 16), st.integers(1, 40), st.integers(1, 40),
+           st.integers(1, 16), st.integers(1, 16))
+    def test_ffn_tiling_equals_untiled(self, sl, d_in, d_out, tr, tc):
+        rng = np.random.default_rng(d_in * 100 + d_out)
+        x = rng.normal(size=(sl, d_in))
+        w = rng.normal(size=(d_in, d_out))
+        assert np.allclose(tiled_matmul_ffn(x, w, tr, tc), x @ w)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tiled_matmul_mha(np.zeros((2, 3)), np.zeros((4, 5)), 2)
+        with pytest.raises(ValueError):
+            tiled_matmul_ffn(np.zeros((2, 3)), np.zeros((4, 5)), 2)

@@ -1,0 +1,107 @@
+"""Unit + cross-validation tests for the event-driven timeline."""
+
+import pytest
+
+from repro.core import DatapathFormats, Timeline, TimelineEvent, TimelineSimulator
+from repro.core.attention_module import AttentionModule
+from repro.core.ffn_module import FFNModule
+from repro.core.latency import LatencyModel, LatencyOptions
+from repro.isa import SynthParams
+from repro.nn import BERT_VARIANT
+
+
+def make_sim(double_buffered=False, synth=None):
+    synth = synth or SynthParams()
+    fmts = DatapathFormats.fix8()
+    att, ffn = AttentionModule(synth, fmts), FFNModule(synth, fmts)
+    opts = LatencyOptions(double_buffered=double_buffered)
+    return (TimelineSimulator(att, ffn, opts),
+            LatencyModel(synth, att, ffn, opts))
+
+
+@pytest.fixture(scope="module")
+def bert2():
+    return BERT_VARIANT.with_(num_layers=2)
+
+
+class TestTimelineStructure:
+    def test_events_cover_all_engines(self, bert2):
+        sim, _ = make_sim()
+        tl = sim.simulate(bert2)
+        resources = {e.resource for e in tl.events}
+        assert {"axi", "qkv_ce", "ffn1_ce", "ffn2_ce", "ffn3_ce",
+                "ln"} <= resources
+        assert any(r.startswith("softmax[") for r in resources)
+
+    def test_no_resource_overlap(self, bert2):
+        """Two events on the same resource never overlap in time."""
+        sim, _ = make_sim()
+        tl = sim.simulate(bert2)
+        by_res = {}
+        for e in tl.events:
+            by_res.setdefault(e.resource, []).append(e)
+        for events in by_res.values():
+            events.sort(key=lambda e: e.start)
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start, (a, b)
+
+    def test_dataflow_ordering(self, bert2):
+        """FFN2 of a layer never starts before that layer's LN1 ends."""
+        sim, _ = make_sim()
+        tl = sim.simulate(bert2)
+        for layer in (0, 1):
+            ln1 = [e for e in tl.events
+                   if e.layer == layer and e.name.endswith("ln1")]
+            ffn2 = [e for e in tl.events
+                    if e.layer == layer and ".ffn2." in e.name]
+            assert ln1 and ffn2
+            assert min(f.start for f in ffn2) >= ln1[0].end
+
+    def test_layers_serialize(self, bert2):
+        sim, _ = make_sim()
+        tl = sim.simulate(bert2)
+        l0_end = max(e.end for e in tl.events
+                     if e.layer == 0 and e.name.endswith("ln2"))
+        l1_starts = [e.start for e in tl.events
+                     if e.layer == 1 and e.resource != "axi"]
+        assert min(l1_starts) >= l0_end
+
+
+class TestCrossValidation:
+    """The headline: event-driven total ≈ analytic total."""
+
+    @pytest.mark.parametrize("double_buffered", [False, True])
+    def test_agrees_with_analytic_model(self, bert2, double_buffered):
+        sim, analytic = make_sim(double_buffered)
+        tl_total = sim.simulate(bert2).total_cycles
+        an_total = analytic.evaluate(bert2, 200.0).total_cycles
+        assert tl_total == pytest.approx(an_total, rel=0.02)
+
+    def test_double_buffering_helps_in_timeline_too(self, bert2):
+        serial, _ = make_sim(False)
+        overlap, _ = make_sim(True)
+        assert (overlap.simulate(bert2).total_cycles
+                < serial.simulate(bert2).total_cycles)
+
+
+class TestReporting:
+    def test_occupancy_fractions_valid(self, bert2):
+        sim, _ = make_sim()
+        occ = sim.simulate(bert2).occupancy()
+        assert all(0.0 <= v <= 1.0 for v in occ.values())
+        # FFN2 is the busiest engine — the paper's premise.
+        engines = {k: v for k, v in occ.items() if k.endswith("_ce")}
+        assert max(engines, key=engines.get) == "ffn2_ce"
+
+    def test_gantt_renders(self, bert2):
+        sim, _ = make_sim()
+        chart = sim.simulate(bert2).gantt(width=50)
+        assert "ffn2_ce" in chart and "#" in chart
+
+    def test_empty_timeline(self):
+        assert Timeline().total_cycles == 0
+        assert Timeline().gantt() == "(empty timeline)"
+
+    def test_event_duration(self):
+        e = TimelineEvent("x", "r", 10, 25, 0)
+        assert e.duration == 15

@@ -1,0 +1,42 @@
+"""Unit tests for the experiment scaffolding."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_accelerator,
+    relative_error,
+)
+
+
+class TestExperimentResult:
+    def test_column_extraction(self):
+        r = ExperimentResult(name="t", headers=["a", "b"],
+                             rows=[(1, 2), (3, 4)])
+        assert r.column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        r = ExperimentResult(name="t", headers=["a"], rows=[(1,)])
+        with pytest.raises(ValueError):
+            r.column("zzz")
+
+
+class TestDefaultAccelerator:
+    def test_cached_singleton(self):
+        assert default_accelerator() is default_accelerator()
+
+    def test_published_configuration(self):
+        accel = default_accelerator()
+        assert accel.synth.ts_mha == 64
+        assert accel.synth.ts_ffn == 128
+        assert accel.device.name == "Alveo U55C"
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.10)
+        assert relative_error(90.0, 100.0) == pytest.approx(-0.10)
+
+    def test_zero_paper_value_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)

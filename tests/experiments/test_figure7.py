@@ -1,0 +1,51 @@
+"""Experiment tests: Fig. 7 shape checks."""
+
+import pytest
+
+from repro.experiments import figure7
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure7.run()
+
+
+class TestStructure:
+    def test_grid_size(self, result):
+        assert len(result.rows) == 15
+
+    def test_series_extracted(self, result):
+        assert "freq_mha12" in result.series
+        assert len(result.series["freq_mha12"]) == 5
+
+    def test_render_and_plot(self, result):
+        assert "12" in figure7.render(result)
+        plot = figure7.ascii_plot(result)
+        assert plot.count("#") > 50
+
+
+class TestHeadline:
+    def test_optimum_is_12_6(self, result):
+        notes = " ".join(result.notes)
+        assert "12 MHA tiles / 6 FFN tiles" in notes
+
+    def test_peak_is_200mhz(self, result):
+        assert max(result.column("fmax_MHz")) == pytest.approx(200.0, abs=0.5)
+
+    def test_normalized_latency_min_is_one(self, result):
+        assert min(result.column("norm_latency")) == pytest.approx(1.0)
+
+    def test_mha12_curve_dominates_at_ffn6(self, result):
+        """At 6 FFN tiles the 12-MHA-tile curve has the highest clock
+        — the figure's blue-curve ordering."""
+        freqs = {}
+        for row in result.rows:
+            if row[1] == 6:  # tiles_FFN
+                freqs[row[0]] = row[4]
+        assert freqs[12] > freqs[6]
+        assert freqs[12] > freqs[48]
+
+    def test_two_ffn_tiles_always_worst_clock(self, result):
+        for mha in (6, 12, 48):
+            curve = {r[1]: r[4] for r in result.rows if r[0] == mha}
+            assert curve[2] == min(curve.values())

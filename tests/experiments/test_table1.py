@@ -1,0 +1,70 @@
+"""Experiment tests: Table I shape checks against the paper."""
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.common import relative_error
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1.run()
+
+
+class TestStructure:
+    def test_nine_rows(self, result):
+        assert len(result.rows) == 9
+        assert result.column("test") == list(range(1, 10))
+
+    def test_render_contains_paper_columns(self, result):
+        text = table1.render(result)
+        assert "paper_ms" in text and "279" in text
+
+
+class TestShapeVsPaper:
+    """The reproduction contract: orderings and ratios, not absolutes."""
+
+    def _lat(self, result):
+        return dict(zip(result.column("test"), result.column("latency_ms")))
+
+    def test_head_ordering(self, result):
+        lat = self._lat(result)
+        assert lat[1] < lat[2] < lat[3]  # fewer heads → slightly slower
+
+    def test_head_insensitivity(self, result):
+        lat = self._lat(result)
+        assert lat[3] / lat[1] < 1.15  # paper: 295/279 = 1.06
+
+    def test_layer_linearity(self, result):
+        lat = self._lat(result)
+        assert lat[4] / lat[1] == pytest.approx(8 / 12, rel=0.02)
+        assert lat[5] / lat[1] == pytest.approx(4 / 12, rel=0.02)
+
+    def test_d_model_roughly_linear(self, result):
+        lat = self._lat(result)
+        assert 0.5 < lat[6] / lat[1] < 0.75   # paper 0.667
+        assert 0.2 < lat[7] / lat[1] < 0.4    # paper 0.34
+
+    def test_seq_len_ordering(self, result):
+        lat = self._lat(result)
+        assert lat[9] < lat[1] < lat[8]
+
+    def test_absolute_latency_within_2x_of_paper(self, result):
+        for test_no, measured in self._lat(result).items():
+            paper = table1.PAPER_TABLE1[test_no][0]
+            assert abs(relative_error(measured, paper)) < 1.0, (
+                f"test {test_no}: {measured} vs paper {paper}")
+
+    def test_gops_star_matches_paper_convention(self, result):
+        """Tests 4-5: the paper-convention GOPS* lands near 80/159."""
+        rows = {r[0]: r for r in result.rows}
+        gops_star_idx = result.headers.index("GOPS*")
+        assert rows[4][gops_star_idx] == pytest.approx(80, rel=0.25)
+        assert rows[5][gops_star_idx] == pytest.approx(159, rel=0.25)
+
+
+class TestResourceInvariance:
+    def test_notes_report_constant_resources(self, result):
+        joined = " ".join(result.notes)
+        assert "3612" in joined
+        assert "40%" in joined

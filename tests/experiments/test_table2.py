@@ -1,0 +1,67 @@
+"""Experiment tests: Table II shape checks."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table2.run()
+
+
+class TestStructure:
+    def test_paired_rows(self, result):
+        """Five comparators, each followed by a ProTEA row."""
+        assert len(result.rows) == 10
+        names = result.column("accelerator")
+        assert names[1::2] == ["ProTEA (ours)"] * 5
+
+    def test_render(self, result):
+        text = table2.render(result)
+        assert "EFA-Trans" in text
+        assert "what-if" in text
+
+
+class TestOrderings:
+    """Who wins each published comparison must be preserved."""
+
+    def _pairs(self, result):
+        lat = result.column("latency_ms")
+        names = result.column("accelerator")
+        return [(names[i], lat[i], lat[i + 1])
+                for i in range(0, len(lat), 2)]
+
+    def test_sparse_pruned_peng_beats_dense_protea(self, result):
+        for name, comp, ours in self._pairs(result):
+            if "Peng" in name:
+                assert comp < ours  # 90% sparsity wins on latency
+
+    def test_protea_beats_hep_float32_design(self, result):
+        """Paper: 2.8x faster than Wojcicki et al.; ordering must hold."""
+        for name, comp, ours in self._pairs(result):
+            if "Wojcicki" in name:
+                assert ours < comp
+
+    def test_hdl_efa_trans_beats_protea(self, result):
+        for name, comp, ours in self._pairs(result):
+            if "EFA" in name:
+                assert comp < ours  # paper: EFA-Trans 3.5x faster
+
+    def test_protea_gops_per_dsp_beats_wojcicki_and_ftrans(self, result):
+        gpd = result.column("(GOPS/DSP)x1000")
+        names = result.column("accelerator")
+        vals = dict()
+        for i in range(0, len(names), 2):
+            vals[names[i]] = (gpd[i], gpd[i + 1])
+        for key, (comp, ours) in vals.items():
+            if "Wojcicki" in key or "FTRANS" in key:
+                assert ours > comp, key
+
+    def test_sparsity_whatif_directions(self, result):
+        """Granting ProTEA 93% compression must beat FTRANS; granting
+        90% sparsity must still lose to Peng et al. — the paper's two
+        qualitative conclusions."""
+        notes = " ".join(result.notes)
+        assert "faster than [29]" in notes
+        assert "slower than [21]" in notes

@@ -1,0 +1,60 @@
+"""Experiment tests: Table III shape checks."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table3.run()
+
+
+def rows_for(result, model_id):
+    return [r for r in result.rows if r[0] == model_id]
+
+
+class TestStructure:
+    def test_all_models_present(self, result):
+        assert {r[0] for r in result.rows} == {"#1", "#2", "#3", "#4"}
+
+    def test_each_model_ends_with_protea(self, result):
+        for mid in ("#1", "#2", "#3", "#4"):
+            assert "ProTEA" in rows_for(result, mid)[-1][2]
+
+    def test_base_platform_speedup_is_one(self, result):
+        for mid in ("#1", "#2", "#3", "#4"):
+            assert rows_for(result, mid)[0][-1] == pytest.approx(1.0)
+
+    def test_published_comparator_latencies(self, result):
+        """The anchored platforms reproduce the cited numbers."""
+        r1 = rows_for(result, "#1")
+        assert r1[0][4] == pytest.approx(3.54, rel=1e-3)
+        assert r1[1][4] == pytest.approx(0.673, rel=1e-3)
+
+
+class TestOrderings:
+    """The paper's qualitative conclusions per row."""
+
+    def test_model1_protea_slower_than_cpu(self, result):
+        """Paper: 0.79x (ProTEA loses to the pruned-model CPU run)."""
+        rows = rows_for(result, "#1")
+        assert rows[-1][-1] < 1.0
+
+    def test_model2_protea_beats_titan_xp(self, result):
+        """Paper: 2.5x faster than the Titan XP on the HEP model."""
+        rows = rows_for(result, "#2")
+        assert rows[-1][-1] > 1.0
+
+    def test_model3_protea_slower_than_cpu_and_gpu(self, result):
+        rows = rows_for(result, "#3")
+        protea = rows[-1]
+        assert protea[-1] < 1.0
+
+    def test_model4_protea_large_speedup(self, result):
+        """Paper: 16x over the Titan XP (framework-heavy NLP stack)."""
+        rows = rows_for(result, "#4")
+        assert rows[-1][-1] > 2.0
+
+    def test_no_resynthesis_note(self, result):
+        assert any("resynthesized 0 times" in n for n in result.notes)

@@ -1,0 +1,43 @@
+"""Unit tests for FPGA device models."""
+
+import pytest
+
+from repro.fpga import ALVEO_U55C, FPGADevice, OverUtilizationError
+
+
+class TestCapacity:
+    def test_lookup(self):
+        assert ALVEO_U55C.capacity("dsp") == 9024
+
+    def test_unknown_resource(self):
+        with pytest.raises(KeyError):
+            ALVEO_U55C.capacity("qubits")
+
+
+class TestUtilization:
+    def test_percentages(self):
+        u = ALVEO_U55C.utilization({"dsp": 4512, "lut": 0})
+        assert u.percent["dsp"] == pytest.approx(50.0)
+
+    def test_check_fit_passes(self):
+        ALVEO_U55C.check_fit({"dsp": 9024})  # exactly full is OK
+
+    def test_check_fit_raises_with_detail(self):
+        with pytest.raises(OverUtilizationError, match="dsp"):
+            ALVEO_U55C.check_fit({"dsp": 9025})
+
+    def test_check_fit_custom_limit(self):
+        with pytest.raises(OverUtilizationError):
+            ALVEO_U55C.check_fit({"dsp": 8000}, limit_pct=80.0)
+
+    def test_str_is_informative(self):
+        u = ALVEO_U55C.utilization({"dsp": 3612})
+        assert "dsp" in str(u) and "40" in str(u)
+
+
+def test_custom_device():
+    dev = FPGADevice("toy", dsp=10, lut=100, ff=200, bram18k=4, uram=0,
+                     hbm_bandwidth_gbps=1.0, hbm_channels=1)
+    dev.check_fit({"dsp": 10})
+    with pytest.raises(OverUtilizationError):
+        dev.check_fit({"lut": 101})

@@ -1,0 +1,36 @@
+"""Unit tests for the part catalog."""
+
+import pytest
+
+from repro.fpga import ALVEO_U55C, PART_CATALOG, ZCU102, get_part
+
+
+class TestCatalog:
+    def test_all_paper_parts_present(self):
+        for name in ("Alveo U55C", "Alveo U200", "Alveo U250",
+                     "ZCU102", "VCU118"):
+            assert name in PART_CATALOG
+
+    def test_get_part(self):
+        assert get_part("Alveo U55C") is ALVEO_U55C
+
+    def test_get_part_unknown(self):
+        with pytest.raises(KeyError, match="Alveo U55C"):
+            get_part("Virtex-II Pro")
+
+    def test_u55c_datasheet_numbers(self):
+        """The utilization percentages of Table I depend on these."""
+        assert ALVEO_U55C.dsp == 9024
+        assert ALVEO_U55C.lut == 1303680
+        assert ALVEO_U55C.ff == 2607360
+        assert ALVEO_U55C.hbm_channels == 32
+
+    def test_table1_percentages_consistent(self):
+        """3612/9024 DSP = 40%, 993107 LUT = 76%, 704115 FF = 27%."""
+        assert round(100 * 3612 / ALVEO_U55C.dsp) == 40
+        assert round(100 * 993107 / ALVEO_U55C.lut) == 76
+        assert round(100 * 704115 / ALVEO_U55C.ff) == 27
+
+    def test_embedded_part_smaller_than_datacenter(self):
+        assert ZCU102.dsp < ALVEO_U55C.dsp
+        assert ZCU102.hbm_bandwidth_gbps < ALVEO_U55C.hbm_bandwidth_gbps

@@ -1,0 +1,72 @@
+"""Unit tests for the power/energy model."""
+
+import pytest
+
+from repro.fpga import GPU_CPU_TDP_W, PowerModel, PowerReport
+from repro.hls import ResourceEstimate
+
+
+@pytest.fixture()
+def resources():
+    return ResourceEstimate(dsps=3612, luts=994412, ffs=704380, bram18k=176)
+
+
+class TestPowerModel:
+    def test_dynamic_scales_with_clock(self, resources):
+        m = PowerModel()
+        assert m.dynamic_w(resources, 200.0) == pytest.approx(
+            2 * m.dynamic_w(resources, 100.0))
+
+    def test_dynamic_scales_with_resources(self, resources):
+        m = PowerModel()
+        half = ResourceEstimate(dsps=1806, luts=497206, ffs=352190,
+                                bram18k=88)
+        assert m.dynamic_w(resources, 200.0) == pytest.approx(
+            2 * m.dynamic_w(half, 200.0), rel=1e-6)
+
+    def test_total_includes_static_and_hbm(self, resources):
+        m = PowerModel()
+        base = m.total_w(resources, 200.0, achieved_gbps=0.0)
+        with_mem = m.total_w(resources, 200.0, achieved_gbps=100.0)
+        assert base >= m.static_w
+        assert with_mem == pytest.approx(base + 100.0 * m.hbm_w_per_gbps)
+
+    def test_published_design_plausible_wattage(self, resources):
+        """A 40%-DSP U55C design should land in the 10-40 W band."""
+        w = PowerModel().total_w(resources, 200.0, achieved_gbps=0.5)
+        assert 8.0 < w < 40.0
+
+    def test_validation(self, resources):
+        m = PowerModel()
+        with pytest.raises(ValueError):
+            m.dynamic_w(resources, 0.0)
+        with pytest.raises(ValueError):
+            m.total_w(resources, 200.0, achieved_gbps=-1.0)
+
+
+class TestPowerReport:
+    def test_evaluate(self, resources):
+        rep = PowerReport.evaluate(PowerModel(), resources, 200.0,
+                                   latency_s=0.2, gops=55.0)
+        assert rep.total_w == pytest.approx(rep.static_w + rep.dynamic_w)
+        assert rep.energy_per_inference_j == pytest.approx(rep.total_w * 0.2)
+        assert rep.gops_per_w == pytest.approx(55.0 / rep.total_w)
+
+    def test_fpga_beats_gpu_tdp_on_efficiency(self, resources):
+        """ProTEA's GOPS/W must exceed the Titan XP's GOPS/TDP on the
+        model #2 workload — the energy story behind Table III."""
+        rep = PowerReport.evaluate(PowerModel(), resources, 200.0,
+                                   latency_s=0.653e-3, gops=3.17)
+        titan_gops_per_w = 1.95 / GPU_CPU_TDP_W["NVIDIA Titan XP GPU"]
+        assert rep.gops_per_w > titan_gops_per_w
+
+    def test_validation(self, resources):
+        with pytest.raises(ValueError):
+            PowerReport.evaluate(PowerModel(), resources, 200.0, 0.0, 1.0)
+
+
+def test_tdp_table_complete():
+    for name in ("NVIDIA Titan XP GPU", "Jetson TX2 GPU",
+                 "NVIDIA RTX 3060 GPU", "Intel i5-5257U CPU",
+                 "Intel i5-4460 CPU"):
+        assert GPU_CPU_TDP_W[name] > 0

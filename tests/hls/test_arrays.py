@@ -1,0 +1,92 @@
+"""Unit tests for array→memory binding."""
+
+import pytest
+
+from repro.hls import (
+    ArrayPartition,
+    ArraySpec,
+    PartitionKind,
+    PortConflictError,
+    fully_partitioned,
+)
+
+
+class TestBanking:
+    def test_unpartitioned_single_bank(self):
+        spec = ArraySpec("a", (64, 64), 8)
+        assert spec.banks == 1
+
+    def test_complete_partition_dim2(self):
+        spec = fully_partitioned("w", (96, 64), dim=2)
+        assert spec.banks == 64
+
+    def test_multi_dim_partitions_multiply(self):
+        spec = ArraySpec("a", (16, 16), 8, (
+            ArrayPartition(PartitionKind.CYCLIC, factor=4, dim=1),
+            ArrayPartition(PartitionKind.CYCLIC, factor=2, dim=2),
+        ))
+        assert spec.banks == 8
+
+    def test_banks_capped_by_elements(self):
+        spec = ArraySpec("a", (2, 2), 8, (
+            ArrayPartition(PartitionKind.CYCLIC, factor=100, dim=1),
+        ))
+        assert spec.banks <= 4
+
+    def test_partition_dim_validated(self):
+        with pytest.raises(ValueError):
+            ArraySpec("a", (4,), 8,
+                      (ArrayPartition(PartitionKind.CYCLIC, 2, dim=3),))
+
+
+class TestStorageBinding:
+    def test_small_banks_bind_to_lutram(self):
+        # 96x64 8-bit fully partitioned: 768 bits/bank ≤ 1024 → LUTRAM.
+        spec = fully_partitioned("w", (96, 64), dim=2)
+        b = spec.bind()
+        assert b.storage == "lutram"
+        assert b.bram18k == 0
+        assert b.lutram_luts > 0
+
+    def test_large_banks_bind_to_bram(self):
+        spec = ArraySpec("big", (1024, 64), 8)
+        b = spec.bind()
+        assert b.storage == "bram"
+        assert b.bram18k >= 1024 * 64 * 8 // (18 * 1024)
+
+    def test_bank_over_18k_uses_multiple_brams(self):
+        spec = ArraySpec("huge", (8192,), 8)  # 64 Kbit in one bank
+        assert spec.bind().bram18k == 4
+
+
+class TestPorts:
+    def test_parallel_access_within_budget(self):
+        spec = fully_partitioned("w", (96, 64), dim=2)
+        spec.check_parallel_access(64)  # one per bank — fine
+        spec.check_parallel_access(128)  # two ports per bank — fine
+
+    def test_port_conflict_detected(self):
+        spec = ArraySpec("w", (96, 64), 8)  # 1 bank
+        with pytest.raises(PortConflictError):
+            spec.check_parallel_access(3)
+
+    def test_required_ii(self):
+        spec = ArraySpec("w", (96, 64), 8)  # 1 bank, 2 ports
+        assert spec.required_ii(2) == 1
+        assert spec.required_ii(8) == 4
+
+    def test_paper_banking_supports_unroll(self):
+        """The QKV weight buffer partitioning must feed TS_MHA=64 MACs
+        at II=1 — the design invariant of Section IV-A."""
+        spec = fully_partitioned("wq", (96, 64), dim=2)
+        assert spec.required_ii(64) == 1
+
+
+class TestValidation:
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            ArraySpec("a", (0, 4), 8)
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            ArraySpec("a", (4,), 0)

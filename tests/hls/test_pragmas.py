@@ -1,0 +1,57 @@
+"""Unit tests for pragma descriptors."""
+
+import pytest
+
+from repro.hls import ArrayPartition, PartitionKind, Pipeline, Unroll
+
+
+class TestPipeline:
+    def test_default_ii(self):
+        assert Pipeline().ii == 1
+
+    def test_invalid_ii(self):
+        with pytest.raises(ValueError):
+            Pipeline(ii=0)
+
+    def test_off_flag(self):
+        assert Pipeline(off=True).off
+
+
+class TestUnroll:
+    def test_complete_unroll_instances(self):
+        assert Unroll(None).instances(17) == 17
+
+    def test_partial_unroll_capped_at_trip(self):
+        assert Unroll(8).instances(5) == 5
+        assert Unroll(8).instances(100) == 8
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Unroll(0)
+
+
+class TestArrayPartition:
+    def test_cyclic_banks(self):
+        p = ArrayPartition(PartitionKind.CYCLIC, factor=4, dim=1)
+        assert p.banks((16, 8)) == 4
+
+    def test_factor_capped_by_extent(self):
+        p = ArrayPartition(PartitionKind.CYCLIC, factor=100, dim=2)
+        assert p.banks((16, 8)) == 8
+
+    def test_complete_single_dim(self):
+        p = ArrayPartition(PartitionKind.COMPLETE, dim=2)
+        assert p.banks((16, 8)) == 8
+
+    def test_complete_all_dims(self):
+        p = ArrayPartition(PartitionKind.COMPLETE, dim=0)
+        assert p.banks((4, 4)) == 16
+
+    def test_dim0_only_for_complete(self):
+        p = ArrayPartition(PartitionKind.BLOCK, factor=2, dim=0)
+        with pytest.raises(ValueError):
+            p.banks((4, 4))
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ArrayPartition(factor=0)

@@ -1,0 +1,76 @@
+"""Unit + property tests for the assembler/disassembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import (
+    AsmSyntaxError,
+    Instruction,
+    Opcode,
+    SynthParams,
+    assemble,
+    compile_program,
+    disassemble,
+)
+from repro.nn import TransformerConfig
+
+instr_strategy = st.builds(
+    Instruction,
+    opcode=st.sampled_from(list(Opcode)),
+    layer=st.integers(0, 4095),
+    head=st.integers(0, 255),
+    tile=st.integers(0, 65535),
+    arg=st.integers(0, (1 << 20) - 1),
+)
+
+
+class TestRoundTrip:
+    @given(st.lists(instr_strategy, max_size=25))
+    def test_assemble_disassemble_identity(self, program):
+        assert assemble(disassemble(program)) == program
+
+    def test_compiled_program_roundtrips(self):
+        cfg = TransformerConfig("a", 64, 2, 1, 16)
+        synth = SynthParams(ts_mha=16, ts_ffn=32, max_heads=2, max_layers=2,
+                            max_d_model=64, max_seq_len=16, seq_chunk=16)
+        prog = compile_program(cfg, synth)
+        assert assemble(disassemble(prog)) == prog
+
+
+class TestSyntax:
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        ; full-line comment
+        RUN_QKV layer=1 tile=2   ; trailing comment
+
+        HALT
+        """
+        prog = assemble(text)
+        assert [i.opcode for i in prog] == [Opcode.RUN_QKV, Opcode.HALT]
+        assert prog[0].layer == 1 and prog[0].tile == 2
+
+    def test_zero_fields_omitted_in_output(self):
+        text = disassemble([Instruction(Opcode.HALT)])
+        assert "layer=" not in text
+
+    def test_meta_rendered_as_comment(self):
+        text = disassemble([Instruction(Opcode.CONFIGURE, arg=8,
+                                        meta={"register": "num_heads"})])
+        assert "; register=num_heads" in text
+
+    def test_unknown_opcode_reports_line(self):
+        with pytest.raises(AsmSyntaxError, match="line 2"):
+            assemble("HALT\nFLY_TO_MOON\n")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(AsmSyntaxError, match="voltage"):
+            assemble("RUN_QKV voltage=3")
+
+    def test_out_of_range_field_rejected(self):
+        with pytest.raises(AsmSyntaxError, match="line 1"):
+            assemble("RUN_QKV head=999")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble("run_qkv lower=case")

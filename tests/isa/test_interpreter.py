@@ -1,0 +1,74 @@
+"""Unit tests for the instruction interpreter."""
+
+import pytest
+
+from repro.isa import (
+    Instruction,
+    Interpreter,
+    Opcode,
+    UnhandledOpcodeError,
+)
+
+
+def make_program():
+    return [
+        Instruction(Opcode.LOAD_INPUT, layer=0, tile=0),
+        Instruction(Opcode.RUN_QKV, layer=0, tile=0),
+        Instruction(Opcode.BARRIER, layer=0),
+        Instruction(Opcode.HALT),
+    ]
+
+
+class TestDispatch:
+    def test_handlers_called_in_order(self):
+        seen = []
+        interp = Interpreter()
+        interp.register(Opcode.LOAD_INPUT, lambda i: seen.append(("load", i.tile)))
+        interp.register(Opcode.RUN_QKV, lambda i: seen.append(("run", i.tile)))
+        trace = interp.run(make_program())
+        assert seen == [("load", 0), ("run", 0)]
+        assert trace.halted
+
+    def test_missing_handler_raises(self):
+        interp = Interpreter()
+        with pytest.raises(UnhandledOpcodeError, match="LOAD_INPUT"):
+            interp.run(make_program())
+
+    def test_barrier_callback(self):
+        barriers = []
+        interp = Interpreter(on_barrier=lambda: barriers.append(1))
+        interp.register_many({
+            Opcode.LOAD_INPUT: lambda i: None,
+            Opcode.RUN_QKV: lambda i: None,
+        })
+        interp.run(make_program())
+        assert barriers == [1]
+
+    def test_halt_stops_execution(self):
+        calls = []
+        interp = Interpreter()
+        interp.register(Opcode.RUN_QKV, lambda i: calls.append(i))
+        prog = [Instruction(Opcode.HALT), Instruction(Opcode.RUN_QKV)]
+        trace = interp.run(prog)
+        assert trace.halted
+        assert not calls
+        assert trace.executed == 1
+
+    def test_trace_histogram(self):
+        interp = Interpreter()
+        interp.register_many({
+            Opcode.LOAD_INPUT: lambda i: None,
+            Opcode.RUN_QKV: lambda i: None,
+        })
+        trace = interp.run(make_program())
+        assert trace.by_opcode[Opcode.LOAD_INPUT] == 1
+        assert trace.by_opcode[Opcode.HALT] == 1
+
+    def test_keep_log(self):
+        interp = Interpreter()
+        interp.register_many({
+            Opcode.LOAD_INPUT: lambda i: None,
+            Opcode.RUN_QKV: lambda i: None,
+        })
+        trace = interp.run(make_program(), keep_log=True)
+        assert len(trace.log) == 4

@@ -1,0 +1,70 @@
+"""Unit tests for AXI transaction cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import AXI4Master, AXILiteSlave
+
+
+class TestAXI4Master:
+    def test_beats(self):
+        axi = AXI4Master(data_bits=64)
+        assert axi.beats(0) == 0
+        assert axi.beats(8) == 1
+        assert axi.beats(9) == 2
+
+    def test_bursts_capped_at_256(self):
+        axi = AXI4Master(data_bits=64, max_burst_beats=256)
+        assert axi.bursts(8 * 256) == 1
+        assert axi.bursts(8 * 257) == 2
+
+    def test_transfer_cycles_formula(self):
+        axi = AXI4Master(data_bits=64, setup_cycles=32)
+        # 2048 bytes = 256 beats = 1 burst.
+        assert axi.transfer_cycles(2048) == 32 + 256
+
+    def test_zero_bytes_free(self):
+        assert AXI4Master().transfer_cycles(0) == 0
+
+    def test_strided_pays_setup_per_chunk(self):
+        axi = AXI4Master(data_bits=64, setup_cycles=32)
+        one = axi.transfer_cycles(512)
+        assert axi.strided_transfer_cycles(512, 4) == 4 * one
+
+    def test_wider_bus_fewer_cycles(self):
+        narrow = AXI4Master(data_bits=32)
+        wide = AXI4Master(data_bits=512)
+        n = narrow.transfer_cycles(16384)
+        w = wide.transfer_cycles(16384)
+        assert w < n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AXI4Master(data_bits=12)
+        with pytest.raises(ValueError):
+            AXI4Master(max_burst_beats=0)
+        with pytest.raises(ValueError):
+            AXI4Master(setup_cycles=0)
+        with pytest.raises(ValueError):
+            AXI4Master().transfer_cycles(-1)
+
+    @given(st.integers(0, 10**7))
+    def test_cycles_monotone_in_bytes(self, nbytes):
+        axi = AXI4Master(data_bits=64)
+        assert axi.transfer_cycles(nbytes + 8) >= axi.transfer_cycles(nbytes)
+
+    @given(st.integers(1, 10**6))
+    def test_cycles_lower_bounded_by_beats(self, nbytes):
+        axi = AXI4Master(data_bits=64)
+        assert axi.transfer_cycles(nbytes) >= axi.beats(nbytes)
+
+
+class TestAXILite:
+    def test_configure_cost(self):
+        lite = AXILiteSlave(write_cycles=6)
+        assert lite.configure_cycles(4) == 24
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AXILiteSlave().configure_cycles(-1)

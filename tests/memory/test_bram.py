@@ -1,0 +1,31 @@
+"""Unit tests for the buffer-fill model."""
+
+import pytest
+
+from repro.memory import BufferFillModel
+
+
+class TestBufferFill:
+    def test_fill_cycles_ceiling(self):
+        m = BufferFillModel(write_lanes=8)
+        assert m.fill_cycles(64) == 8
+        assert m.fill_cycles(65) == 9
+        assert m.fill_cycles(0) == 0
+
+    def test_from_axi_beat(self):
+        m = BufferFillModel.from_axi_beat(data_bits=64, element_bits=8)
+        assert m.write_lanes == 8
+
+    def test_from_axi_beat_wide_elements(self):
+        m = BufferFillModel.from_axi_beat(data_bits=64, element_bits=16)
+        assert m.write_lanes == 4
+
+    def test_narrow_beat_minimum_one_lane(self):
+        m = BufferFillModel.from_axi_beat(data_bits=8, element_bits=16)
+        assert m.write_lanes == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferFillModel(write_lanes=0)
+        with pytest.raises(ValueError):
+            BufferFillModel().fill_cycles(-1)

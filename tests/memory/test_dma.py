@@ -1,0 +1,83 @@
+"""Unit + property tests for load/compute overlap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import (
+    TilePhase,
+    overlapped_cycles,
+    serialized_cycles,
+    tiled_engine_cycles,
+    uniform_phases,
+)
+
+phases_strategy = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)).map(
+        lambda lc: TilePhase(load=lc[0], compute=lc[1])),
+    min_size=0, max_size=20,
+)
+
+
+class TestSerialized:
+    def test_simple_sum(self):
+        phases = uniform_phases(3, load=10, compute=20)
+        rep = serialized_cycles(phases)
+        assert rep.total == 90
+        assert rep.overlap_saved == 0
+
+
+class TestOverlapped:
+    def test_textbook_case(self):
+        # load0 + max(c0, l1) + max(c1, l2) + c2
+        phases = uniform_phases(3, load=10, compute=20)
+        rep = overlapped_cycles(phases)
+        assert rep.total == 10 + 20 + 20 + 20
+
+    def test_load_bound_case(self):
+        phases = uniform_phases(3, load=30, compute=5)
+        rep = overlapped_cycles(phases)
+        assert rep.total == 30 + 30 + 30 + 5
+
+    def test_empty_sequence(self):
+        assert overlapped_cycles([]).total == 0
+
+    def test_single_tile_no_overlap_possible(self):
+        rep = overlapped_cycles([TilePhase(10, 20)])
+        assert rep.total == 30
+        assert rep.overlap_saved == 0
+
+    @given(phases_strategy)
+    def test_overlap_never_worse_than_serial(self, phases):
+        assert overlapped_cycles(phases).total <= serialized_cycles(phases).total
+
+    @given(phases_strategy)
+    def test_overlap_lower_bound(self, phases):
+        """Total can never beat max(all loads, all computes)."""
+        rep = overlapped_cycles(phases)
+        assert rep.total >= max(rep.load_only, rep.compute_only)
+
+    @given(phases_strategy)
+    def test_saving_bounded_by_smaller_side(self, phases):
+        rep = overlapped_cycles(phases)
+        assert rep.overlap_saved <= min(rep.load_only, rep.compute_only)
+        assert 0.0 <= rep.overlap_efficiency <= 1.0
+
+    def test_perfect_hiding_efficiency_one(self):
+        """Equal load/compute with many tiles → nearly all load hidden."""
+        phases = uniform_phases(100, load=10, compute=10)
+        rep = overlapped_cycles(phases)
+        assert rep.overlap_efficiency > 0.98
+
+
+class TestConvenience:
+    def test_tiled_engine_cycles_switches_mode(self):
+        total_d, _ = tiled_engine_cycles(4, 10, 20, double_buffered=True)
+        total_s, _ = tiled_engine_cycles(4, 10, 20, double_buffered=False)
+        assert total_d < total_s
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_phases(-1, 1, 1)
+        with pytest.raises(ValueError):
+            TilePhase(-1, 0)

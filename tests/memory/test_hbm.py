@@ -1,0 +1,66 @@
+"""Unit tests for the HBM subsystem model."""
+
+import pytest
+
+from repro.memory import AXI4Master, HBMChannel, HBMSubsystem
+
+
+class TestChannel:
+    def test_bytes_per_cycle(self):
+        ch = HBMChannel(bandwidth_gbps=14.4)
+        assert ch.bytes_per_cycle(200.0) == pytest.approx(72.0)
+
+    def test_latency_cycles(self):
+        ch = HBMChannel(access_latency_ns=120.0)
+        assert ch.access_latency_cycles(200.0) == 24
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            HBMChannel().bytes_per_cycle(0)
+
+
+class TestSubsystem:
+    def test_protocol_bound_when_port_narrow(self):
+        """A 64-bit port at 200 MHz (1.6 GB/s) cannot saturate one HBM
+        pseudo-channel (14.4 GB/s) → protocol cost binds."""
+        hbm = HBMSubsystem()
+        port = AXI4Master(data_bits=64)
+        nbytes = 1 << 16
+        assert hbm.transfer_cycles(nbytes, port) == port.transfer_cycles(nbytes)
+
+    def test_dram_bound_when_port_wide(self):
+        hbm = HBMSubsystem()
+        wide = AXI4Master(data_bits=1024, setup_cycles=1)
+        nbytes = 1 << 20
+        cycles = hbm.transfer_cycles(nbytes, wide)
+        assert cycles > wide.transfer_cycles(nbytes) * 0.99
+        # must be at least bytes / channel-bytes-per-cycle
+        assert cycles >= nbytes / hbm.channel.bytes_per_cycle(hbm.clock_mhz)
+
+    def test_channel_sharing_slows_streams(self):
+        hbm = HBMSubsystem(channels=2)
+        port = AXI4Master(data_bits=1024, setup_cycles=1)
+        solo = hbm.transfer_cycles(1 << 20, port, concurrent_streams=1)
+        shared = hbm.transfer_cycles(1 << 20, port, concurrent_streams=8)
+        assert shared > solo
+
+    def test_streams_within_channel_count_free(self):
+        hbm = HBMSubsystem(channels=32)
+        port = AXI4Master(data_bits=64)
+        a = hbm.transfer_cycles(4096, port, concurrent_streams=1)
+        b = hbm.transfer_cycles(4096, port, concurrent_streams=32)
+        assert a == b
+
+    def test_aggregate_bandwidth(self):
+        hbm = HBMSubsystem(channels=32, channel=HBMChannel(14.4))
+        assert hbm.aggregate_bandwidth_gbps() == pytest.approx(460.8)
+
+    def test_zero_bytes_free(self):
+        assert HBMSubsystem().transfer_cycles(0, AXI4Master()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HBMSubsystem(channels=0)
+        with pytest.raises(ValueError):
+            HBMSubsystem().transfer_cycles(1, AXI4Master(),
+                                           concurrent_streams=0)

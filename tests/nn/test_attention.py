@@ -1,0 +1,85 @@
+"""Unit tests for golden multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MultiHeadAttention
+
+
+@pytest.fixture()
+def mha(rng):
+    return MultiHeadAttention.initialize(rng, d_model=32, num_heads=4)
+
+
+class TestConstruction:
+    def test_initialize_shapes(self, mha):
+        assert mha.num_heads == 4
+        assert mha.d_k == 8
+        assert mha.d_model == 32
+        assert mha.wo.in_features == 32
+
+    def test_d_model_divisibility_enforced(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention.initialize(rng, d_model=30, num_heads=4)
+
+    def test_mismatched_dk_rejected(self, rng):
+        heads = [Linear.initialize(rng, 16, 4) for _ in range(2)]
+        bad_v = [Linear.initialize(rng, 16, 4), Linear.initialize(rng, 16, 8)]
+        with pytest.raises(ValueError):
+            MultiHeadAttention(wq=heads, wk=heads, wv=bad_v,
+                               wo=Linear.initialize(rng, 8, 16))
+
+    def test_wrong_wo_rejected(self, rng):
+        heads = [Linear.initialize(rng, 16, 4) for _ in range(2)]
+        with pytest.raises(ValueError):
+            MultiHeadAttention(wq=heads, wk=heads, wv=heads,
+                               wo=Linear.initialize(rng, 999, 16))
+
+
+class TestForward:
+    def test_output_shape(self, mha, rng):
+        x = rng.normal(size=(10, 32))
+        assert mha(x).shape == (10, 32)
+
+    def test_trace_matches_call(self, mha, rng):
+        x = rng.normal(size=(6, 32))
+        trace = mha.forward_trace(x)
+        assert np.allclose(trace.output, mha(x))
+
+    def test_trace_internals_consistent(self, mha, rng):
+        x = rng.normal(size=(6, 32))
+        t = mha.forward_trace(x)
+        assert len(t.q) == 4
+        for h in range(4):
+            assert np.allclose(t.weights[h].sum(axis=-1), 1.0)
+            assert np.allclose(t.head_outputs[h], t.weights[h] @ t.v[h])
+        assert t.concat.shape == (6, 32)
+
+    def test_mask_changes_output(self, mha, rng):
+        x = rng.normal(size=(5, 32))
+        mask = np.triu(np.full((5, 5), -1e30), k=1)  # causal
+        assert not np.allclose(mha(x), mha(x, mask=mask))
+
+    def test_causal_mask_first_row_ignores_future(self, mha, rng):
+        """With a causal mask, output at position 0 must not change when
+        later positions change."""
+        x = rng.normal(size=(5, 32))
+        mask = np.triu(np.full((5, 5), -1e30), k=1)
+        y1 = mha(x, mask=mask)
+        x2 = x.copy()
+        x2[3:] += 10.0
+        y2 = mha(x2, mask=mask)
+        assert np.allclose(y1[0], y2[0])
+
+    def test_paper_alg2_scale_mode(self, rng):
+        a = MultiHeadAttention.initialize(rng, 32, 4, scale_mode="sqrt_dk")
+        b = MultiHeadAttention(wq=a.wq, wk=a.wk, wv=a.wv, wo=a.wo,
+                               scale_mode="paper_alg2")
+        x = np.random.default_rng(3).normal(size=(4, 32))
+        assert not np.allclose(a(x), b(x))
+
+    def test_permutation_equivariance_without_positions(self, mha, rng):
+        """Self-attention (no mask) is permutation-equivariant."""
+        x = rng.normal(size=(6, 32))
+        perm = rng.permutation(6)
+        assert np.allclose(mha(x)[perm], mha(x[perm]), atol=1e-10)

@@ -1,0 +1,82 @@
+"""Unit tests for the golden decoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossAttention, Decoder, DecoderLayer, causal_mask
+
+
+class TestCausalMask:
+    def test_shape_and_pattern(self):
+        m = causal_mask(4)
+        assert m.shape == (4, 4)
+        assert np.all(np.tril(m) == 0)
+        assert np.all(m[np.triu_indices(4, k=1)] < -1e20)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            causal_mask(0)
+
+
+class TestCrossAttention:
+    def test_memory_widths_validated(self, rng):
+        ca = CrossAttention.initialize(rng, 16, 2)
+        with pytest.raises(ValueError):
+            ca(np.zeros((4, 16)), np.zeros((6, 8)))
+
+    def test_different_lengths_allowed(self, rng):
+        """Decoder length and memory length are independent."""
+        ca = CrossAttention.initialize(rng, 16, 2)
+        out = ca(rng.normal(size=(3, 16)), rng.normal(size=(7, 16)))
+        assert out.shape == (3, 16)
+
+    def test_attends_over_memory(self, rng):
+        """Changing the memory changes the output; changing future
+        decoder positions does not affect earlier ones (no mask here —
+        cross attention sees all memory)."""
+        ca = CrossAttention.initialize(rng, 16, 2)
+        x = rng.normal(size=(3, 16))
+        m1 = rng.normal(size=(5, 16))
+        m2 = m1 + 1.0
+        assert not np.allclose(ca(x, m1), ca(x, m2))
+
+    def test_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            CrossAttention.initialize(rng, 15, 2)
+
+
+class TestDecoderLayer:
+    def test_causality(self, rng):
+        """Changing target position j>i must not change output at i."""
+        layer = DecoderLayer.initialize(rng, 16, 2)
+        mem = rng.normal(size=(6, 16))
+        x = rng.normal(size=(5, 16))
+        y1 = layer(x, mem)
+        x2 = x.copy()
+        x2[3:] += 5.0
+        y2 = layer(x2, mem)
+        assert np.allclose(y1[:3], y2[:3], atol=1e-10)
+        assert not np.allclose(y1[3:], y2[3:])
+
+    def test_memory_feeds_through(self, rng):
+        layer = DecoderLayer.initialize(rng, 16, 2)
+        x = rng.normal(size=(4, 16))
+        m1 = rng.normal(size=(6, 16))
+        assert not np.allclose(layer(x, m1), layer(x, m1 * 2))
+
+    def test_post_ln_output_normalized(self, rng):
+        layer = DecoderLayer.initialize(rng, 24, 3)
+        y = layer(rng.normal(size=(5, 24)), rng.normal(size=(7, 24)))
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-8)
+
+
+class TestDecoderStack:
+    def test_composition(self, rng):
+        dec = Decoder.initialize(rng, 2, 16, 2)
+        x = rng.normal(size=(4, 16))
+        mem = rng.normal(size=(6, 16))
+        manual = dec.layers[1](dec.layers[0](x, mem), mem)
+        assert np.allclose(dec(x, mem), manual)
+
+    def test_depth(self, rng):
+        assert Decoder.initialize(rng, 3, 16, 2).num_layers == 3

@@ -1,0 +1,65 @@
+"""Unit tests for embedding + positional encoding."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Embedding, sinusoidal_positional_encoding
+
+
+class TestPositionalEncoding:
+    def test_shape(self):
+        assert sinusoidal_positional_encoding(10, 16).shape == (10, 16)
+
+    def test_position_zero_pattern(self):
+        pe = sinusoidal_positional_encoding(4, 8)
+        assert np.allclose(pe[0, 0::2], 0.0)  # sin(0)
+        assert np.allclose(pe[0, 1::2], 1.0)  # cos(0)
+
+    def test_values_bounded(self):
+        pe = sinusoidal_positional_encoding(100, 64)
+        assert np.all(np.abs(pe) <= 1.0)
+
+    def test_distinct_positions(self):
+        pe = sinusoidal_positional_encoding(50, 32)
+        # No two positions share an encoding.
+        for i in range(0, 50, 7):
+            for j in range(i + 1, 50, 11):
+                assert not np.allclose(pe[i], pe[j])
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            sinusoidal_positional_encoding(0, 8)
+        with pytest.raises(ValueError):
+            sinusoidal_positional_encoding(8, 0)
+
+
+class TestEmbedding:
+    def test_lookup_plus_positions(self, rng):
+        emb = Embedding.initialize(rng, vocab_size=100, d_model=16)
+        ids = np.array([3, 1, 4])
+        out = emb(ids)
+        pe = sinusoidal_positional_encoding(3, 16)
+        assert np.allclose(out, emb.table[ids] + pe)
+
+    def test_without_positions(self, rng):
+        emb = Embedding.initialize(rng, 10, 8)
+        emb.add_positional = False
+        ids = np.array([0, 0])
+        out = emb(ids)
+        assert np.allclose(out[0], out[1])
+
+    def test_out_of_vocab_rejected(self, rng):
+        emb = Embedding.initialize(rng, 10, 8)
+        with pytest.raises(ValueError):
+            emb(np.array([10]))
+        with pytest.raises(ValueError):
+            emb(np.array([-1]))
+
+    def test_requires_1d_ids(self, rng):
+        emb = Embedding.initialize(rng, 10, 8)
+        with pytest.raises(ValueError):
+            emb(np.zeros((2, 2), dtype=int))
+
+    def test_table_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Embedding(table=np.zeros(5))

@@ -1,0 +1,74 @@
+"""Unit tests for the golden encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Encoder, EncoderLayer, FeedForward, Linear
+
+
+class TestFeedForward:
+    def test_default_expansion_is_4x(self, rng):
+        ffn = FeedForward.initialize(rng, d_model=16)
+        assert ffn.d_ff == 64
+
+    def test_forward_shape(self, rng):
+        ffn = FeedForward.initialize(rng, 16)
+        x = rng.normal(size=(5, 16))
+        assert ffn(x).shape == (5, 16)
+
+    def test_relu_vs_gelu_differ(self, rng):
+        r = FeedForward.initialize(rng, 16, activation="relu")
+        g = FeedForward(w1=r.w1, w2=r.w2, activation="gelu")
+        x = np.random.default_rng(0).normal(size=(4, 16))
+        assert not np.allclose(r(x), g(x))
+
+    def test_unknown_activation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FeedForward.initialize(rng, 16, activation="swish")
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FeedForward(w1=Linear.initialize(rng, 16, 32),
+                        w2=Linear.initialize(rng, 64, 16))
+
+
+class TestEncoderLayer:
+    def test_output_shape_and_normalization(self, rng):
+        layer = EncoderLayer.initialize(rng, d_model=24, num_heads=3)
+        x = rng.normal(size=(7, 24))
+        y = layer(x)
+        assert y.shape == (7, 24)
+        # Post-LN output: each row is normalized.
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-8)
+        assert np.allclose(y.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_residual_path_matters(self, rng):
+        """Zeroing the layer input must change the output (residual)."""
+        layer = EncoderLayer.initialize(rng, 16, 2)
+        x = rng.normal(size=(4, 16))
+        assert not np.allclose(layer(x), layer(np.zeros_like(x)))
+
+
+class TestEncoder:
+    def test_stack_depth(self, rng):
+        enc = Encoder.initialize(rng, num_layers=3, d_model=16, num_heads=2)
+        assert enc.num_layers == 3
+
+    def test_forward_composes_layers(self, rng):
+        enc = Encoder.initialize(rng, 2, 16, 2)
+        x = rng.normal(size=(5, 16))
+        manual = enc.layers[1](enc.layers[0](x))
+        assert np.allclose(enc(x), manual)
+
+    def test_empty_encoder_is_identity(self):
+        enc = Encoder(layers=[])
+        x = np.ones((3, 4))
+        assert np.array_equal(enc(x), x)
+
+    def test_deterministic_given_seed(self):
+        rng1 = np.random.default_rng(42)
+        rng2 = np.random.default_rng(42)
+        e1 = Encoder.initialize(rng1, 1, 16, 2)
+        e2 = Encoder.initialize(rng2, 1, 16, 2)
+        x = np.random.default_rng(0).normal(size=(4, 16))
+        assert np.array_equal(e1(x), e2(x))

@@ -1,0 +1,120 @@
+"""Unit + property tests for the golden NN primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import (
+    attention_scale,
+    gelu,
+    layer_norm,
+    relu,
+    scaled_dot_product_attention,
+    softmax,
+)
+
+finite = st.floats(-50, 50)
+
+
+class TestSoftmax:
+    @given(hnp.arrays(np.float64, (4, 9), elements=finite))
+    def test_rows_sum_to_one(self, x):
+        s = softmax(x, axis=-1)
+        assert np.allclose(s.sum(axis=-1), 1.0)
+        assert np.all(s >= 0)
+
+    @given(hnp.arrays(np.float64, (3, 5), elements=finite),
+           st.floats(-100, 100))
+    def test_shift_invariance(self, x, c):
+        assert np.allclose(softmax(x), softmax(x + c))
+
+    def test_numerical_stability_large_inputs(self):
+        x = np.array([[1000.0, 1000.0]])
+        s = softmax(x)
+        assert np.allclose(s, 0.5)
+        assert np.all(np.isfinite(s))
+
+    def test_argmax_preserved(self):
+        x = np.array([[1.0, 3.0, 2.0]])
+        assert softmax(x).argmax() == 1
+
+
+class TestActivations:
+    @given(hnp.arrays(np.float64, (17,), elements=finite))
+    def test_relu_nonnegative_and_identity_on_positive(self, x):
+        y = relu(x)
+        assert np.all(y >= 0)
+        assert np.allclose(y[x > 0], x[x > 0])
+
+    def test_gelu_known_values(self):
+        assert gelu(np.array(0.0)) == pytest.approx(0.0)
+        # GELU(x) → x for large positive x
+        assert gelu(np.array(10.0)) == pytest.approx(10.0, abs=1e-6)
+        assert gelu(np.array(-10.0)) == pytest.approx(0.0, abs=1e-6)
+
+    @given(hnp.arrays(np.float64, (9,), elements=st.floats(-8, 8)))
+    def test_gelu_bounded_below_by_small_constant(self, x):
+        assert np.all(gelu(x) >= -0.171)  # min of GELU ≈ -0.17
+
+
+class TestLayerNorm:
+    @given(hnp.arrays(np.float64, (5, 12), elements=st.floats(-20, 20)))
+    def test_normalizes_rows(self, x):
+        d = x.shape[-1]
+        y = layer_norm(x, np.ones(d), np.zeros(d), eps=1e-12)
+        # Rows whose variance is within a few orders of eps normalize
+        # to something between 0 and 1 — exclude them from the strict
+        # variance check.
+        rows_const = x.var(axis=-1) < 1e-6
+        mean = y.mean(axis=-1)
+        var = y.var(axis=-1)
+        assert np.allclose(mean[~rows_const], 0.0, atol=1e-8)
+        assert np.allclose(var[~rows_const], 1.0, atol=1e-5)
+        # Constant rows normalize to ~zero rather than NaN.
+        assert np.all(np.isfinite(y))
+
+    def test_gamma_beta_applied(self):
+        x = np.random.default_rng(0).normal(size=(3, 8))
+        g, b = 2.0 * np.ones(8), 3.0 * np.ones(8)
+        y = layer_norm(x, g, b, eps=0.0)
+        assert np.allclose(y.mean(axis=-1), 3.0, atol=1e-8)
+        assert np.allclose(y.std(axis=-1), 2.0, atol=1e-6)
+
+
+class TestAttention:
+    def test_scale_modes(self):
+        assert attention_scale(64, 512, "sqrt_dk") == pytest.approx(1 / 8)
+        assert attention_scale(64, 512, "paper_alg2") == pytest.approx(1 / 512)
+        with pytest.raises(ValueError):
+            attention_scale(64, 512, "bogus")
+
+    def test_uniform_attention_averages_values(self):
+        """Identical queries/keys → softmax uniform → output = mean(V)."""
+        sl, dk = 4, 8
+        q = np.ones((sl, dk))
+        k = np.ones((sl, dk))
+        v = np.arange(sl * dk, dtype=float).reshape(sl, dk)
+        out = scaled_dot_product_attention(q, k, v)
+        assert np.allclose(out, v.mean(axis=0))
+
+    def test_mask_blocks_positions(self):
+        rng = np.random.default_rng(1)
+        q = rng.normal(size=(3, 4))
+        k = rng.normal(size=(3, 4))
+        v = rng.normal(size=(3, 4))
+        mask = np.zeros((3, 3))
+        mask[:, 2] = -1e30  # never attend to position 2
+        out = scaled_dot_product_attention(q, k, v, mask=mask)
+        ref = scaled_dot_product_attention(q[:, :], k[:2], v[:2],
+                                           mask=mask[:, :2])
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_one_hot_attention_selects_value(self):
+        """A query aligned with exactly one key selects that value."""
+        k = np.eye(3) * 100
+        q = k.copy()
+        v = np.diag([1.0, 2.0, 3.0])
+        out = scaled_dot_product_attention(q, k, v, scale=1.0)
+        assert np.allclose(out, v, atol=1e-6)

@@ -1,0 +1,43 @@
+"""Unit tests for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, xavier_uniform
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        lin = Linear.initialize(rng, 8, 4)
+        x = rng.normal(size=(5, 8))
+        assert np.allclose(lin(x), x @ lin.weight + lin.bias)
+
+    def test_shapes_exposed(self, rng):
+        lin = Linear.initialize(rng, 8, 4)
+        assert lin.in_features == 8
+        assert lin.out_features == 4
+
+    def test_bias_shape_validated(self):
+        with pytest.raises(ValueError):
+            Linear(weight=np.zeros((4, 3)), bias=np.zeros(4))
+
+    def test_weight_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Linear(weight=np.zeros(4), bias=np.zeros(4))
+
+    def test_initialize_zero_bias(self, rng):
+        lin = Linear.initialize(rng, 16, 16)
+        assert np.all(lin.bias == 0)
+
+
+class TestXavier:
+    def test_limits_respected(self, rng):
+        w = xavier_uniform(rng, 100, 50)
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_variance_roughly_glorot(self, rng):
+        w = xavier_uniform(rng, 400, 400)
+        expected_var = 2.0 / (400 + 400)
+        assert w.var() == pytest.approx(expected_var, rel=0.1)

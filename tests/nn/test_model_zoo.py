@@ -1,0 +1,74 @@
+"""Unit tests for the model zoo and Table I test matrix."""
+
+import pytest
+
+from repro.nn import BERT_VARIANT, MODEL_ZOO, TransformerConfig, get_model, table1_tests
+
+
+class TestTransformerConfig:
+    def test_d_ff_defaults_to_4x(self):
+        cfg = TransformerConfig("t", 64, 2, 1, 8)
+        assert cfg.d_ff == 256
+
+    def test_d_k(self):
+        assert BERT_VARIANT.d_k == 96
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", 65, 2, 1, 8)
+
+    def test_positive_dims_enforced(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", 64, 2, 0, 8)
+
+    def test_with_updates(self):
+        cfg = BERT_VARIANT.with_(num_heads=4)
+        assert cfg.num_heads == 4
+        assert cfg.d_model == BERT_VARIANT.d_model
+        assert BERT_VARIANT.num_heads == 8  # original untouched
+
+
+class TestZoo:
+    def test_bert_variant_matches_paper(self):
+        assert BERT_VARIANT.d_model == 768
+        assert BERT_VARIANT.num_heads == 8
+        assert BERT_VARIANT.num_layers == 12
+        assert BERT_VARIANT.seq_len == 64
+
+    def test_all_models_valid(self):
+        for name, cfg in MODEL_ZOO.items():
+            assert cfg.d_model % cfg.num_heads == 0, name
+
+    def test_get_model_error_lists_choices(self):
+        with pytest.raises(KeyError, match="bert-variant"):
+            get_model("nonexistent")
+
+    def test_table2_workloads_exist(self):
+        for key in ("model1-peng-isqed21", "model2-lhc-trigger",
+                    "model3-efa-trans", "model4-qi-iccad21",
+                    "ftrans-workload"):
+            assert key in MODEL_ZOO
+
+
+class TestTable1Matrix:
+    def test_nine_tests(self):
+        tests = table1_tests()
+        assert sorted(tests) == list(range(1, 10))
+
+    def test_parameter_axes(self):
+        t = table1_tests()
+        assert (t[1].num_heads, t[2].num_heads, t[3].num_heads) == (8, 4, 2)
+        assert (t[1].num_layers, t[4].num_layers, t[5].num_layers) == (12, 8, 4)
+        assert (t[1].d_model, t[6].d_model, t[7].d_model) == (768, 512, 256)
+        assert (t[1].seq_len, t[8].seq_len, t[9].seq_len) == (64, 128, 32)
+
+    def test_only_one_axis_varies_per_test(self):
+        base = table1_tests()[1]
+        for i, cfg in table1_tests().items():
+            diffs = sum([
+                cfg.num_heads != base.num_heads,
+                cfg.num_layers != base.num_layers,
+                cfg.d_model != base.d_model,
+                cfg.seq_len != base.seq_len,
+            ])
+            assert diffs <= 1, f"test {i} varies more than one axis"

@@ -1,0 +1,90 @@
+"""Unit tests for the weight store / parameter-extraction flow."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    TransformerConfig,
+    build_encoder,
+    encoder_state_dict,
+    extract_hyperparameters,
+    load_encoder,
+    save_encoder,
+)
+
+CFG = TransformerConfig("ws", d_model=32, num_heads=2, num_layers=2, seq_len=8,
+                        activation="relu")
+
+
+class TestStateDict:
+    def test_key_schema(self):
+        enc = build_encoder(CFG, seed=0)
+        state = encoder_state_dict(enc)
+        assert "layer0.attn.head0.wq.weight" in state
+        assert "layer1.ffn.w2.bias" in state
+        assert "layer0.ln1.gamma" in state
+
+    def test_counts(self):
+        enc = build_encoder(CFG, seed=0)
+        state = encoder_state_dict(enc)
+        # per layer: 2 heads x 3 proj x 2 tensors + wo(2) + ffn(4) + ln(4)
+        assert len(state) == 2 * (2 * 3 * 2 + 2 + 4 + 4)
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_exact(self):
+        enc = build_encoder(CFG, seed=1)
+        buf = io.BytesIO()
+        save_encoder(enc, buf, config=CFG)
+        buf.seek(0)
+        loaded = load_encoder(buf)
+        x = np.random.default_rng(0).normal(size=(8, 32))
+        assert np.array_equal(enc(x), loaded(x))
+
+    def test_activation_preserved(self):
+        enc = build_encoder(CFG, seed=1)
+        buf = io.BytesIO()
+        save_encoder(enc, buf, config=CFG)
+        buf.seek(0)
+        loaded = load_encoder(buf)
+        assert loaded.layers[0].ffn.activation == "relu"
+
+
+class TestExtraction:
+    def test_extract_from_state_dict(self):
+        enc = build_encoder(CFG, seed=2)
+        params = extract_hyperparameters(encoder_state_dict(enc))
+        assert params.num_heads == 2
+        assert params.num_layers == 2
+        assert params.d_model == 32
+        assert params.d_ff == 128
+        assert params.seq_len is None  # no meta in bare state dict
+
+    def test_extract_from_file_with_meta(self):
+        enc = build_encoder(CFG, seed=2)
+        buf = io.BytesIO()
+        save_encoder(enc, buf, config=CFG)
+        buf.seek(0)
+        params = extract_hyperparameters(buf)
+        assert params.seq_len == 8
+
+    def test_extract_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            extract_hyperparameters({"not_a_layer": np.zeros(3)})
+
+    def test_extracted_params_drive_csr_programming(self):
+        """The extraction → CSR pipeline of Section IV-D."""
+        from repro.isa import ConfigRegisterFile, SynthParams
+
+        enc = build_encoder(CFG, seed=3)
+        params = extract_hyperparameters(encoder_state_dict(enc))
+        csr = ConfigRegisterFile(SynthParams(
+            ts_mha=16, ts_ffn=16, max_heads=4, max_layers=4,
+            max_d_model=32, max_seq_len=16, seq_chunk=16))
+        csr.write("num_heads", params.num_heads)
+        csr.write("num_layers", params.num_layers)
+        csr.write("d_model", params.d_model)
+        csr.write("seq_len", 8)
+        assert csr.snapshot()["d_model"] == 32

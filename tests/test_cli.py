@@ -1,0 +1,52 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        for cmd in ("table1", "table2", "table3", "figure7", "all",
+                    "summary", "power", "latency"):
+            args = build_parser().parse_args([cmd])
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "U55C" in out and "BERT" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "279" in out
+
+    def test_figure7_includes_plot(self, capsys):
+        assert main(["figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "fmax" in out and "#" in out
+
+    def test_latency_named_model(self, capsys):
+        assert main(["latency", "model2-lhc-trigger"]) == 0
+        assert "ms" in capsys.readouterr().out
+
+    def test_latency_list(self, capsys):
+        assert main(["latency", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bert-variant" in out
+
+    def test_latency_unknown_model(self):
+        with pytest.raises(KeyError):
+            main(["latency", "not-a-model"])
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "GOPS/W" in out

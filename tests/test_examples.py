@@ -1,0 +1,43 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Each example is executed in-process via ``runpy`` (they all end with an
+assertion-checked "OK" path).  Only the fast examples run here; the
+full set is exercised by CI-style manual runs (they all print their own
+verdicts).
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str) -> None:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py",
+    "deploy_from_checkpoint.py",
+    "runtime_reprogramming.py",
+])
+def test_example_runs(name):
+    _run(name)
+
+
+def test_examples_directory_complete():
+    """The documented example set exists."""
+    expected = {
+        "quickstart.py",
+        "runtime_reprogramming.py",
+        "design_space_exploration.py",
+        "physics_trigger_inference.py",
+        "deploy_from_checkpoint.py",
+        "seq2seq_decoder_extension.py",
+        "quantization_study.py",
+        "latency_timeline.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present

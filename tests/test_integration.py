@@ -1,0 +1,126 @@
+"""Cross-module integration tests.
+
+These exercise the full deployment pipeline the paper describes:
+train (init) → save → extract hyper-parameters → synthesize once →
+program at runtime → load quantized weights → run → compare against
+the golden float encoder — plus the instruction-level execution path.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import ProTEA, ResynthesisRequiredError, SynthParams, TransformerConfig
+from repro.core import DatapathFormats, RuntimeSession
+from repro.core.runtime import ProgramExecutor
+from repro.fixedpoint import FxTensor
+from repro.nn import (
+    build_encoder,
+    extract_hyperparameters,
+    load_encoder,
+    save_encoder,
+)
+
+CFG = TransformerConfig("integ", d_model=64, num_heads=2, num_layers=2,
+                        seq_len=16)
+SYNTH = SynthParams(ts_mha=16, ts_ffn=32, max_heads=4, max_layers=4,
+                    max_d_model=128, max_seq_len=32, seq_chunk=16)
+
+
+class TestDeploymentPipeline:
+    def test_pth_to_inference_flow(self):
+        """Section IV-D end to end (with .npz standing in for .pth)."""
+        enc = build_encoder(CFG, seed=21)
+        buf = io.BytesIO()
+        save_encoder(enc, buf, config=CFG)
+        buf.seek(0)
+        params = extract_hyperparameters(buf)
+
+        accel = ProTEA.synthesize(SYNTH, enforce_fit=False)
+        runtime_cfg = TransformerConfig(
+            "extracted", d_model=params.d_model, num_heads=params.num_heads,
+            num_layers=params.num_layers, seq_len=params.seq_len or 16,
+            d_ff=params.d_ff)
+        accel.program(runtime_cfg)
+        buf.seek(0)
+        accel.load_weights(load_encoder(buf))
+
+        x = np.random.default_rng(0).normal(0, 0.5, (16, 64))
+        y = accel.run(x)
+        golden = enc(x)
+        assert np.sqrt(np.mean((y - golden) ** 2)) < 0.2
+
+    def test_quantization_error_decreases_with_width(self):
+        enc = build_encoder(CFG, seed=22)
+        x = np.random.default_rng(1).normal(0, 0.5, (16, 64))
+        golden = enc(x)
+        errs = {}
+        for name, fmts in (("fix8", DatapathFormats.fix8()),
+                           ("fix16", DatapathFormats.fix16())):
+            accel = ProTEA.synthesize(SYNTH, formats=fmts, enforce_fit=False)
+            accel.program(CFG).load_weights(enc)
+            errs[name] = np.sqrt(np.mean((accel.run(x) - golden) ** 2))
+        assert errs["fix16"] < errs["fix8"] / 3
+
+    def test_module_and_isa_paths_bit_identical(self):
+        enc = build_encoder(CFG, seed=23)
+        accel = ProTEA.synthesize(SYNTH, enforce_fit=False)
+        accel.program(CFG).load_weights(enc)
+        fx = FxTensor.from_float(
+            np.random.default_rng(2).normal(0, 0.5, (16, 64)),
+            accel.formats.activation)
+        y_mod = accel.run_fx(fx)
+        y_isa = ProgramExecutor(accel, accel.weights).run(fx)
+        assert np.array_equal(y_mod.raw, y_isa.raw)
+
+
+class TestRuntimeReprogrammingEquivalence:
+    def test_reprogramming_preserves_functional_results(self):
+        """Hop small→smaller→small on one instance; results for the
+        same workload must be identical before and after the hop."""
+        enc = build_encoder(CFG, seed=24)
+        tiny_cfg = TransformerConfig("tiny", d_model=32, num_heads=2,
+                                     num_layers=1, seq_len=8)
+        tiny_enc = build_encoder(tiny_cfg, seed=25)
+
+        accel = ProTEA.synthesize(SYNTH, enforce_fit=False)
+        session = RuntimeSession(accel)
+        x = np.random.default_rng(3).normal(0, 0.5, (16, 64))
+
+        session.deploy(CFG)
+        accel.load_weights(enc)
+        y_before = accel.run(x)
+
+        session.deploy(tiny_cfg)
+        accel.load_weights(tiny_enc)
+        accel.run(np.zeros((8, 32)))
+
+        session.deploy(CFG)
+        accel.load_weights(enc)
+        y_after = accel.run(x)
+
+        assert np.array_equal(y_before, y_after)
+        assert session.reprogram_count == 3
+        assert session.resynthesis_count == 0
+
+    def test_maxima_enforced_through_session(self):
+        accel = ProTEA.synthesize(SYNTH, enforce_fit=False)
+        session = RuntimeSession(accel)
+        with pytest.raises(ResynthesisRequiredError):
+            session.deploy(CFG.with_(d_model=256, d_ff=1024))
+
+
+class TestLatencyFunctionalConsistency:
+    def test_latency_report_matches_programmed_config(self):
+        accel = ProTEA.synthesize(SYNTH, enforce_fit=False)
+        accel.program(CFG)
+        rep = accel.latency_report()
+        assert rep.config is CFG
+        assert rep.num_layers == CFG.num_layers
+
+    def test_larger_runtime_model_costs_more(self):
+        accel = ProTEA.synthesize(SYNTH, enforce_fit=False)
+        small = accel.latency_ms(CFG)
+        bigger = accel.latency_ms(CFG.with_(d_model=128, d_ff=512))
+        assert bigger > small

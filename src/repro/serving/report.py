@@ -1,0 +1,75 @@
+"""Plain-text serving reports in the same style as the paper tables.
+
+Renders a :class:`~repro.serving.slo.ServingReport` as stacked ASCII
+tables (aggregate, per-model, per-instance) via
+:func:`repro.analysis.tables.render_table`.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from .slo import CapacityPlan, ServingReport
+
+__all__ = ["render_serving_report", "render_capacity_plan"]
+
+
+def render_serving_report(report: ServingReport,
+                          title: str = "Serving summary") -> str:
+    """Three tables: cluster aggregate, per-model, per-instance."""
+    agg_rows = [
+        ("requests", report.total_requests),
+        ("instances", report.n_instances),
+        ("scheduler", report.scheduler),
+        ("batching", report.batching),
+        ("horizon (ms)", report.horizon_ms),
+        ("throughput (req/s)", report.throughput_rps),
+        ("utilization", report.utilization),
+        ("mean latency (ms)", report.mean_latency_ms),
+        ("p50 / p95 / p99 (ms)",
+         f"{report.p50_ms:.3g} / {report.p95_ms:.3g} / {report.p99_ms:.3g}"),
+        ("mean wait (ms)", report.mean_wait_ms),
+        ("queue depth mean/max",
+         f"{report.mean_queue_depth:.3g} / {report.max_queue_depth}"),
+        ("workload switches", report.total_switches),
+        ("reprogram time (ms)", report.total_reprogram_time_ms),
+    ]
+    if report.slo_ms is not None:
+        agg_rows.append((f"SLO attainment (<= {report.slo_ms:g} ms)",
+                         report.slo_attainment))
+    parts = [render_table(("metric", "value"), agg_rows, title=title)]
+
+    if report.per_model:
+        parts.append(render_table(
+            ("model", "n", "req/s", "mean ms", "p50", "p95", "p99",
+             "wait ms", "batch"),
+            [(m.model, m.count, m.throughput_rps, m.mean_latency_ms,
+              m.p50_ms, m.p95_ms, m.p99_ms, m.mean_wait_ms,
+              m.mean_batch_size)
+             for m in report.per_model.values()],
+            title="Per-model",
+        ))
+
+    parts.append(render_table(
+        ("inst", "requests", "batches", "busy ms", "switches",
+         "reprogram ms"),
+        [(i.index, i.requests, i.batches, i.busy_ms, i.switch_count,
+          i.reprogram_time_ms)
+         for i in report.instances],
+        title="Per-instance",
+    ))
+    return "\n\n".join(parts)
+
+
+def render_capacity_plan(plan: CapacityPlan) -> str:
+    """Probe table plus the winning fleet's serving summary."""
+    head = render_table(
+        ("instances", "p99 ms", "meets SLO"),
+        [(n, p99, p99 <= plan.target_p99_ms)
+         for n, p99 in plan.probes.items()],
+        title=(f"Capacity plan: p99 <= {plan.target_p99_ms:g} ms"
+               + (f", qps >= {plan.target_qps:g}" if plan.target_qps else "")
+               + f"  ->  {plan.instances} instance(s)"),
+    )
+    body = render_serving_report(
+        plan.report, title=f"At {plan.instances} instance(s)")
+    return head + "\n\n" + body

@@ -1,0 +1,118 @@
+"""Dispatch policies: which instance gets an arriving request.
+
+Schedulers see lightweight instance views (queue length, busy state,
+last assigned model) and must be deterministic — ties always break
+toward the lowest instance index, so a seeded workload replays to an
+identical assignment.
+
+* :class:`RoundRobin` — cyclic, oblivious.
+* :class:`LeastLoaded` — join-shortest-queue on the request backlog.
+* :class:`ModelAffinity` — least-loaded *among instances already
+  serving this model*, falling back to global least-loaded when the
+  affine choice is more than ``slack`` requests busier.  This is the
+  policy that makes a nonzero reprogramming penalty survivable: it
+  keeps weight sets resident instead of thrashing them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from .workload import Request
+
+__all__ = [
+    "InstanceView",
+    "Scheduler",
+    "RoundRobin",
+    "LeastLoaded",
+    "ModelAffinity",
+    "SCHEDULERS",
+    "get_scheduler",
+]
+
+
+class InstanceView(Protocol):
+    """What a scheduler may inspect about an instance."""
+
+    idx: int
+    last_model: object  # Optional[str]
+
+    def backlog(self, now_ms: float) -> int: ...
+
+
+class Scheduler:
+    """Base dispatch policy."""
+
+    name = "base"
+
+    def pick(self, instances: Sequence[InstanceView], request: Request,
+             now_ms: float) -> InstanceView:
+        raise NotImplementedError
+
+
+class RoundRobin(Scheduler):
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, instances, request, now_ms):
+        inst = instances[self._next % len(instances)]
+        self._next += 1
+        return inst
+
+
+def _least_loaded(instances: Sequence[InstanceView],
+                  now_ms: float) -> InstanceView:
+    return min(instances, key=lambda i: (i.backlog(now_ms), i.idx))
+
+
+class LeastLoaded(Scheduler):
+    name = "least-loaded"
+
+    def pick(self, instances, request, now_ms):
+        return _least_loaded(instances, now_ms)
+
+
+class ModelAffinity(Scheduler):
+    """Sticky dispatch: prefer an instance whose last workload matches.
+
+    ``slack`` bounds how much extra backlog (in requests) the affine
+    instance may carry before we give up stickiness and spill to the
+    global least-loaded instance — trading one reprogramming penalty
+    for queue balance.
+    """
+
+    name = "model-affinity"
+
+    def __init__(self, slack: int = 2):
+        if slack < 0:
+            raise ValueError("slack must be >= 0")
+        self.slack = slack
+
+    def pick(self, instances, request, now_ms):
+        best = _least_loaded(instances, now_ms)
+        affine = [i for i in instances if i.last_model == request.model]
+        if not affine:
+            return best
+        sticky = min(affine, key=lambda i: (i.backlog(now_ms), i.idx))
+        if sticky.backlog(now_ms) <= best.backlog(now_ms) + self.slack:
+            return sticky
+        return best
+
+
+SCHEDULERS = {
+    RoundRobin.name: RoundRobin,
+    LeastLoaded.name: LeastLoaded,
+    ModelAffinity.name: ModelAffinity,
+}
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Fresh scheduler instance by registry name (CLI-facing)."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,302 @@
+"""Serving metrics and SLO-driven capacity planning.
+
+Percentiles use the nearest-rank definition (exact, no interpolation),
+so two runs with identical traces report bit-identical metrics.
+
+:func:`plan_capacity` answers the deployment question the paper's
+single-instance numbers cannot: *how many reprogrammable instances does
+a target traffic level need to stay inside a p99 latency SLO?*  It
+replays the same seeded workload against growing fleet sizes
+(exponential probe, then binary search), so the returned minimum is
+confirmed by, and reproducible from, a direct simulation run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.accelerator import ProTEA
+from ..nn.model_zoo import TransformerConfig
+from .batching import BatchingPolicy
+from .cluster import InstanceStats, SimulationResult, simulate
+from .workload import Request
+
+__all__ = ["percentile", "ModelMetrics", "ServingReport", "summarize",
+           "CapacityPlan", "plan_capacity"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    if not values:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class ModelMetrics:
+    """Latency/throughput profile of one model within a run."""
+
+    model: str
+    count: int
+    throughput_rps: float
+    mean_latency_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_wait_ms: float
+    mean_batch_size: float
+    slo_attainment: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate + per-model + per-instance view of one simulation."""
+
+    total_requests: int
+    horizon_ms: float
+    throughput_rps: float
+    utilization: float
+    mean_latency_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_wait_ms: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    total_switches: int
+    total_reprogram_time_ms: float
+    scheduler: str
+    batching: str
+    n_instances: int
+    slo_ms: Optional[float] = None
+    slo_attainment: Optional[float] = None
+    per_model: Dict[str, ModelMetrics] = field(default_factory=dict)
+    instances: List[InstanceStats] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly flattening (CLI ``--json`` output).
+
+        Empty-run statistics are NaN internally; they become ``null``
+        here because ``json.dumps`` would emit literal ``NaN``, which
+        strict parsers reject."""
+        def num(v: float) -> Optional[float]:
+            return None if isinstance(v, float) and math.isnan(v) else v
+
+        out = {
+            "total_requests": self.total_requests,
+            "horizon_ms": self.horizon_ms,
+            "throughput_rps": num(self.throughput_rps),
+            "utilization": self.utilization,
+            "latency_ms": {
+                "mean": num(self.mean_latency_ms),
+                "p50": num(self.p50_ms),
+                "p95": num(self.p95_ms),
+                "p99": num(self.p99_ms),
+            },
+            "mean_wait_ms": num(self.mean_wait_ms),
+            "queue_depth": {"mean": self.mean_queue_depth,
+                            "max": self.max_queue_depth},
+            "reprogramming": {"switches": self.total_switches,
+                              "time_ms": self.total_reprogram_time_ms},
+            "scheduler": self.scheduler,
+            "batching": self.batching,
+            "instances": self.n_instances,
+            "per_model": {
+                name: {
+                    "count": m.count,
+                    "throughput_rps": m.throughput_rps,
+                    "mean_latency_ms": m.mean_latency_ms,
+                    "p50_ms": m.p50_ms,
+                    "p95_ms": m.p95_ms,
+                    "p99_ms": m.p99_ms,
+                    "mean_wait_ms": m.mean_wait_ms,
+                    "mean_batch_size": m.mean_batch_size,
+                    **({"slo_attainment": m.slo_attainment}
+                       if m.slo_attainment is not None else {}),
+                }
+                for name, m in sorted(self.per_model.items())
+            },
+            "per_instance": [
+                {"index": i.index, "requests": i.requests,
+                 "batches": i.batches, "busy_ms": i.busy_ms,
+                 "switches": i.switch_count,
+                 "reprogram_time_ms": i.reprogram_time_ms}
+                for i in self.instances
+            ],
+        }
+        if self.slo_ms is not None:
+            out["slo"] = {"p_latency_ms": self.slo_ms,
+                          "attainment": self.slo_attainment}
+        return out
+
+
+def _time_weighted_mean(samples: Sequence[tuple], horizon_ms: float) -> float:
+    """Mean of a step function sampled at its change points."""
+    if not samples or horizon_ms <= 0:
+        return 0.0
+    area, depth, prev_t = 0.0, 0, 0.0
+    for t, d in samples:
+        area += depth * (t - prev_t)
+        depth, prev_t = d, t
+    area += depth * max(0.0, horizon_ms - prev_t)
+    return area / horizon_ms
+
+
+def summarize(result: SimulationResult,
+              slo_ms: Optional[float] = None) -> ServingReport:
+    """Reduce a simulation to its serving metrics."""
+    recs = result.records
+    horizon = result.makespan_ms
+    horizon_s = horizon / 1e3 if horizon > 0 else math.nan
+    latencies = [r.latency_ms for r in recs]
+
+    def attainment(lats: Sequence[float]) -> Optional[float]:
+        if slo_ms is None or not lats:
+            return None
+        return sum(1 for v in lats if v <= slo_ms) / len(lats)
+
+    per_model: Dict[str, ModelMetrics] = {}
+    for model in sorted({r.model for r in recs}):
+        mrecs = [r for r in recs if r.model == model]
+        lats = [r.latency_ms for r in mrecs]
+        per_model[model] = ModelMetrics(
+            model=model,
+            count=len(mrecs),
+            throughput_rps=len(mrecs) / horizon_s,
+            mean_latency_ms=sum(lats) / len(lats),
+            p50_ms=percentile(lats, 50),
+            p95_ms=percentile(lats, 95),
+            p99_ms=percentile(lats, 99),
+            mean_wait_ms=sum(r.wait_ms for r in mrecs) / len(mrecs),
+            mean_batch_size=sum(r.batch_size for r in mrecs) / len(mrecs),
+            slo_attainment=attainment(lats),
+        )
+
+    busy = sum(i.busy_ms for i in result.instances)
+    return ServingReport(
+        total_requests=len(recs),
+        horizon_ms=horizon,
+        throughput_rps=len(recs) / horizon_s if recs else 0.0,
+        utilization=(busy / (result.n_instances * horizon)
+                     if horizon > 0 else 0.0),
+        mean_latency_ms=(sum(latencies) / len(latencies)
+                         if latencies else math.nan),
+        p50_ms=percentile(latencies, 50),
+        p95_ms=percentile(latencies, 95),
+        p99_ms=percentile(latencies, 99),
+        mean_wait_ms=(sum(r.wait_ms for r in recs) / len(recs)
+                      if recs else math.nan),
+        mean_queue_depth=_time_weighted_mean(result.queue_samples, horizon),
+        max_queue_depth=max((d for _, d in result.queue_samples), default=0),
+        total_switches=result.total_switches,
+        total_reprogram_time_ms=result.total_reprogram_time_ms,
+        scheduler=result.scheduler,
+        batching=result.batching,
+        n_instances=result.n_instances,
+        slo_ms=slo_ms,
+        slo_attainment=attainment(latencies),
+        per_model=per_model,
+        instances=list(result.instances),
+    )
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Outcome of :func:`plan_capacity`."""
+
+    instances: int
+    report: ServingReport
+    target_p99_ms: float
+    target_qps: Optional[float]
+    #: Fleet sizes probed along the way: {n: achieved p99_ms}.
+    probes: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.report.p99_ms <= self.target_p99_ms
+
+
+def plan_capacity(
+    accel: ProTEA,
+    requests: Sequence[Request],
+    target_p99_ms: float,
+    target_qps: Optional[float] = None,
+    scheduler: str = "least-loaded",
+    batching: Optional[BatchingPolicy] = None,
+    models: Optional[Mapping[str, TransformerConfig]] = None,
+    reprogram_latency_ms: float = 0.0,
+    max_instances: int = 256,
+) -> CapacityPlan:
+    """Minimum fleet size meeting the p99 SLO (and target throughput).
+
+    Replays the *same* request list against growing fleets: exponential
+    probing finds a feasible size, then binary search pins the minimum
+    (queueing delay is monotone non-increasing in fleet size for these
+    policies).  Raises ``RuntimeError`` if even ``max_instances`` fails.
+    """
+    if target_p99_ms <= 0:
+        raise ValueError("target_p99_ms must be positive")
+    if not requests:
+        raise ValueError("cannot plan capacity for an empty workload")
+
+    probes: Dict[int, float] = {}
+    reports: Dict[int, ServingReport] = {}
+
+    def meets(n: int) -> bool:
+        result = simulate(accel, requests, n, scheduler=scheduler,
+                          batching=batching, models=models,
+                          reprogram_latency_ms=reprogram_latency_ms)
+        report = summarize(result, slo_ms=target_p99_ms)
+        probes[n] = report.p99_ms
+        reports[n] = report
+        ok = report.p99_ms <= target_p99_ms
+        if target_qps is not None:
+            ok = ok and report.throughput_rps >= 0.95 * target_qps
+        return ok
+
+    def _infeasible_msg() -> str:
+        # Name the criterion that actually failed: with a throughput
+        # target, every probe may meet the latency SLO yet still fall
+        # short of 0.95 * target_qps.
+        best_p99 = min(probes.values())
+        parts = []
+        if best_p99 > target_p99_ms:
+            parts.append(f"p99 <= {target_p99_ms} ms "
+                         f"(best probe: {best_p99:.3f} ms)")
+        if target_qps is not None:
+            best_tput = max(r.throughput_rps for r in reports.values())
+            if best_tput < 0.95 * target_qps:
+                parts.append(f"throughput >= {0.95 * target_qps:.1f} req/s "
+                             f"(best probe: {best_tput:.1f} req/s)")
+        if not parts:  # each criterion met somewhere, never jointly
+            parts.append(f"p99 <= {target_p99_ms} ms and "
+                         f"throughput >= {0.95 * target_qps:.1f} req/s "
+                         f"on the same probe")
+        return (f"no fleet of <= {max_instances} instances meets "
+                + " and ".join(parts))
+
+    lo, hi = 0, 1  # lo: largest known-infeasible size
+    while not meets(hi):
+        lo = hi
+        if hi >= max_instances:
+            raise RuntimeError(_infeasible_msg())
+        hi = min(2 * hi, max_instances)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if meets(mid):
+            hi = mid
+        else:
+            lo = mid
+    return CapacityPlan(
+        instances=hi,
+        report=reports[hi],
+        target_p99_ms=target_p99_ms,
+        target_qps=target_qps,
+        probes=dict(sorted(probes.items())),
+    )

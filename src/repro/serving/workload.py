@@ -1,0 +1,221 @@
+"""Open-loop request workloads for the serving simulator.
+
+Every generator is *deterministic given its seed*: the same seed and
+parameters produce the identical request list, which is what makes
+simulated event traces reproducible and capacity plans auditable.
+
+Shapes:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant rate,
+  the classic open-loop baseline.
+* :class:`BurstyArrivals` — a 2-state Markov-modulated Poisson process
+  (quiet/burst) for flash-crowd traffic.
+* :class:`DiurnalArrivals` — a raised-cosine rate ramp (thinning
+  method), a compressed day/night cycle.
+* :class:`TraceReplay` — replay an explicit ``(t_ms, model)`` list,
+  e.g. captured from production logs.
+
+Multi-model mixes are drawn per-request from a :class:`ModelMix` over
+``repro.nn.MODEL_ZOO`` names (or any names the simulator's model table
+knows).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Sequence, Tuple, Union
+
+__all__ = [
+    "Request",
+    "ModelMix",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "TraceReplay",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request in the open-loop stream."""
+
+    rid: int
+    t_ms: float
+    model: str
+
+
+class ModelMix:
+    """A normalized categorical distribution over model names."""
+
+    def __init__(
+        self,
+        weights: Union[Mapping[str, float], Sequence[Tuple[str, float]], str],
+    ):
+        if isinstance(weights, str):
+            weights = {weights: 1.0}
+        items = list(weights.items()) if isinstance(weights, Mapping) else list(weights)
+        if not items:
+            raise ValueError("model mix must name at least one model")
+        total = float(sum(w for _, w in items))
+        if total <= 0 or any(w < 0 for _, w in items):
+            raise ValueError("model mix weights must be non-negative, sum > 0")
+        self.weights: List[Tuple[str, float]] = [
+            (name, w / total) for name, w in items
+        ]
+        self._cum: List[Tuple[float, str]] = []
+        acc = 0.0
+        for name, w in self.weights:
+            acc += w
+            self._cum.append((acc, name))
+
+    @property
+    def names(self) -> List[str]:
+        return [name for name, _ in self.weights]
+
+    def sample(self, rng: random.Random) -> str:
+        u = rng.random()
+        for edge, name in self._cum:
+            if u <= edge:
+                return name
+        return self._cum[-1][1]  # float round-off guard
+
+
+def _finalize(times_models: Iterable[Tuple[float, str]]) -> List[Request]:
+    """Sort by time and assign sequential ids (stable for ties)."""
+    ordered = sorted(times_models, key=lambda tm: tm[0])
+    return [Request(rid=i, t_ms=t, model=m) for i, (t, m) in enumerate(ordered)]
+
+
+class ArrivalProcess:
+    """Base: a seedable generator of a finite open-loop request list."""
+
+    def generate(self, duration_ms: float) -> List[Request]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Constant-rate Poisson arrivals at ``qps`` requests/second."""
+
+    def __init__(self, qps: float, mix: ModelMix, seed: int = 0):
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        self.qps = qps
+        self.mix = mix
+        self.seed = seed
+
+    def generate(self, duration_ms: float) -> List[Request]:
+        rng = random.Random(self.seed)
+        rate_ms = self.qps / 1e3
+        out: List[Tuple[float, str]] = []
+        t = rng.expovariate(rate_ms)
+        while t < duration_ms:
+            out.append((t, self.mix.sample(rng)))
+            t += rng.expovariate(rate_ms)
+        return _finalize(out)
+
+
+class BurstyArrivals(ArrivalProcess):
+    """2-state MMPP: quiet periods at a low rate, bursts at a high one.
+
+    ``qps`` is the *long-run average*; ``burst_factor`` is the ratio of
+    burst rate to quiet rate, and ``burst_fraction`` the expected share
+    of time spent bursting.  Dwell times in each state are exponential
+    with means ``dwell_ms`` (quiet) and ``dwell_ms * burst_fraction /
+    (1 - burst_fraction)`` (burst), so the time shares come out right.
+    """
+
+    def __init__(
+        self,
+        qps: float,
+        mix: ModelMix,
+        seed: int = 0,
+        burst_factor: float = 4.0,
+        burst_fraction: float = 0.2,
+        dwell_ms: float = 200.0,
+    ):
+        if qps <= 0 or burst_factor < 1 or not (0 < burst_fraction < 1):
+            raise ValueError("need qps > 0, burst_factor >= 1, "
+                             "0 < burst_fraction < 1")
+        self.qps = qps
+        self.mix = mix
+        self.seed = seed
+        self.burst_factor = burst_factor
+        self.burst_fraction = burst_fraction
+        self.dwell_ms = dwell_ms
+        f = burst_fraction
+        # average = (1-f)*low + f*low*factor  →  solve for low.
+        self.quiet_qps = qps / ((1 - f) + f * burst_factor)
+        self.burst_qps = self.quiet_qps * burst_factor
+
+    def generate(self, duration_ms: float) -> List[Request]:
+        rng = random.Random(self.seed)
+        f = self.burst_fraction
+        dwell = {False: self.dwell_ms, True: self.dwell_ms * f / (1 - f)}
+        rate_ms = {False: self.quiet_qps / 1e3, True: self.burst_qps / 1e3}
+        out: List[Tuple[float, str]] = []
+        t, bursting = 0.0, False
+        while t < duration_ms:
+            phase_end = min(duration_ms, t + rng.expovariate(1.0 / dwell[bursting]))
+            nxt = t + rng.expovariate(rate_ms[bursting])
+            while nxt < phase_end:
+                out.append((nxt, self.mix.sample(rng)))
+                nxt += rng.expovariate(rate_ms[bursting])
+            t, bursting = phase_end, not bursting
+        return _finalize(out)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Raised-cosine rate ramp: valley → peak → valley over ``period_ms``.
+
+    The instantaneous rate is ``peak_qps * (floor + (1-floor) *
+    (1 - cos(2πt/period)) / 2)``; arrivals are drawn by thinning a
+    ``peak_qps`` Poisson stream, which keeps the generator exact and
+    seed-deterministic.
+    """
+
+    def __init__(
+        self,
+        peak_qps: float,
+        mix: ModelMix,
+        seed: int = 0,
+        period_ms: float = 1000.0,
+        floor: float = 0.1,
+    ):
+        if peak_qps <= 0 or period_ms <= 0 or not (0 <= floor <= 1):
+            raise ValueError("need peak_qps > 0, period_ms > 0, 0 <= floor <= 1")
+        self.peak_qps = peak_qps
+        self.mix = mix
+        self.seed = seed
+        self.period_ms = period_ms
+        self.floor = floor
+
+    def rate_qps(self, t_ms: float) -> float:
+        shape = (1 - math.cos(2 * math.pi * t_ms / self.period_ms)) / 2
+        return self.peak_qps * (self.floor + (1 - self.floor) * shape)
+
+    def generate(self, duration_ms: float) -> List[Request]:
+        rng = random.Random(self.seed)
+        peak_ms = self.peak_qps / 1e3
+        out: List[Tuple[float, str]] = []
+        t = rng.expovariate(peak_ms)
+        while t < duration_ms:
+            if rng.random() < self.rate_qps(t) / self.peak_qps:
+                out.append((t, self.mix.sample(rng)))
+            t += rng.expovariate(peak_ms)
+        return _finalize(out)
+
+
+class TraceReplay(ArrivalProcess):
+    """Replay an explicit ``[(t_ms, model), ...]`` arrival trace."""
+
+    def __init__(self, events: Sequence[Tuple[float, str]]):
+        for t, _ in events:
+            if t < 0:
+                raise ValueError("trace timestamps must be non-negative")
+        self.events = list(events)
+
+    def generate(self, duration_ms: float = math.inf) -> List[Request]:
+        return _finalize((t, m) for t, m in self.events if t < duration_ms)

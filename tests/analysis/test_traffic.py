@@ -53,3 +53,52 @@ class TestRooflinePosition:
         r8 = analyze_traffic(default_accel, BERT_VARIANT)
         r16 = analyze_traffic(accel16, BERT_VARIANT)
         assert r16.weight_bytes == 2 * r8.weight_bytes
+
+
+class TestEdgeCases:
+    def test_one_layer_config(self, default_accel):
+        """A 1-layer model's weight traffic is exactly one layer's worth
+        and its activation I/O is independent of depth."""
+        from repro.nn import get_model
+
+        cfg = get_model("model2-lhc-trigger")  # N=1, d=64, SL=20
+        report = analyze_traffic(default_accel, cfg)
+        d, dff = cfg.d_model, cfg.d_ff
+        assert cfg.num_layers == 1
+        assert report.weight_bytes == 4 * d * d + 2 * d * dff
+        assert report.activation_bytes == 2 * cfg.seq_len * d
+        assert report.total_bytes == (report.weight_bytes
+                                      + report.activation_bytes)
+        assert report.latency_s > 0
+
+    def test_tiny_model_has_lowest_intensity(self, default_accel):
+        """The LHC trigger model reuses each fetched weight the least
+        (shortest sequence), but even it stays compute-bound on the
+        U55C — every zoo workload sits right of the machine balance."""
+        from repro.nn import MODEL_ZOO
+
+        intensities = {
+            name: analyze_traffic(default_accel, cfg).arithmetic_intensity
+            for name, cfg in MODEL_ZOO.items()
+        }
+        assert min(intensities, key=intensities.get) == "model2-lhc-trigger"
+        for cfg in MODEL_ZOO.values():
+            assert analyze_traffic(default_accel, cfg).compute_bound
+
+    def test_bandwidth_utilization_bounds_across_zoo(self, default_accel):
+        """Achieved bandwidth must land strictly inside (0, peak) for
+        every servable zoo model — the model never claims more traffic
+        than the HBM can move in the modelled time."""
+        from repro.nn import MODEL_ZOO
+
+        for cfg in MODEL_ZOO.values():
+            report = analyze_traffic(default_accel, cfg)
+            assert 0 < report.achieved_gbps < report.device_peak_gbps, cfg.name
+            assert 0 < report.bandwidth_utilization < 1, cfg.name
+
+    def test_scalar_consistency(self, default_accel):
+        report = analyze_traffic(default_accel, BERT_VARIANT)
+        assert report.achieved_gbps == pytest.approx(
+            report.total_bytes / report.latency_s / 1e9)
+        assert report.bandwidth_utilization == pytest.approx(
+            report.achieved_gbps / report.device_peak_gbps)

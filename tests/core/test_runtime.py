@@ -82,3 +82,62 @@ class TestRuntimeSession:
         session = RuntimeSession(default_accel)
         with pytest.raises(ResynthesisRequiredError):
             session.deploy(BERT_VARIANT.with_(num_layers=24))
+
+    def test_failed_deploy_leaves_no_trace(self, default_accel):
+        from repro.nn import BERT_VARIANT
+
+        session = RuntimeSession(default_accel, reprogram_latency_ms=5.0)
+        with pytest.raises(ResynthesisRequiredError):
+            session.deploy(BERT_VARIANT.with_(seq_len=4096))
+        assert session.reprogram_count == 0
+        assert session.history == []
+        assert session.reprogram_time_ms == 0.0
+
+
+class TestReprogramLatencyHook:
+    def test_default_cost_is_zero(self, default_accel):
+        from repro.nn import BERT_VARIANT, get_model
+
+        session = RuntimeSession(default_accel)
+        session.deploy(BERT_VARIANT)
+        session.deploy(get_model("model2-lhc-trigger"))
+        assert session.reprogram_time_ms == 0.0
+        assert session.switch_count == 2
+
+    def test_switch_cost_charged_on_workload_change(self, default_accel):
+        from repro.nn import BERT_VARIANT, get_model
+
+        session = RuntimeSession(default_accel, reprogram_latency_ms=12.5)
+        assert session.switch_cost_ms(BERT_VARIANT) == 12.5  # cold start
+        session.deploy(BERT_VARIANT)
+        # Redeploying the resident workload is free...
+        assert session.switch_cost_ms(BERT_VARIANT) == 0.0
+        session.deploy(BERT_VARIANT)
+        assert session.reprogram_time_ms == 12.5
+        assert session.switch_count == 1
+        # ...switching to a different one is not.
+        other = get_model("model2-lhc-trigger")
+        assert session.switch_cost_ms(other) == 12.5
+        session.deploy(other)
+        assert session.reprogram_time_ms == 25.0
+        assert session.switch_count == 2
+        assert session.reprogram_count == 3  # every deploy still counted
+
+    def test_switch_detected_by_config_equality(self, default_accel):
+        from repro.nn import BERT_VARIANT
+
+        session = RuntimeSession(default_accel, reprogram_latency_ms=1.0)
+        session.deploy(BERT_VARIANT)
+        # Same name, different runtime parameters → still a switch.
+        session.deploy(BERT_VARIANT.with_(num_layers=6))
+        assert session.switch_count == 2
+
+    def test_resynthesis_count_stays_zero(self, default_accel):
+        from repro.nn import table1_tests
+
+        session = RuntimeSession(default_accel, reprogram_latency_ms=3.0)
+        for cfg in table1_tests().values():
+            session.deploy(cfg)
+        assert session.resynthesis_count == 0
+        assert session.reprogram_count == 9
+        assert session.reprogram_time_ms == pytest.approx(9 * 3.0)

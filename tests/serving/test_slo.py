@@ -1,0 +1,144 @@
+"""Tests for serving metrics, SLO attainment, and capacity planning."""
+
+import math
+
+import pytest
+
+from repro.serving import (
+    ModelMix,
+    PoissonArrivals,
+    percentile,
+    plan_capacity,
+    render_capacity_plan,
+    render_serving_report,
+    simulate,
+    summarize,
+)
+
+MIX = ModelMix("model2-lhc-trigger")
+MIX2 = ModelMix({"model2-lhc-trigger": 3.0, "model1-peng-isqed21": 1.0})
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        vals = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(vals, 50) == 3.0
+        assert percentile(vals, 100) == 5.0
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 99) == 5.0
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+@pytest.fixture(scope="module")
+def light_run(default_accel):
+    reqs = PoissonArrivals(500, MIX2, seed=0).generate(1000)
+    return reqs, simulate(default_accel, reqs, 4)
+
+
+class TestSummarize:
+    def test_counts_and_throughput(self, light_run):
+        reqs, res = light_run
+        rep = summarize(res)
+        assert rep.total_requests == len(reqs)
+        assert rep.throughput_rps == pytest.approx(
+            len(reqs) / (res.makespan_ms / 1e3))
+        assert sum(m.count for m in rep.per_model.values()) == len(reqs)
+
+    def test_utilization_bounds(self, light_run):
+        _, res = light_run
+        rep = summarize(res)
+        assert 0 < rep.utilization < 1
+        assert rep.n_instances == 4
+
+    def test_percentile_ordering(self, light_run):
+        _, res = light_run
+        rep = summarize(res)
+        assert rep.p50_ms <= rep.p95_ms <= rep.p99_ms
+
+    def test_slo_attainment(self, light_run):
+        _, res = light_run
+        assert summarize(res, slo_ms=1e9).slo_attainment == 1.0
+        assert summarize(res, slo_ms=1e-9).slo_attainment == 0.0
+        assert summarize(res).slo_attainment is None
+
+    def test_as_dict_round_trips_to_json(self, light_run):
+        import json
+
+        _, res = light_run
+        d = summarize(res, slo_ms=5.0).as_dict()
+        blob = json.loads(json.dumps(d))
+        assert {"throughput_rps", "utilization",
+                "latency_ms"} <= set(blob)
+        assert {"p50", "p95", "p99"} <= set(blob["latency_ms"])
+
+    def test_empty_run_emits_valid_json(self, default_accel):
+        """Zero requests → NaN statistics must become null, not the
+        literal NaN that strict JSON parsers reject."""
+        import json
+
+        d = summarize(simulate(default_accel, [], 2)).as_dict()
+        blob = json.dumps(d)
+        assert "NaN" not in blob
+        parsed = json.loads(blob)
+        assert parsed["latency_ms"]["p99"] is None
+        assert parsed["total_requests"] == 0
+
+    def test_render_report_mentions_models(self, light_run):
+        _, res = light_run
+        text = render_serving_report(summarize(res))
+        assert "model2-lhc-trigger" in text and "Per-instance" in text
+
+
+class TestCapacityPlanning:
+    def test_plan_is_minimal_and_confirmed(self, default_accel):
+        """plan_capacity returns a fleet size that a direct simulation
+        confirms meets the p99 SLO, and one fewer instance misses it."""
+        reqs = PoissonArrivals(3000, MIX, seed=1).generate(1000)
+        plan = plan_capacity(default_accel, reqs, target_p99_ms=5.0)
+        assert plan.meets_slo
+
+        confirm = summarize(simulate(default_accel, reqs, plan.instances))
+        assert confirm.p99_ms <= 5.0
+        assert confirm.p99_ms == plan.report.p99_ms
+
+        assert plan.instances > 1
+        under = summarize(simulate(default_accel, reqs, plan.instances - 1))
+        assert under.p99_ms > 5.0
+
+    def test_plan_meets_target_qps(self, default_accel):
+        reqs = PoissonArrivals(3000, MIX, seed=1).generate(1000)
+        plan = plan_capacity(default_accel, reqs, target_p99_ms=5.0,
+                             target_qps=3000)
+        assert plan.report.throughput_rps >= 0.95 * 3000
+
+    def test_probes_recorded_monotone_search(self, default_accel):
+        reqs = PoissonArrivals(3000, MIX, seed=1).generate(1000)
+        plan = plan_capacity(default_accel, reqs, target_p99_ms=5.0)
+        assert plan.instances in plan.probes
+        assert all(plan.probes[n] > 5.0 for n in plan.probes
+                   if n < plan.instances)
+
+    def test_infeasible_raises(self, default_accel):
+        reqs = PoissonArrivals(3000, MIX, seed=1).generate(200)
+        with pytest.raises(RuntimeError, match="no fleet"):
+            plan_capacity(default_accel, reqs, target_p99_ms=1e-6,
+                          max_instances=4)
+
+    def test_empty_workload_rejected(self, default_accel):
+        with pytest.raises(ValueError):
+            plan_capacity(default_accel, [], target_p99_ms=5.0)
+
+    def test_render_capacity_plan(self, default_accel):
+        reqs = PoissonArrivals(2000, MIX, seed=2).generate(500)
+        plan = plan_capacity(default_accel, reqs, target_p99_ms=5.0)
+        text = render_capacity_plan(plan)
+        assert "Capacity plan" in text and str(plan.instances) in text

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,9 +14,16 @@ class TestParser:
 
     def test_known_commands(self):
         for cmd in ("table1", "table2", "table3", "figure7", "all",
-                    "summary", "power", "latency"):
+                    "summary", "power", "latency", "serve"):
             args = build_parser().parse_args([cmd])
             assert args.command == cmd
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scenario == "poisson"
+        assert args.policy == "least-loaded"
+        assert args.batch == "none"
+        assert not args.as_json
 
 
 class TestCommands:
@@ -50,3 +59,100 @@ class TestCommands:
         assert main(["power"]) == 0
         out = capsys.readouterr().out
         assert "GOPS/W" in out
+
+
+class TestJsonOutput:
+    def test_latency_json(self, capsys):
+        assert main(["latency", "model2-lhc-trigger", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["model"] == "model2-lhc-trigger"
+        assert blob["latency_ms"] > 0 and blob["gops"] > 0
+
+    def test_latency_list_json(self, capsys):
+        assert main(["latency", "--list", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert "bert-variant" in blob
+        assert blob["bert-variant"]["d_model"] == 768
+
+
+class TestServe:
+    def test_acceptance_invocation(self, capsys):
+        """The ISSUE's canonical command emits throughput, utilization
+        and the latency percentiles as JSON."""
+        assert main(["serve", "--scenario", "poisson", "--qps", "500",
+                     "--instances", "4", "--policy", "least-loaded",
+                     "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["throughput_rps"] > 0
+        assert 0 < blob["utilization"] < 1
+        assert {"p50", "p95", "p99"} <= set(blob["latency_ms"])
+        assert blob["instances"] == 4
+
+    def test_serve_is_deterministic(self, capsys):
+        argv = ["serve", "--qps", "300", "--instances", "2", "--seed", "7",
+                "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_text_report(self, capsys):
+        assert main(["serve", "--qps", "200", "--instances", "2",
+                     "--duration-ms", "500", "--batch", "timeout",
+                     "--batch-size", "4", "--slo-ms", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "p50 / p95 / p99" in out
+        assert "SLO attainment" in out
+
+    def test_serve_multi_model_mix(self, capsys):
+        assert main(["serve", "--qps", "100", "--instances", "2",
+                     "--policy", "model-affinity", "--reprogram-ms", "10",
+                     "--model", "model1-peng-isqed21",
+                     "--model", "model3-efa-trans:2", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert set(blob["per_model"]) == {"model1-peng-isqed21",
+                                          "model3-efa-trans"}
+
+    def test_serve_plan(self, capsys):
+        assert main(["serve", "--plan", "--slo-ms", "5", "--qps", "2000",
+                     "--duration-ms", "500", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["instances"] >= 1
+        assert blob["report"]["latency_ms"]["p99"] <= 5.0
+
+    def test_serve_plan_requires_slo(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--plan"])
+
+    def test_serve_trace_scenario(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(
+            [[0.0, "model2-lhc-trigger"], [1.0, "model2-lhc-trigger"]]))
+        assert main(["serve", "--scenario", "trace", "--trace-file",
+                     str(trace), "--instances", "1", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["total_requests"] == 2
+
+    def test_serve_trace_requires_file(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scenario", "trace"])
+
+    def test_serve_unknown_model(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["serve", "--model", "not-a-model"])
+
+    def test_serve_trace_unknown_model(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps([[0.0, "not-a-model"]]))
+        with pytest.raises(SystemExit, match="unknown models"):
+            main(["serve", "--scenario", "trace", "--trace-file",
+                  str(trace)])
+
+    def test_serve_plan_diurnal_succeeds(self, capsys):
+        """--plan gates throughput on the realized (not nominal peak)
+        rate, so a diurnal plan terminates with a finite fleet."""
+        assert main(["serve", "--plan", "--scenario", "diurnal",
+                     "--slo-ms", "50", "--qps", "200",
+                     "--duration-ms", "500", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert 1 <= blob["instances"] <= 8

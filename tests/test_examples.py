@@ -22,6 +22,7 @@ def _run(name: str) -> None:
     "quickstart.py",
     "deploy_from_checkpoint.py",
     "runtime_reprogramming.py",
+    "serving_simulation.py",
 ])
 def test_example_runs(name):
     _run(name)
@@ -38,6 +39,7 @@ def test_examples_directory_complete():
         "seq2seq_decoder_extension.py",
         "quantization_study.py",
         "latency_timeline.py",
+        "serving_simulation.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

@@ -1,14 +1,46 @@
-"""Benchmark support: every table/figure bench writes its rendered
-table to ``benchmarks/output/`` so the regenerated artifacts survive
-the run even under pytest's output capture."""
+"""Benchmark support: artifacts and machine-readable perf records.
+
+Two session-scoped sinks:
+
+* ``save_artifact`` — every table/figure bench writes its rendered
+  table to ``benchmarks/output/`` so the regenerated artifacts survive
+  the run even under pytest's output capture.
+* ``record_perf`` — benches append domain metrics (suite, metric,
+  value, units) to ``benchmarks/output/BENCH_results.json``.  At
+  session end every pytest-benchmark timing is appended automatically
+  (metric ``<test>_mean``, units ``s``), so the perf trajectory of each
+  suite is trackable across PRs without parsing text dumps.
+
+``BENCH_results.json`` is a JSON array of records; each run *appends*
+(tagged with a run timestamp) rather than overwriting, preserving
+history.
+"""
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
+from typing import List
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+RESULTS_PATH = OUTPUT_DIR / "BENCH_results.json"
+
+#: Records accumulated by this session (flushed in sessionfinish).
+_records: List[dict] = []
+_run_stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+
+def _append(suite: str, metric: str, value: float, units: str) -> None:
+    _records.append({
+        "run": _run_stamp,
+        "suite": suite,
+        "metric": metric,
+        "value": float(value),
+        "units": units,
+    })
 
 
 @pytest.fixture(scope="session")
@@ -25,3 +57,42 @@ def save_artifact(artifact_dir):
         return path
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def record_perf():
+    """Append one (suite, metric, value, units) perf record."""
+    return _append
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush this run's records, including every benchmark timing.
+
+    Failed or interrupted sessions flush nothing: a history point from
+    a run whose regression assertions tripped would be
+    indistinguishable from a good one.
+    """
+    if exitstatus != 0:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is not None:
+        for bench in bench_session.benchmarks:
+            mean = bench.get("mean")
+            if mean is None:
+                continue
+            suite = Path(bench.fullname.split("::")[0]).stem
+            _append(suite.replace("test_", "", 1),
+                    f"{bench.name}_mean", mean, "s")
+    if not _records:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    history: List[dict] = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            history = []  # corrupt history: restart rather than crash
+    if not isinstance(history, list):
+        history = []
+    history.extend(_records)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")

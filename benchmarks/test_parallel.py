@@ -1,0 +1,37 @@
+"""Bench: multi-FPGA partition planning speed + scaling regression.
+
+Times the full depth x width plan search for the 12-layer workload and
+pins the scaling regressions (4-stage steady state strictly beats one
+device; deeper balanced pipelines never lose throughput) so partitioner
+changes cannot silently regress the multi-device story.  Writes the
+rendered scaling table to ``benchmarks/output/scaling.txt``.
+"""
+
+from repro import ProTEA, SynthParams, get_model
+from repro.experiments import scaling
+from repro.parallel import AURORA_64B66B, PipelinePartitioner
+
+
+def test_bench_partition_search(benchmark, save_artifact, record_perf):
+    accel = ProTEA.synthesize(SynthParams())
+    partitioner = PipelinePartitioner(accel, AURORA_64B66B)
+    cfg = get_model("bert-variant")
+
+    plan = benchmark(partitioner.best_plan, cfg, 8)
+    single = partitioner.plan(cfg, 1)
+
+    # Scaling regressions: monotone throughput, bounded fill overhead.
+    p4 = partitioner.plan(cfg, 4)
+    assert (p4.steady_state_inf_per_s
+            > single.steady_state_inf_per_s)
+    assert (plan.steady_state_inf_per_s
+            >= p4.steady_state_inf_per_s)
+    # Fill may exceed one device only by the interconnect cost.
+    assert plan.fill_cycles <= (single.fill_cycles
+                                + plan.interconnect_cycles)
+
+    record_perf("parallel", "bert_8dev_inf_per_s",
+                plan.steady_state_inf_per_s, "inf/s")
+    record_perf("parallel", "bert_8dev_speedup",
+                plan.speedup_over(single.bottleneck_cycles), "x")
+    save_artifact("scaling.txt", scaling.render())

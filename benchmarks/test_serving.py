@@ -24,7 +24,7 @@ MIX = ModelMix({
 })
 
 
-def test_bench_cluster_simulation(benchmark, save_artifact):
+def test_bench_cluster_simulation(benchmark, save_artifact, record_perf):
     accel = ProTEA.synthesize(SynthParams())
     # ~0.7 fleet utilization: loaded enough to exercise queueing and
     # batching, not so hot that affinity degenerates into spilling.
@@ -46,6 +46,9 @@ def test_bench_cluster_simulation(benchmark, save_artifact):
     # Affinity must keep reprogramming rare relative to batch count.
     batches = sum(i.batches for i in result.instances)
     assert result.total_switches < 0.2 * batches
+    record_perf("serving", "cluster_throughput", report.throughput_rps,
+                "req/s")
+    record_perf("serving", "cluster_p99_latency", report.p99_ms, "ms")
 
     save_artifact("serving_report.txt",
                   render_serving_report(report, title="Bench: 8 instances, "

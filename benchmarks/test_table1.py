@@ -7,11 +7,12 @@ the paper-style table to ``benchmarks/output/table1.txt``.
 from repro.experiments import table1
 
 
-def test_table1_regeneration(benchmark, save_artifact):
+def test_table1_regeneration(benchmark, save_artifact, record_perf):
     result = benchmark(table1.run)
     # Headline checks (the full shape suite lives in tests/experiments).
     latencies = dict(zip(result.column("test"), result.column("latency_ms")))
     assert latencies[5] < latencies[4] < latencies[1] < latencies[8]
+    record_perf("table1", "bert_variant_latency", latencies[1], "ms")
     text = table1.render(result)
     save_artifact("table1.txt", text)
     print("\n" + text)

@@ -8,7 +8,7 @@ from repro.isa import SynthParams
 from repro.nn import BERT_VARIANT
 
 
-def test_bench_timeline_simulation(benchmark, save_artifact):
+def test_bench_timeline_simulation(benchmark, save_artifact, record_perf):
     synth = SynthParams()
     fmts = DatapathFormats.fix8()
     att, ffn = AttentionModule(synth, fmts), FFNModule(synth, fmts)
@@ -20,6 +20,8 @@ def test_bench_timeline_simulation(benchmark, save_artifact):
     analytic = LatencyModel(synth, att, ffn, opts).evaluate(cfg, 200.0)
     ratio = timeline.total_cycles / analytic.total_cycles
     assert 0.98 < ratio < 1.02
+    record_perf("timeline", "bert_total_cycles", timeline.total_cycles,
+                "cycles")
     save_artifact("timeline_gantt.txt",
                   timeline.gantt(width=100)
                   + f"\n\nagreement with closed form: {ratio:.4f}")

@@ -1,0 +1,97 @@
+"""Multi-FPGA partitioning: one model, K devices, one interconnect.
+
+The serving example scales *out* (independent replicas); this one
+scales *up*: a single workload partitioned across several ProTEA
+instances joined by a serial link.
+
+1. Partition the 12-layer BERT variant across 4 devices and read the
+   plan: stage assignment, fill latency, steady-state throughput, and
+   the cross-device Gantt chart.
+2. Compare objectives: deep pipelines maximize throughput, head-wise
+   tensor splits minimize a single request's latency.
+3. Serve a model *too large for any single device* (24 layers vs the
+   synthesized max of 12) through a PipelineGroup.
+4. Trade replica count against pipeline depth under one device budget
+   using the unchanged serving stack.
+
+Run:  python examples/multi_fpga_pipeline.py
+"""
+
+from repro import (
+    AURORA_64B66B,
+    PipelineGroup,
+    PipelinePartitioner,
+    ProTEA,
+    SynthParams,
+    get_model,
+    simulate_cluster,
+    summarize,
+)
+from repro.isa import ResynthesisRequiredError
+from repro.serving import ModelMix, PoissonArrivals
+
+accel = ProTEA.synthesize(SynthParams())
+print("instance:", accel.summary(), "\n")
+
+# ------------------------------------------------------------------ #
+# 1. Four-stage pipeline over Aurora.
+# ------------------------------------------------------------------ #
+bert = get_model("bert-variant")
+partitioner = PipelinePartitioner(accel, AURORA_64B66B)
+plan = partitioner.plan(bert, n_devices=4)
+single = partitioner.plan(bert, n_devices=1)
+print(f"{bert.name} on 4 devices over {plan.link.name}:")
+for s in plan.stages:
+    print(f"  stage {s.index}: layers [{s.layer_start}, {s.layer_end}) "
+          f"-> {s.cycles:,} cyc")
+print(f"  boundary: {plan.boundary_bytes} B = {plan.link_cycles} cyc/hop")
+print(f"  fill {plan.fill_ms:.1f} ms | steady state "
+      f"{plan.steady_state_inf_per_s:.1f} inf/s "
+      f"({plan.speedup_over(single.bottleneck_cycles):.2f}x one device)\n")
+assert plan.steady_state_inf_per_s > single.steady_state_inf_per_s
+print(plan.timeline(n_items=6).gantt(), "\n")
+
+# ------------------------------------------------------------------ #
+# 2. Throughput vs latency objectives.
+# ------------------------------------------------------------------ #
+tput = partitioner.best_plan(bert, 4, objective="throughput")
+lat = partitioner.best_plan(bert, 4, objective="latency")
+print(f"throughput objective: {tput.num_stages} stages x "
+      f"tp{tput.stages[0].tp_ways} -> {tput.steady_state_inf_per_s:.1f} "
+      f"inf/s, {tput.latency_ms:.1f} ms/request")
+print(f"latency objective   : {lat.num_stages} stages x "
+      f"tp{lat.stages[0].tp_ways} -> {lat.steady_state_inf_per_s:.1f} "
+      f"inf/s, {lat.latency_ms:.1f} ms/request\n")
+assert lat.latency_ms < tput.latency_ms
+assert tput.steady_state_inf_per_s > lat.steady_state_inf_per_s
+
+# ------------------------------------------------------------------ #
+# 3. A model no single device can serve.
+# ------------------------------------------------------------------ #
+big = bert.with_(name="bert-24L", num_layers=24)
+try:
+    accel.program(big)
+    raise AssertionError("a single device must reject 24 layers")
+except ResynthesisRequiredError as exc:
+    print(f"single device: {exc}")
+group = PipelineGroup(accel, n_devices=4)
+group.program(big)
+big_plan = group.plan_for(big)
+print(f"PipelineGroup: {big_plan.num_stages} stages x "
+      f"tp{big_plan.stages[0].tp_ways} serve {big.name} at "
+      f"{group.latency_ms(big):.1f} ms\n")
+
+# ------------------------------------------------------------------ #
+# 4. Replicas vs depth under an 8-device budget.
+# ------------------------------------------------------------------ #
+reqs = PoissonArrivals(60, ModelMix("model3-efa-trans"),
+                       seed=0).generate(2_000)
+print("8-device budget serving model3-efa-trans at 60 qps:")
+for depth in (1, 2, 4):
+    replicas = 8 // depth
+    group = PipelineGroup(accel, n_devices=depth)
+    rep = summarize(simulate_cluster(group, reqs, n_instances=replicas))
+    print(f"  {replicas} x depth-{depth}: p50 {rep.p50_ms:6.1f} ms, "
+          f"p99 {rep.p99_ms:6.1f} ms, util {rep.utilization:.2f}")
+
+print("\nOK: multi-FPGA pipeline example passed")

@@ -15,9 +15,11 @@ Quickstart::
 Package map: ``repro.core`` (the accelerator), ``repro.nn`` (golden
 float reference + model zoo), ``repro.fixedpoint`` / ``repro.hls`` /
 ``repro.memory`` / ``repro.fpga`` / ``repro.isa`` (substrates),
-``repro.baselines`` (comparators), ``repro.experiments`` (Tables I-III
-and Fig. 7 regenerators), ``repro.serving`` (multi-instance
-discrete-event serving simulator + SLO capacity planning).
+``repro.baselines`` (comparators), ``repro.experiments`` (Tables I-III,
+Fig. 7, and the multi-FPGA scaling curve), ``repro.serving``
+(multi-instance discrete-event serving simulator + SLO capacity
+planning), ``repro.parallel`` (multi-FPGA pipeline/tensor partitioning
+with an inter-device interconnect model).
 
 Serving quickstart::
 
@@ -25,6 +27,17 @@ Serving quickstart::
     reqs = PoissonArrivals(500, ModelMix("model2-lhc-trigger"),
                            seed=0).generate(1_000)
     report = summarize(simulate_cluster(accel, reqs, n_instances=4))
+
+Partitioning quickstart::
+
+    from repro import PipelinePartitioner, get_model
+    plan = PipelinePartitioner(accel).best_plan(get_model("bert-variant"), 4)
+    print(plan.latency_ms, plan.steady_state_inf_per_s)
+    print(plan.timeline(n_items=6).gantt())       # cross-device Gantt
+
+    from repro import PipelineGroup, plan_capacity
+    group = PipelineGroup(accel, n_devices=4)     # serves like 1 instance
+    fleet = plan_capacity(group, reqs, target_p99_ms=20.0)
 """
 
 from .core import (
@@ -38,6 +51,14 @@ from .core import (
 from .fpga import ALVEO_U55C, get_part
 from .isa import ResynthesisRequiredError, SynthParams
 from .nn import BERT_VARIANT, MODEL_ZOO, TransformerConfig, build_encoder, get_model
+from .parallel import (
+    AURORA_64B66B,
+    InterconnectLink,
+    PipelineGroup,
+    PipelinePartitioner,
+    PipelinePlan,
+    get_link,
+)
 from .serving import (
     BatchingPolicy,
     ClusterSimulator,
@@ -75,5 +96,11 @@ __all__ = [
     "summarize",
     "ServingReport",
     "plan_capacity",
+    "InterconnectLink",
+    "AURORA_64B66B",
+    "get_link",
+    "PipelinePartitioner",
+    "PipelinePlan",
+    "PipelineGroup",
     "__version__",
 ]

@@ -13,6 +13,11 @@ Commands:
 * ``serve`` — discrete-event multi-instance serving simulation
   (scenario x batching x scheduler x fleet size); ``--plan`` searches
   the minimum fleet meeting a p99 SLO.
+* ``partition`` — split one model across K FPGAs (pipeline + tensor
+  parallel) and report per-stage cycles, interconnect cost, fill
+  latency, and steady-state throughput; ``--gantt`` draws the
+  multi-device timeline.
+* ``scaling`` — the multi-FPGA scaling-curve experiment.
 """
 
 from __future__ import annotations
@@ -32,8 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "tables/figures and query the models.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("table1", "table2", "table3", "figure7", "all", "summary",
-                 "power"):
+    for name in ("table1", "table2", "table3", "figure7", "scaling", "all",
+                 "summary", "power"):
         sub.add_parser(name)
     lat = sub.add_parser("latency")
     lat.add_argument("model", nargs="?", default=None,
@@ -72,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--trace-file", default=None,
                      help="JSON [[t_ms, model], ...] for --scenario trace")
     srv.add_argument("--json", action="store_true", dest="as_json")
+
+    par = sub.add_parser(
+        "partition", help="partition one model across K FPGAs")
+    par.add_argument("model", help="model-zoo key")
+    par.add_argument("-k", "--devices", type=int, default=2,
+                     help="total device count (default 2)")
+    par.add_argument("--tp", default="auto",
+                     help="tensor-parallel ways per stage (int, or 'auto' "
+                          "to search the best depth x width factorization)")
+    par.add_argument("--link", default="aurora",
+                     choices=("aurora", "eth100g", "eth10g", "pcie4x8"),
+                     help="inter-device interconnect preset")
+    par.add_argument("--gantt", type=int, default=0, metavar="ITEMS",
+                     help="also draw the pipeline timeline for N items")
+    par.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -262,12 +282,75 @@ def _cmd_serve(args) -> None:
                    f"{args.instances} instance(s), {args.policy}")))
 
 
+def _cmd_partition(args) -> None:
+    from .analysis.tables import render_table
+    from .experiments.common import default_accelerator
+    from .nn import get_model
+    from .parallel import PipelinePartitioner, get_link
+
+    cfg = get_model(args.model)
+    accel = default_accelerator()
+    partitioner = PipelinePartitioner(accel, get_link(args.link))
+    if args.tp == "auto":
+        plan = partitioner.best_plan(cfg, args.devices)
+    else:
+        try:
+            tp = int(args.tp)
+        except ValueError:
+            raise SystemExit(
+                f"invalid --tp {args.tp!r} (expected an integer or 'auto')"
+            ) from None
+        plan = partitioner.plan(cfg, args.devices, tp)
+
+    # Single-device comparison (only when the workload fits one device).
+    single_ms = single_inf_s = None
+    if cfg.num_layers <= accel.synth.max_layers:
+        rep = accel.latency_report(cfg)
+        single_ms = rep.latency_ms
+        single_inf_s = 1e3 / rep.latency_ms
+
+    if args.as_json:
+        out = plan.as_dict()
+        if single_ms is not None:
+            out["single_device"] = {"latency_ms": single_ms,
+                                    "inf_per_s": single_inf_s}
+            out["steady_state"]["speedup"] = (
+                plan.steady_state_inf_per_s * single_ms / 1e3)
+        print(json.dumps(out, indent=2))
+    else:
+        rows = [
+            (s.index, f"[{s.layer_start}, {s.layer_end})", s.num_layers,
+             s.tp_ways, s.cycles, plan.bubble_cycles[s.index])
+            for s in plan.stages
+        ]
+        print(render_table(
+            ("stage", "layers", "n", "tp", "cycles", "bubble cyc"), rows,
+            title=(f"{cfg.name} across {plan.n_devices} device(s): "
+                   f"{plan.num_stages} stage(s) x tp"
+                   f"{plan.stages[0].tp_ways} over {plan.link.name}")))
+        print(f"\ninterconnect : {plan.boundary_bytes} B/boundary, "
+              f"{plan.link_cycles} cyc/hop, "
+              f"{plan.interconnect_cycles} cyc end-to-end")
+        print(f"fill latency : {plan.fill_ms:.3f} ms "
+              f"({plan.fill_cycles:,} cyc)")
+        print(f"steady state : {plan.steady_state_inf_per_s:.2f} inf/s "
+              f"(period {plan.bottleneck_cycles:,} cyc, "
+              f"bubbles {plan.bubble_fraction:.1%})")
+        if single_ms is not None:
+            print(f"single device: {single_ms:.3f} ms, "
+                  f"{single_inf_s:.2f} inf/s  ->  speedup "
+                  f"{plan.steady_state_inf_per_s / single_inf_s:.2f}x")
+        if args.gantt:
+            print()
+            print(plan.timeline(args.gantt).gantt())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command in ("table1", "table2", "table3", "figure7"):
+    if args.command in ("table1", "table2", "table3", "figure7", "scaling"):
         _cmd_experiment(args.command)
     elif args.command == "all":
-        for name in ("table1", "table2", "table3", "figure7"):
+        for name in ("table1", "table2", "table3", "figure7", "scaling"):
             _cmd_experiment(name)
             print()
     elif args.command == "summary":
@@ -278,6 +361,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_power()
     elif args.command == "serve":
         _cmd_serve(args)
+    elif args.command == "partition":
+        _cmd_partition(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

@@ -6,11 +6,13 @@
 * :mod:`repro.experiments.table3` — cross-platform comparison
   (Table III).
 * :mod:`repro.experiments.figure7` — tile-size sweep (Fig. 7).
+* :mod:`repro.experiments.scaling` — multi-FPGA pipeline/tensor
+  scaling curve (beyond the paper; see :mod:`repro.parallel`).
 
 Each exposes ``run() -> ExperimentResult`` and ``render() -> str``.
 """
 
-from . import figure7, table1, table2, table3
+from . import figure7, scaling, table1, table2, table3
 from .common import ExperimentResult, default_accelerator, relative_error
 
 __all__ = [
@@ -18,6 +20,7 @@ __all__ = [
     "table2",
     "table3",
     "figure7",
+    "scaling",
     "ExperimentResult",
     "default_accelerator",
     "relative_error",

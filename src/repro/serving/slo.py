@@ -126,7 +126,9 @@ class ServingReport:
                 {"index": i.index, "requests": i.requests,
                  "batches": i.batches, "busy_ms": i.busy_ms,
                  "switches": i.switch_count,
-                 "reprogram_time_ms": i.reprogram_time_ms}
+                 # switch_ms: time this instance spent reprogramming —
+                 # the text report shows it, so the JSON must too.
+                 "switch_ms": i.reprogram_time_ms}
                 for i in self.instances
             ],
         }

@@ -1,0 +1,67 @@
+"""Shape and sanity tests for the multi-FPGA scaling experiment."""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling.run()
+
+
+class TestRun:
+    def test_covers_both_models(self, result):
+        models = set(result.column("model"))
+        assert models == set(scaling.MODELS)
+
+    def test_k1_rows_are_the_baseline(self, result):
+        for row in result.rows:
+            model, k = row[0], row[1]
+            speedup = row[result.headers.index("speedup")]
+            if k == 1:
+                assert speedup == pytest.approx(1.0)
+
+    def test_speedup_monotone_per_model(self, result):
+        idx_s = result.headers.index("speedup")
+        for model in scaling.MODELS:
+            speedups = [r[idx_s] for r in result.rows if r[0] == model]
+            assert speedups == sorted(speedups)
+
+    def test_efficiency_bounded(self, result):
+        idx_e = result.headers.index("efficiency")
+        for row in result.rows:
+            assert 0 < row[idx_e] <= 1.0 + 1e-9
+
+    def test_deep_model_scales_linearly(self, result):
+        """12 balanced layers: 4 devices -> ~4x."""
+        idx_s = result.headers.index("speedup")
+        four = [r[idx_s] for r in result.rows
+                if r[0] == "bert-variant" and r[1] == 4]
+        assert four and four[0] > 3.9
+
+    def test_shallow_model_keeps_scaling_past_its_depth(self, result):
+        """2 layers cap the pipeline at 2 stages; tensor splits must
+        still buy speedup at K=4."""
+        idx_s = result.headers.index("speedup")
+        by_k = {r[1]: r[idx_s] for r in result.rows
+                if r[0] == "model3-efa-trans"}
+        assert by_k[4] > by_k[2] > 1.0
+
+    def test_series_for_plotting(self, result):
+        for model in scaling.MODELS:
+            series = result.series[model]
+            assert series[0][0] == 1
+            rates = [rate for _, rate in series]
+            assert rates == sorted(rates)
+
+
+class TestRender:
+    def test_render_contains_notes_and_rows(self, result):
+        text = scaling.render(result)
+        assert "Multi-FPGA scaling" in text
+        assert "note:" in text
+        assert "bert-variant" in text
+
+    def test_render_without_result_recomputes(self):
+        assert "Multi-FPGA scaling" in scaling.render()

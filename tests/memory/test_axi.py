@@ -60,6 +60,56 @@ class TestAXI4Master:
         assert axi.transfer_cycles(nbytes) >= axi.beats(nbytes)
 
 
+class TestARLENBoundary:
+    """Burst math exactly at and around the 256-beat AXI4 ARLEN cap."""
+
+    AXI = AXI4Master(data_bits=64, max_burst_beats=256, setup_cycles=32)
+    BURST_BYTES = 8 * 256  # one full burst on a 64-bit bus
+
+    def test_one_byte_over_the_boundary_starts_a_new_burst(self):
+        at = self.AXI.transfer_cycles(self.BURST_BYTES)
+        over = self.AXI.transfer_cycles(self.BURST_BYTES + 1)
+        # One extra beat *and* one extra address phase.
+        assert over == at + self.AXI.setup_cycles + 1
+
+    def test_one_byte_under_stays_in_one_burst(self):
+        under = self.AXI.transfer_cycles(self.BURST_BYTES - 1)
+        assert under == self.AXI.setup_cycles + 256  # still 256 beats
+
+    def test_exact_multiples_pay_exactly_n_setups(self):
+        for n in (1, 2, 3, 7):
+            cycles = self.AXI.transfer_cycles(n * self.BURST_BYTES)
+            assert cycles == n * self.AXI.setup_cycles + n * 256
+
+    def test_single_beat_burst_cap(self):
+        axi = AXI4Master(data_bits=64, max_burst_beats=1, setup_cycles=4)
+        # Every beat is its own burst: degenerate but legal AXI.
+        assert axi.transfer_cycles(64) == 8 * (4 + 1)
+
+    @given(st.integers(1, 1 << 20))
+    def test_burst_count_matches_beat_count(self, nbytes):
+        axi = self.AXI
+        beats = axi.beats(nbytes)
+        bursts = axi.bursts(nbytes)
+        assert (bursts - 1) * 256 < beats <= bursts * 256
+
+    @given(st.integers(0, 1 << 20), st.integers(1, 1 << 16))
+    def test_cycles_monotone_in_arbitrary_step(self, nbytes, delta):
+        """Monotone for any byte increment, not just whole beats."""
+        axi = self.AXI
+        assert (axi.transfer_cycles(nbytes + delta)
+                >= axi.transfer_cycles(nbytes))
+
+    @given(st.integers(1, 1 << 20))
+    def test_splitting_never_cheaper_than_contiguous(self, nbytes):
+        """Two half-transfers pay at least the contiguous cost."""
+        axi = self.AXI
+        half = nbytes // 2
+        split = (axi.transfer_cycles(half)
+                 + axi.transfer_cycles(nbytes - half))
+        assert split >= axi.transfer_cycles(nbytes)
+
+
 class TestAXILite:
     def test_configure_cost(self):
         lite = AXILiteSlave(write_cycles=6)

@@ -81,3 +81,35 @@ class TestConvenience:
             uniform_phases(-1, 1, 1)
         with pytest.raises(ValueError):
             TilePhase(-1, 0)
+
+
+class TestOverlapEdgeCases:
+    def test_zero_load_phases_pure_compute(self):
+        """All-resident weights: overlap degenerates to compute sum."""
+        phases = uniform_phases(5, load=0, compute=7)
+        assert overlapped_cycles(phases).total == 35
+        assert serialized_cycles(phases).total == 35
+
+    def test_zero_compute_phases_pure_streaming(self):
+        """Zero-work tiles: nothing can hide, totals equal the loads."""
+        phases = uniform_phases(5, load=7, compute=0)
+        assert overlapped_cycles(phases).total == 35
+        assert serialized_cycles(phases).total == 35
+
+    def test_alternating_bound_phases(self):
+        """Load-bound and compute-bound tiles interleaved: each pair
+        hides the smaller side exactly once."""
+        phases = [TilePhase(100, 1), TilePhase(1, 100),
+                  TilePhase(100, 1), TilePhase(1, 100)]
+        rep = overlapped_cycles(phases)
+        # 100 + max(1,1) + max(100,100) + max(1,1) + 100
+        assert rep.total == 100 + 1 + 100 + 1 + 100
+
+    def test_single_zero_phase(self):
+        rep = overlapped_cycles([TilePhase(0, 0)])
+        assert rep.total == 0
+        assert rep.overlap_efficiency == 0.0
+
+    def test_tiled_engine_zero_tiles(self):
+        total, rep = tiled_engine_cycles(0, 10, 20, double_buffered=True)
+        assert total == 0 and rep.total == 0

@@ -64,3 +64,54 @@ class TestSubsystem:
         with pytest.raises(ValueError):
             HBMSubsystem().transfer_cycles(1, AXI4Master(),
                                            concurrent_streams=0)
+
+
+class TestTransferEdgeCases:
+    """Boundary behavior of the max(protocol, DRAM) composition."""
+
+    def test_single_byte_pays_full_setup(self):
+        """The smallest possible read still costs an address phase and
+        the DRAM access latency — whichever is larger binds."""
+        hbm = HBMSubsystem()
+        port = AXI4Master(data_bits=64, setup_cycles=32)
+        cycles = hbm.transfer_cycles(1, port)
+        assert cycles == max(
+            port.setup_cycles + 1,
+            hbm.channel.access_latency_cycles(hbm.clock_mhz) + 1,
+        )
+
+    def test_crossover_point_exists(self):
+        """Small transfers are DRAM-latency bound on a wide port; large
+        ones protocol-bound on a narrow port — the same subsystem."""
+        hbm = HBMSubsystem()
+        wide = AXI4Master(data_bits=1024, setup_cycles=1)
+        narrow = AXI4Master(data_bits=32, setup_cycles=32)
+        small, big = 64, 1 << 20
+        assert hbm.transfer_cycles(small, wide) > wide.transfer_cycles(small)
+        assert (hbm.transfer_cycles(big, narrow)
+                == narrow.transfer_cycles(big))
+
+    def test_transfer_monotone_in_stream_count(self):
+        hbm = HBMSubsystem(channels=4)
+        port = AXI4Master(data_bits=1024, setup_cycles=1)
+        costs = [hbm.transfer_cycles(1 << 20, port, concurrent_streams=s)
+                 for s in (1, 4, 8, 16, 64)]
+        assert costs == sorted(costs)
+
+    def test_fractional_share_rounds_up_not_down(self):
+        """5 streams on 4 channels must cost more than 4 on 4."""
+        hbm = HBMSubsystem(channels=4)
+        port = AXI4Master(data_bits=1024, setup_cycles=1)
+        fit = hbm.transfer_cycles(1 << 20, port, concurrent_streams=4)
+        spill = hbm.transfer_cycles(1 << 20, port, concurrent_streams=5)
+        assert spill > fit
+
+    def test_low_clock_raises_per_cycle_bandwidth(self):
+        """Halving the kernel clock doubles bytes-per-cycle, so the
+        cycle count of a DRAM-bound transfer shrinks (wall time does
+        not — cycles are longer)."""
+        slow = HBMSubsystem(clock_mhz=100.0)
+        fast = HBMSubsystem(clock_mhz=400.0)
+        port = AXI4Master(data_bits=4096, setup_cycles=1)
+        assert (slow.transfer_cycles(1 << 20, port)
+                < fast.transfer_cycles(1 << 20, port))

@@ -1,0 +1,115 @@
+"""Unit + property tests for the inter-device link cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    AURORA_64B66B,
+    ETHERNET_10G,
+    ETHERNET_100G,
+    LINKS,
+    PCIE_GEN4_X8,
+    InterconnectLink,
+    get_link,
+)
+
+
+class TestTransfer:
+    def test_zero_bytes_free(self):
+        assert AURORA_64B66B.transfer_us(0) == 0.0
+        assert AURORA_64B66B.transfer_cycles(0, 200.0) == 0
+
+    def test_latency_floor(self):
+        """Even one byte pays the first-bit latency."""
+        assert AURORA_64B66B.transfer_us(1) > AURORA_64B66B.latency_us
+
+    def test_bandwidth_term(self):
+        """A 1 MiB payload on a 100 Gb/s-class link is bandwidth-bound:
+        ~80-90 us of serialization versus sub-us latency."""
+        us = AURORA_64B66B.transfer_us(1 << 20)
+        assert 60.0 < us < 120.0
+
+    def test_cycles_scale_with_clock(self):
+        n = 1 << 16
+        assert (AURORA_64B66B.transfer_cycles(n, 400.0)
+                >= 2 * AURORA_64B66B.transfer_cycles(n, 200.0) - 1)
+
+    def test_efficiency_taxes_bandwidth(self):
+        raw = InterconnectLink("raw", 100.0, 0.0, efficiency=1.0)
+        taxed = InterconnectLink("taxed", 100.0, 0.0, efficiency=0.5)
+        assert taxed.transfer_us(4096) == pytest.approx(
+            2 * raw.transfer_us(4096))
+
+    @given(st.integers(0, 1 << 24), st.integers(1, 1 << 20))
+    def test_monotone_in_bytes(self, nbytes, delta):
+        assert (AURORA_64B66B.transfer_us(nbytes + delta)
+                >= AURORA_64B66B.transfer_us(nbytes))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectLink("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            InterconnectLink("x", 1.0, -1.0)
+        with pytest.raises(ValueError):
+            InterconnectLink("x", 1.0, 1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            InterconnectLink("x", 1.0, 1.0, overhead_bytes=-1)
+        with pytest.raises(ValueError):
+            AURORA_64B66B.transfer_us(-1)
+        with pytest.raises(ValueError):
+            AURORA_64B66B.transfer_cycles(1, 0.0)
+
+
+class TestAllReduce:
+    def test_one_way_is_free(self):
+        assert ETHERNET_100G.allreduce_us(1 << 20, 1) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert ETHERNET_100G.allreduce_us(0, 4) == 0.0
+
+    def test_ring_step_count(self):
+        """2(w-1) steps of an nbytes/w shard."""
+        link = InterconnectLink("ideal", 100.0, 0.0)
+        n, w = 1 << 20, 4
+        expect = 2 * (w - 1) * link.transfer_us(n // w)
+        assert link.allreduce_us(n, w) == pytest.approx(expect)
+
+    def test_latency_dominates_wide_groups_for_small_payloads(self):
+        """Small tensors: ring time grows with group size (step count),
+        not payload."""
+        small = 256
+        t2 = ETHERNET_100G.allreduce_us(small, 2)
+        t8 = ETHERNET_100G.allreduce_us(small, 8)
+        assert t8 > t2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AURORA_64B66B.allreduce_us(1, 0)
+        with pytest.raises(ValueError):
+            AURORA_64B66B.allreduce_cycles(1, 2, 0.0)
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        assert LINKS == {
+            "aurora": AURORA_64B66B,
+            "eth100g": ETHERNET_100G,
+            "eth10g": ETHERNET_10G,
+            "pcie4x8": PCIE_GEN4_X8,
+        }
+
+    def test_get_link(self):
+        assert get_link("aurora") is AURORA_64B66B
+
+    def test_get_link_unknown_lists_choices(self):
+        with pytest.raises(KeyError, match="aurora"):
+            get_link("infiniband")
+
+    def test_relative_speeds(self):
+        """The presets keep their physical ordering for a bulk
+        activation transfer."""
+        n = 1 << 20
+        assert (AURORA_64B66B.transfer_us(n)
+                < ETHERNET_100G.transfer_us(n)
+                < ETHERNET_10G.transfer_us(n))

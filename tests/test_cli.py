@@ -13,10 +13,18 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_known_commands(self):
-        for cmd in ("table1", "table2", "table3", "figure7", "all",
-                    "summary", "power", "latency", "serve"):
+        for cmd in ("table1", "table2", "table3", "figure7", "scaling",
+                    "all", "summary", "power", "latency", "serve"):
             args = build_parser().parse_args([cmd])
             assert args.command == cmd
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "bert-variant"])
+        assert args.command == "partition"
+        assert args.devices == 2
+        assert args.tp == "auto"
+        assert args.link == "aurora"
+        assert not args.as_json
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
@@ -156,3 +164,103 @@ class TestServe:
                      "--duration-ms", "500", "--json"]) == 0
         blob = json.loads(capsys.readouterr().out)
         assert 1 <= blob["instances"] <= 8
+
+
+class TestServeSwitchTime:
+    def test_json_reports_per_instance_switch_ms(self, capsys):
+        """The JSON path must carry the reprogramming *time* per
+        instance, not just the switch count."""
+        assert main(["serve", "--qps", "100", "--instances", "2",
+                     "--policy", "round-robin", "--reprogram-ms", "10",
+                     "--model", "model1-peng-isqed21",
+                     "--model", "model3-efa-trans:2", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        per_inst = blob["per_instance"]
+        assert per_inst, "expected per-instance records"
+        assert all("switch_ms" in inst for inst in per_inst)
+        # Round-robin over a 2-model mix must actually switch, and the
+        # per-instance times must add up to the aggregate.
+        assert sum(i["switches"] for i in per_inst) > 0
+        assert sum(i["switch_ms"] for i in per_inst) == pytest.approx(
+            blob["reprogramming"]["time_ms"])
+        assert sum(i["switch_ms"] for i in per_inst) > 0
+
+
+class TestPartition:
+    """Acceptance matrix: >= 2 zoo models x K in {2, 4} through the
+    CLI's JSON path, plus text/gantt rendering."""
+
+    @pytest.mark.parametrize("model", ["bert-variant", "model3-efa-trans"])
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_json_reports_acceptance_fields(self, capsys, model, k):
+        assert main(["partition", model, "-k", str(k), "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["model"] == model
+        assert blob["devices"] == k
+        # Stage assignment covers every layer contiguously.
+        stages = blob["stages"]
+        assert stages[0]["layers"][0] == 0
+        for a, b in zip(stages, stages[1:]):
+            assert a["layers"][1] == b["layers"][0]
+        assert all(s["cycles"] > 0 for s in stages)
+        assert all(s["bubble_cycles"] >= 0 for s in stages)
+        # Interconnect, fill, steady state.
+        assert blob["interconnect"]["cycles_per_boundary"] >= 0
+        assert blob["fill"]["cycles"] > 0 and blob["fill"]["ms"] > 0
+        assert blob["steady_state"]["inf_per_s"] > 0
+        # Both fit a single device, so the comparison is present and
+        # the K-device steady state beats it.
+        assert blob["steady_state"]["speedup"] > 1.0
+        assert blob["single_device"]["latency_ms"] > 0
+
+    def test_text_report(self, capsys):
+        assert main(["partition", "bert-variant", "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 stage(s)" in out
+        assert "fill latency" in out and "steady state" in out
+        assert "speedup" in out
+
+    def test_gantt(self, capsys):
+        assert main(["partition", "bert-variant", "-k", "2",
+                     "--gantt", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fpga0" in out and "fpga1" in out and "#" in out
+
+    def test_explicit_tp(self, capsys):
+        assert main(["partition", "bert-variant", "-k", "4",
+                     "--tp", "4", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["pipeline_stages"] == 1
+        assert blob["stages"][0]["tp_ways"] == 4
+        assert blob["stages"][0]["tp_comm_cycles_per_layer"] > 0
+
+    def test_link_choice_changes_cost(self, capsys):
+        costs = {}
+        for link in ("aurora", "eth10g"):
+            assert main(["partition", "bert-variant", "-k", "2",
+                         "--link", link, "--json"]) == 0
+            blob = json.loads(capsys.readouterr().out)
+            costs[link] = blob["interconnect"]["cycles_per_boundary"]
+        assert costs["eth10g"] > costs["aurora"]
+
+    def test_invalid_tp_value(self):
+        with pytest.raises(SystemExit, match="invalid --tp"):
+            main(["partition", "bert-variant", "--tp", "many"])
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            main(["partition", "not-a-model"])
+
+    def test_too_deep_pipeline_raises(self):
+        with pytest.raises(ValueError, match="cannot pipeline"):
+            main(["partition", "model2-lhc-trigger", "-k", "8",
+                  "--tp", "1"])
+
+
+class TestScalingCommand:
+    def test_scaling_renders_curve(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-FPGA scaling" in out
+        assert "bert-variant" in out and "model3-efa-trans" in out
+        assert "speedup" in out

@@ -23,6 +23,7 @@ def _run(name: str) -> None:
     "deploy_from_checkpoint.py",
     "runtime_reprogramming.py",
     "serving_simulation.py",
+    "multi_fpga_pipeline.py",
 ])
 def test_example_runs(name):
     _run(name)
@@ -40,6 +41,7 @@ def test_examples_directory_complete():
         "quantization_study.py",
         "latency_timeline.py",
         "serving_simulation.py",
+        "multi_fpga_pipeline.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

@@ -13,12 +13,14 @@ Two session-scoped sinks:
 
 ``BENCH_results.json`` is a JSON array of records; each run *appends*
 (tagged with a run timestamp) rather than overwriting, preserving
-history.
+history.  The record schema is documented in ``benchmarks/README.md``
+and validated here at append time.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 from typing import List
@@ -33,14 +35,37 @@ _records: List[dict] = []
 _run_stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
 
 
+def _validate_record(record: dict) -> None:
+    """Enforce the schema in benchmarks/README.md before appending.
+
+    A malformed record fails the bench that produced it instead of
+    silently corrupting the shared history file.
+    """
+    expected = {"run", "suite", "metric", "value", "units"}
+    if set(record) != expected:
+        raise ValueError(
+            f"perf record fields {sorted(record)} != {sorted(expected)}")
+    for key in ("run", "suite", "metric", "units"):
+        if not isinstance(record[key], str) or not record[key]:
+            raise ValueError(f"perf record {key!r} must be a non-empty "
+                             f"string, got {record[key]!r}")
+    if not isinstance(record["value"], float) or not math.isfinite(
+            record["value"]):
+        raise ValueError(
+            f"perf record value must be a finite number, "
+            f"got {record['value']!r}")
+
+
 def _append(suite: str, metric: str, value: float, units: str) -> None:
-    _records.append({
+    record = {
         "run": _run_stamp,
         "suite": suite,
         "metric": metric,
         "value": float(value),
         "units": units,
-    })
+    }
+    _validate_record(record)
+    _records.append(record)
 
 
 @pytest.fixture(scope="session")

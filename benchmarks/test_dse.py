@@ -1,0 +1,92 @@
+"""Bench: the DSE engine's two headline speedups, as perf records.
+
+Measures (a) serial vs ``multiprocessing``-pool evaluation of one
+standard grid and (b) cold vs warm (cache-resumed) runs of the same
+sweep, appending all six numbers to ``BENCH_results.json`` (schema in
+``benchmarks/README.md``).  The parallel speedup is recorded, not
+asserted — it tracks the host's core count — while the cache contract
+(warm run re-evaluates *nothing* and reproduces the frontier exactly)
+is hard-asserted, along with a frontier-sanity regression: the paper's
+12 MHA x 6 FFN tile optimum must sit on the frontier of its own grid.
+
+Writes the rendered exploration table to ``benchmarks/output/dse.txt``.
+"""
+
+import os
+import time
+
+from repro.dse import (
+    EvalCache,
+    evaluate_point,
+    explore,
+    get_objectives,
+    render_exploration,
+    standard_space,
+)
+
+#: A workload heavy enough that evaluation dominates engine overhead.
+SETTINGS = {"qps": 1000.0, "duration_ms": 500.0, "seed": 0}
+
+SPACE = standard_space(models=("bert-variant", "model2-lhc-trigger"),
+                       tiles_mha=(8, 12, 16, 24, 48), tiles_ffn=(3, 4, 6))
+OBJECTIVES = get_objectives()
+
+
+def _explore(**kwargs):
+    return explore(SPACE, evaluate_point, objectives=OBJECTIVES,
+                   settings=SETTINGS, **kwargs)
+
+
+def test_bench_parallel_speedup(record_perf, save_artifact):
+    _explore()  # warm the per-process synthesis memo for a fair race
+
+    t0 = time.perf_counter()
+    serial = _explore(jobs=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = _explore(jobs=2)
+    t_parallel = time.perf_counter() - t0
+
+    # The pool must change nothing but the wall clock.
+    assert ([(r.point, r.objectives, r.error) for r in serial.results]
+            == [(r.point, r.objectives, r.error) for r in pooled.results])
+    assert serial.n_evaluated == pooled.n_evaluated == SPACE.size
+
+    # The published optimum sits on its own grid's frontier.
+    frontier_tiles = {(r.point["tiles_mha"], r.point["tiles_ffn"])
+                      for r in serial.frontier}
+    assert (12, 6) in frontier_tiles
+
+    record_perf("dse", "dse_serial_s", t_serial, "s")
+    record_perf("dse", "dse_parallel_s", t_parallel, "s")
+    record_perf("dse", "dse_parallel_speedup_x",
+                t_serial / t_parallel, "x")
+    # The speedup tracks the host: record its core count next to it so
+    # a < 1x reading on a single-core CI box is interpretable.
+    record_perf("dse", "dse_host_cpus", float(os.cpu_count() or 1),
+                "cores")
+    record_perf("dse", "dse_grid_points", float(SPACE.size), "points")
+    save_artifact("dse.txt", render_exploration(
+        serial, title=f"DSE bench grid ({SPACE.size} points)"))
+
+
+def test_bench_cache_speedup(record_perf, tmp_path):
+    t0 = time.perf_counter()
+    cold = _explore(cache=EvalCache(tmp_path))
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = _explore(cache=EvalCache(tmp_path))
+    t_warm = time.perf_counter() - t0
+
+    # Resume contract: zero re-evaluations, identical frontier.
+    assert cold.n_evaluated == SPACE.size
+    assert warm.n_evaluated == 0
+    assert warm.cache_hits == SPACE.size
+    assert ([(r.point, r.objectives) for r in warm.frontier]
+            == [(r.point, r.objectives) for r in cold.frontier])
+
+    record_perf("dse", "dse_cold_s", t_cold, "s")
+    record_perf("dse", "dse_warm_s", t_warm, "s")
+    record_perf("dse", "dse_warm_speedup_x", t_cold / t_warm, "x")

@@ -1,22 +1,35 @@
-"""Design-space exploration: reproduce Fig. 7 and go beyond it.
+"""Design-space exploration: reproduce Fig. 7, then search beyond it.
 
 The paper spent ~36 hours of HLS compilation per tile configuration;
 the analytic models answer the same questions in milliseconds.  This
-example (a) regenerates the published sweep, (b) extends it to a finer
-FFN-tile grid the paper could not afford, and (c) recomputes the
-"8 parallel heads fit the U55C" analysis and tries the same design on
-other boards.
+example (a) regenerates the published sweep (now running through the
+``repro.dse`` engine), (b) extends it to a finer FFN-tile grid the
+paper could not afford, (c) recomputes the "8 parallel heads fit the
+U55C" analysis across boards, and (d) runs a full multi-objective
+exploration — latency x throughput x tail latency x power — with
+Pareto-frontier extraction and the on-disk evaluation cache, showing a
+resumed sweep re-evaluating nothing.
 
 Run:  python examples/design_space_exploration.py
 """
 
+import tempfile
+
 from repro import ALVEO_U55C, SynthParams, get_part, max_parallel_heads, tile_size_sweep
 from repro.analysis import render_table
 from repro.core import find_optimum
+from repro.dse import (
+    EvalCache,
+    evaluate_point,
+    explore,
+    get_objectives,
+    render_exploration,
+    standard_space,
+)
 from repro.fpga import OverUtilizationError
 
 # ----------------------------------------------------------------- #
-# (a) The published Fig. 7 grid.
+# (a) The published Fig. 7 grid (through the DSE engine).
 # ----------------------------------------------------------------- #
 points = tile_size_sweep()
 best_freq, best_lat = find_optimum(points)
@@ -51,3 +64,27 @@ for part_name in ("Alveo U55C", "Alveo U250", "Alveo U200", "VCU118"):
         print(f"  {part_name:12s}: {h}{note}")
     except OverUtilizationError as exc:
         print(f"  {part_name:12s}: does not fit ({exc})")
+
+# ----------------------------------------------------------------- #
+# (d) Multi-objective DSE: tiles x model, four objectives, cached.
+#     The frontier is the set of deployments nothing else beats on
+#     every axis at once; the second run resumes from the cache and
+#     re-evaluates nothing.
+# ----------------------------------------------------------------- #
+space = standard_space(models=("bert-variant", "model2-lhc-trigger"),
+                       tiles_mha=(8, 12, 48), tiles_ffn=(3, 6))
+objectives = get_objectives()
+with tempfile.TemporaryDirectory() as cache_dir:
+    cold = explore(space, evaluate_point, objectives=objectives,
+                   cache=EvalCache(cache_dir))
+    print()
+    print(render_exploration(cold, title="Multi-objective DSE (cold)"))
+
+    warm = explore(space, evaluate_point, objectives=objectives,
+                   cache=EvalCache(cache_dir))
+    assert warm.n_evaluated == 0, "resume must re-evaluate nothing"
+    assert ([(r.point, r.objectives) for r in warm.frontier]
+            == [(r.point, r.objectives) for r in cold.frontier]), \
+        "resumed frontier must be identical"
+    print(f"\nresumed run: {warm.cache_hits} cache hit(s), "
+          f"{warm.n_evaluated} re-evaluation(s) — frontier identical. OK")

@@ -19,7 +19,10 @@ float reference + model zoo), ``repro.fixedpoint`` / ``repro.hls`` /
 Fig. 7, and the multi-FPGA scaling curve), ``repro.serving``
 (multi-instance discrete-event serving simulator + SLO capacity
 planning), ``repro.parallel`` (multi-FPGA pipeline/tensor partitioning
-with an inter-device interconnect model).
+with an inter-device interconnect model), ``repro.dse`` (parallel
+multi-objective design-space exploration with Pareto-frontier
+extraction and an on-disk evaluation cache).  The full layer stack is
+documented in ``docs/architecture.md``.
 
 Serving quickstart::
 
@@ -38,6 +41,15 @@ Partitioning quickstart::
     from repro import PipelineGroup, plan_capacity
     group = PipelineGroup(accel, n_devices=4)     # serves like 1 instance
     fleet = plan_capacity(group, reqs, target_p99_ms=20.0)
+
+DSE quickstart::
+
+    from repro import EvalCache, evaluate_point, explore, standard_space
+    from repro.dse import get_objectives
+    result = explore(standard_space(), evaluate_point,
+                     objectives=get_objectives(), jobs=4,
+                     cache=EvalCache(".dse_cache"))
+    print([p.point for p in result.frontier])
 """
 
 from .core import (
@@ -47,6 +59,17 @@ from .core import (
     find_optimum,
     max_parallel_heads,
     tile_size_sweep,
+)
+from .dse import (
+    Axis,
+    EvalCache,
+    ExplorationResult,
+    Objective,
+    SearchSpace,
+    evaluate_point,
+    explore,
+    pareto_front,
+    standard_space,
 )
 from .fpga import ALVEO_U55C, get_part
 from .isa import ResynthesisRequiredError, SynthParams
@@ -102,5 +125,14 @@ __all__ = [
     "PipelinePartitioner",
     "PipelinePlan",
     "PipelineGroup",
+    "Axis",
+    "SearchSpace",
+    "Objective",
+    "EvalCache",
+    "ExplorationResult",
+    "explore",
+    "evaluate_point",
+    "standard_space",
+    "pareto_front",
     "__version__",
 ]

@@ -1,16 +1,17 @@
-"""Generic parameter-sweep driver.
+"""Generic parameter-sweep driver (a thin front on :mod:`repro.dse`).
 
-A tiny cartesian-grid evaluator used by the ablation benchmarks: give
-it named parameter axes and an evaluation function, get back one record
-per grid point.  (The Fig. 7 tile sweep has its own dedicated driver in
-:mod:`repro.core.design_space`; this one serves the extra ablations —
-AXI width, buffering, sequence chunking.)
+Gives named parameter axes and an evaluation function, get back one
+record per grid point.  Historically this module held its own cartesian
+loop; it now delegates to the :func:`repro.dse.engine.explore` engine
+(grid strategy, serial, no objectives), so every sweep in the repo —
+the ablation benchmarks here, Fig. 7's tile sweep, the scaling curve,
+and the ``dse`` CLI — runs through one code path.  The public surface
+(:func:`grid_sweep`, :class:`SweepResult`) is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import product
 from typing import Any, Callable, Dict, List, Mapping, Sequence
 
 __all__ = ["SweepResult", "grid_sweep"]
@@ -41,18 +42,29 @@ def grid_sweep(
     design point that does not fit the device) instead of raising —
     matching how a real DSE flow tolerates infeasible corners.
     """
+    # Function-level import: analysis is a substrate package the dse
+    # stack builds on, so importing the engine at module scope would
+    # be circular.
+    from ..dse.engine import explore
+    from ..dse.space import Axis, SearchSpace
+
     if not axes:
         raise ValueError("need at least one axis")
-    names = list(axes)
-    results: List[SweepResult] = []
-    for combo in product(*(axes[n] for n in names)):
-        params = dict(zip(names, combo))
-        try:
-            value = evaluate(**params)
-            results.append(SweepResult(params=params, value=value))
-        except Exception as exc:  # noqa: BLE001 - DSE tolerates corners
-            if not continue_on_error:
-                raise
-            results.append(SweepResult(params=params, value=None,
-                                       error=f"{type(exc).__name__}: {exc}"))
-    return results
+    # Legacy contract: an empty value list empties the whole grid
+    # (itertools.product semantics), it does not error.
+    if any(not tuple(values) for values in axes.values()):
+        return []
+    space = SearchSpace(tuple(Axis(name, tuple(values))
+                              for name, values in axes.items()))
+
+    def _evaluate(point: Dict[str, Any], _settings: Dict[str, Any]) -> dict:
+        return {"value": evaluate(**point)}
+
+    outcome = explore(space, _evaluate,
+                      continue_on_error=continue_on_error)
+    return [
+        SweepResult(params=dict(r.point),
+                    value=r.metrics.get("value") if r.ok else None,
+                    error=r.error)
+        for r in outcome.results
+    ]

@@ -18,6 +18,10 @@ Commands:
   latency, and steady-state throughput; ``--gantt`` draws the
   multi-device timeline.
 * ``scaling`` — the multi-FPGA scaling-curve experiment.
+* ``dse`` — multi-objective design-space exploration over
+  (tiles x format x model x partitioning x fleet); ``--jobs`` fans the
+  evaluations over a process pool, ``--resume`` reuses the on-disk
+  evaluation cache, ``--pareto`` restricts output to the frontier.
 """
 
 from __future__ import annotations
@@ -92,6 +96,59 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--gantt", type=int, default=0, metavar="ITEMS",
                      help="also draw the pipeline timeline for N items")
     par.add_argument("--json", action="store_true", dest="as_json")
+
+    dse = sub.add_parser(
+        "dse", help="multi-objective design-space exploration")
+    dse.add_argument("--strategy", default="grid",
+                     choices=("grid", "random", "evolutionary"))
+    dse.add_argument("--model", action="append", dest="models",
+                     metavar="NAME",
+                     help="model-zoo entries for the model axis "
+                          "(repeatable; default bert-variant + "
+                          "model2-lhc-trigger)")
+    dse.add_argument("--tiles-mha", default="8,12,48", metavar="LIST",
+                     help="MHA tile-count axis (comma-separated)")
+    dse.add_argument("--tiles-ffn", default="3,6", metavar="LIST",
+                     help="FFN tile-count axis (comma-separated)")
+    dse.add_argument("--formats", default="fix8", metavar="LIST",
+                     help="datapath-format axis (fix8, fix16)")
+    dse.add_argument("--devices", default="1", metavar="LIST",
+                     help="multi-FPGA partitioning-degree axis")
+    dse.add_argument("--fleet", default="1", metavar="LIST",
+                     help="serving fleet-size axis (replicas)")
+    dse.add_argument("--schedulers", default="least-loaded",
+                     metavar="LIST",
+                     help="dispatch-policy axis (round-robin, "
+                          "least-loaded, model-affinity)")
+    dse.add_argument("--objectives",
+                     default="latency_ms,throughput_inf_s,p99_ms,power_w",
+                     metavar="LIST",
+                     help="frontier dimensions (also: util_pct)")
+    dse.add_argument("--qps", type=float, default=200.0,
+                     help="offered load for the p99 objective")
+    dse.add_argument("--duration-ms", type=float, default=300.0)
+    dse.add_argument("--seed", type=int, default=0,
+                     help="workload + strategy seed")
+    dse.add_argument("--link", default="aurora",
+                     choices=("aurora", "eth100g", "eth10g", "pcie4x8"),
+                     help="interconnect preset for devices > 1")
+    dse.add_argument("--samples", type=int, default=16,
+                     help="point budget for --strategy random")
+    dse.add_argument("--population", type=int, default=8,
+                     help="per-generation size for --strategy evolutionary")
+    dse.add_argument("--generations", type=int, default=4,
+                     help="generation count for --strategy evolutionary")
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="evaluation worker processes")
+    dse.add_argument("--pareto", action="store_true",
+                     help="report only the Pareto frontier")
+    dse.add_argument("--resume", action="store_true",
+                     help="reuse the on-disk evaluation cache "
+                          "(skips already-scored points)")
+    dse.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="evaluation-cache directory "
+                          "(default .dse_cache; implies --resume)")
+    dse.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -345,6 +402,67 @@ def _cmd_partition(args) -> None:
             print(plan.timeline(args.gantt).gantt())
 
 
+def _csv_ints(text: str, flag: str) -> tuple:
+    try:
+        return tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise SystemExit(
+            f"invalid {flag} {text!r} (expected comma-separated "
+            "integers)") from None
+
+
+def _csv_strs(text: str) -> tuple:
+    return tuple(v.strip() for v in text.split(",") if v.strip())
+
+
+def _cmd_dse(args) -> None:
+    from .dse import (EvalCache, evaluate_point, explore, get_objectives,
+                      render_exploration, standard_space)
+
+    if args.jobs < 1:
+        raise SystemExit(f"invalid --jobs {args.jobs} (expected >= 1)")
+    try:
+        space = standard_space(
+            models=tuple(args.models or ("bert-variant",
+                                         "model2-lhc-trigger")),
+            tiles_mha=_csv_ints(args.tiles_mha, "--tiles-mha"),
+            tiles_ffn=_csv_ints(args.tiles_ffn, "--tiles-ffn"),
+            formats=_csv_strs(args.formats),
+            devices=_csv_ints(args.devices, "--devices"),
+            fleets=_csv_ints(args.fleet, "--fleet"),
+            schedulers=_csv_strs(args.schedulers),
+        )
+        objectives = get_objectives(_csv_strs(args.objectives))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"invalid search space: {exc}") from None
+
+    cache = None
+    if args.resume or args.cache_dir:
+        cache = EvalCache(args.cache_dir or ".dse_cache")
+    settings = {"qps": args.qps, "duration_ms": args.duration_ms,
+                "seed": args.seed, "link": args.link}
+    result = explore(
+        space, evaluate_point,
+        objectives=objectives,
+        strategy=args.strategy,
+        strategy_options={"seed": args.seed, "samples": args.samples,
+                          "population": args.population,
+                          "generations": args.generations},
+        settings=settings,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    if args.as_json:
+        out = result.as_dict()
+        if args.pareto:
+            del out["results"]
+        print(json.dumps(out, indent=2))
+    else:
+        print(render_exploration(
+            result, pareto_only=args.pareto,
+            title=f"DSE: {args.strategy} over {space.size} grid point(s)"))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("table1", "table2", "table3", "figure7", "scaling"):
@@ -363,6 +481,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_serve(args)
     elif args.command == "partition":
         _cmd_partition(args)
+    elif args.command == "dse":
+        _cmd_dse(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

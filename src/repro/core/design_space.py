@@ -88,16 +88,28 @@ def tile_size_sweep(
     formats: DatapathFormats | None = None,
     options: LatencyOptions | None = None,
 ) -> List[SweepPoint]:
-    """Fig. 7's grid, normalized in one pass."""
+    """Fig. 7's grid, normalized in one pass.
+
+    The grid runs through the :mod:`repro.dse` engine (imported lazily
+    — ``dse`` sits above ``core``), which keeps this sweep on the same
+    code path as every other exploration in the repo.
+    """
+    from ..dse.engine import explore
+    from ..dse.space import Axis, SearchSpace
+
     base = base or SynthParams()
     formats = formats or DatapathFormats.fix8()
     options = options or LatencyOptions()
-    points = [
-        _point(tm, tf, config, base, timing, formats, options)
-        for tm in tiles_mha_options
-        for tf in tiles_ffn_options
-    ]
-    return normalize_latency(points)
+    space = SearchSpace((Axis("tiles_mha", tuple(tiles_mha_options)),
+                         Axis("tiles_ffn", tuple(tiles_ffn_options))))
+
+    def _evaluate(point, _settings) -> dict:
+        return {"sweep_point": _point(point["tiles_mha"], point["tiles_ffn"],
+                                      config, base, timing, formats, options)}
+
+    outcome = explore(space, _evaluate, continue_on_error=False)
+    return normalize_latency(
+        [r.metrics["sweep_point"] for r in outcome.results])
 
 
 def normalize_latency(points: List[SweepPoint]) -> List[SweepPoint]:

@@ -1,0 +1,101 @@
+"""Content-keyed on-disk evaluation cache.
+
+A cache entry is one evaluated design point: the key is the SHA-256 of
+the canonical JSON of ``(schema version, package version, point,
+evaluation settings)``, so a repeated or resumed sweep recognizes
+already-scored points by *content* — not by run order, strategy, or
+process identity — and any change to the evaluation settings (workload,
+link, seed, …) or to the package release (whose models produce the
+scores) silently keys a fresh namespace instead of serving stale
+numbers.
+
+Entries live one-file-per-key under the cache directory and are written
+atomically (temp file + rename), so a killed sweep never leaves a
+half-written record; unreadable entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["EvalCache"]
+
+#: Bump when the evaluation record layout changes incompatibly: old
+#: entries then miss instead of deserializing into the wrong shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+class EvalCache:
+    """Directory-backed map from design-point content to its record."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(point: Mapping[str, Any],
+                settings: Optional[Mapping[str, Any]] = None) -> str:
+        """Content key of one (point, evaluation settings) pair.
+
+        The package version is part of the key: the evaluators score
+        points through the analytic models, so a release that changes
+        any model must miss rather than serve stale numbers.
+        """
+        from .. import __version__
+
+        blob = json.dumps(
+            {"version": CACHE_SCHEMA_VERSION,
+             "repro": __version__,
+             "point": dict(point),
+             "settings": dict(settings or {})},
+            sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _entry(self, key: str) -> Path:
+        return self.path / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or ``None`` (corrupt entries are misses)."""
+        entry = self._entry(key)
+        try:
+            record = json.loads(entry.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Atomically persist one record (must be JSON-serializable)."""
+        entry = self._entry(key)
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(json.dumps(dict(record), sort_keys=True))
+        os.replace(tmp, entry)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for entry in self.path.glob("*.json"):
+            entry.unlink()
+            n += 1
+        return n
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self)}

@@ -1,0 +1,307 @@
+"""The exploration engine: strategies x evaluation pool x cache.
+
+:func:`explore` drives a :class:`~repro.dse.strategies.Strategy` to
+exhaustion, scoring each proposed batch through an evaluator callable —
+serially, or on a ``multiprocessing`` pool with chunked dispatch when
+``jobs > 1`` — with an optional content-keyed on-disk
+:class:`~repro.dse.cache.EvalCache` consulted first, so repeated or
+resumed sweeps skip already-scored points entirely.
+
+The engine is deliberately generic: an evaluator is any callable
+``(point, settings) -> mapping of metrics`` (module-level and picklable
+if ``jobs > 1``); objectives name the metrics that feed the Pareto
+frontier.  :func:`repro.dse.objectives.evaluate_point` is the standard
+ProTEA evaluator, but :func:`repro.analysis.sweep.grid_sweep` and the
+experiment sweeps run arbitrary callables through this same engine.
+
+Results are deterministic for a fixed (space, strategy, seed,
+settings): batch order follows the strategy, within-batch order follows
+the ask order regardless of worker interleaving, and cached results are
+bit-identical to fresh ones.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+from .cache import EvalCache
+from .pareto import Objective, pareto_front
+from .space import SearchSpace, point_id
+from .strategies import Strategy, get_strategy
+
+__all__ = ["EvalResult", "ExplorationResult", "explore"]
+
+#: An evaluator maps (point, settings) to a flat mapping of metrics.
+Evaluator = Callable[[Dict[str, Any], Dict[str, Any]], Mapping[str, Any]]
+
+
+@dataclass
+class EvalResult:
+    """One scored design point."""
+
+    point: Dict[str, Any]
+    objectives: Dict[str, float]
+    metrics: Dict[str, Any]
+    error: str = ""
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+    def as_dict(self) -> dict:
+        return {
+            "point": dict(self.point),
+            "objectives": _json_safe(self.objectives),
+            "metrics": _json_safe(self.metrics),
+            "error": self.error,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one :func:`explore` call produced."""
+
+    results: List[EvalResult]
+    frontier: List[EvalResult]
+    objectives: Tuple[Objective, ...]
+    strategy: str
+    jobs: int
+    #: Points scored fresh this run (cache hits and repeats excluded).
+    n_evaluated: int
+    cache_hits: int
+    cache_misses: int
+    elapsed_s: float
+    settings: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok_results(self) -> List[EvalResult]:
+        return [r for r in self.results if r.ok]
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "jobs": self.jobs,
+            "objectives": [
+                {"name": o.name, "goal": o.goal, "units": o.units}
+                for o in self.objectives
+            ],
+            "settings": _json_safe(self.settings),
+            "evaluated": self.n_evaluated,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "elapsed_s": self.elapsed_s,
+            "results": [r.as_dict() for r in self.results],
+            "frontier": [r.as_dict() for r in self.frontier],
+        }
+
+
+# ---------------------------------------------------------------------------
+def _json_safe(value: Any) -> Any:
+    """NaN/inf → None recursively (strict JSON parsers reject them)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _error_text(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _eval_task(task: Tuple[Evaluator, Dict[str, Any], Dict[str, Any], bool]):
+    """Pool worker: score one point, capturing tolerated failures.
+
+    Module-level so it pickles; the evaluator travels inside the task.
+    Returns ``(point, metrics, error)``.
+    """
+    evaluator, point, settings, continue_on_error = task
+    try:
+        return point, dict(evaluator(point, settings)), ""
+    except Exception as exc:  # noqa: BLE001 - DSE tolerates corners
+        if not continue_on_error:
+            raise
+        return point, {}, _error_text(exc)
+
+
+def _split_metrics(metrics: Mapping[str, Any],
+                   objectives: Sequence[Objective]) -> Dict[str, float]:
+    missing = [o.name for o in objectives if o.name not in metrics]
+    if missing:
+        raise KeyError(
+            f"evaluator returned no value for objective(s) {missing}; "
+            f"got metrics {sorted(metrics)}")
+    return {o.name: float(metrics[o.name]) for o in objectives}
+
+
+def _result_from_metrics(point: Dict[str, Any], metrics: Dict[str, Any],
+                         error: str,
+                         objectives: Sequence[Objective]) -> EvalResult:
+    if error:
+        return EvalResult(point=point, objectives={}, metrics={}, error=error)
+    return EvalResult(point=point,
+                      objectives=_split_metrics(metrics, objectives),
+                      metrics=metrics, error="")
+
+
+# ---------------------------------------------------------------------------
+def explore(
+    space: SearchSpace,
+    evaluator: Evaluator,
+    *,
+    objectives: Sequence[Objective] = (),
+    strategy: Union[str, Strategy] = "grid",
+    strategy_options: Optional[Mapping[str, Any]] = None,
+    settings: Optional[Mapping[str, Any]] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
+    continue_on_error: bool = True,
+) -> ExplorationResult:
+    """Explore ``space``, scoring points with ``evaluator``.
+
+    ``jobs > 1`` evaluates each batch on a ``multiprocessing`` pool with
+    chunked dispatch (``chunk_size`` tasks per pickle round-trip,
+    default ``ceil(batch / (4 * jobs))``); the evaluator must then be a
+    picklable module-level callable.  ``cache`` short-circuits points
+    whose content key is already on disk — errors are cached too, since
+    an infeasible corner is just as deterministic as a feasible one.
+
+    With ``continue_on_error`` (the default) evaluator exceptions become
+    per-point error records; otherwise the first failure propagates.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    objectives = tuple(objectives)
+    settings_dict = dict(settings or {})
+    # Different evaluators may share one cache directory; fold the
+    # evaluator's identity into the keyed settings so their records
+    # never collide (stale metrics or missing objective keys).
+    keyed_settings = dict(settings_dict)
+    keyed_settings["__evaluator__"] = (
+        f"{getattr(evaluator, '__module__', '?')}."
+        f"{getattr(evaluator, '__qualname__', repr(evaluator))}")
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy, space, objectives=objectives,
+                                **dict(strategy_options or {}))
+
+    started = time.perf_counter()
+    by_id: Dict[str, EvalResult] = {}
+    ordered: List[EvalResult] = []
+    n_evaluated = cache_hits = cache_misses = 0
+
+    pool = None
+    completed = False
+    try:
+        while True:
+            batch = strategy.ask()
+            if not batch:
+                break
+            batch_ids = [point_id(p) for p in batch]
+
+            todo: List[Tuple[str, Dict[str, Any]]] = []
+            queued: set = set()
+            for pid, point in zip(batch_ids, batch):
+                if pid in by_id or pid in queued:
+                    continue
+                if cache is not None:
+                    record = cache.get(cache.key_for(point, keyed_settings))
+                    if record is not None:
+                        cache_hits += 1
+                        # Re-derive the objective vector from the full
+                        # cached metrics rather than trusting the
+                        # stored subset: the cache key excludes the
+                        # objective *selection*, so a resume may score
+                        # the same points along different axes.
+                        hit = _result_from_metrics(
+                            dict(point), dict(record.get("metrics", {})),
+                            str(record.get("error", "")), objectives)
+                        hit.cached = True
+                        by_id[pid] = hit
+                        continue
+                    cache_misses += 1
+                queued.add(pid)
+                todo.append((pid, dict(point)))
+
+            if todo:
+                tasks = [(evaluator, point, settings_dict, continue_on_error)
+                         for _, point in todo]
+                if jobs > 1 and len(tasks) > 1:
+                    if pool is None:
+                        import multiprocessing
+
+                        pool = multiprocessing.Pool(processes=jobs)
+                    chunk = chunk_size or max(
+                        1, -(-len(tasks) // (4 * jobs)))
+                    raw = list(pool.imap_unordered(_eval_task, tasks,
+                                                   chunksize=chunk))
+                else:
+                    raw = [_eval_task(t) for t in tasks]
+                n_evaluated += len(raw)
+                scored = {point_id(point): (point, metrics, error)
+                          for point, metrics, error in raw}
+                for pid, _ in todo:
+                    point, metrics, error = scored[pid]
+                    result = _result_from_metrics(point, metrics, error,
+                                                  objectives)
+                    by_id[pid] = result
+                    if cache is not None:
+                        # Store metrics verbatim (Python's json round-
+                        # trips NaN/inf), so cached results stay bit-
+                        # identical to fresh ones; _json_safe is only
+                        # for strict external consumers in as_dict().
+                        cache.put(
+                            cache.key_for(point, keyed_settings),
+                            {"metrics": result.metrics,
+                             "error": result.error})
+
+            batch_results = []
+            for pid in batch_ids:
+                result = by_id[pid]
+                batch_results.append(result)
+                # A strategy may re-propose an identical point (or a grid
+                # may hold duplicates): every occurrence appears in the
+                # ordered results, but the frontier dedupes below.
+                ordered.append(result)
+            strategy.tell(batch_results)
+        completed = True
+    finally:
+        if pool is not None:
+            if completed:
+                pool.close()
+            else:
+                # Propagating an exception: kill the workers instead of
+                # draining every queued task first.
+                pool.terminate()
+            pool.join()
+
+    unique_ok = []
+    seen_ids: set = set()
+    for result in ordered:
+        pid = point_id(result.point)
+        if pid in seen_ids or not result.ok:
+            continue
+        seen_ids.add(pid)
+        unique_ok.append(result)
+    frontier = (pareto_front(unique_ok, objectives,
+                             key=lambda r: r.objectives)
+                if objectives else [])
+    return ExplorationResult(
+        results=ordered,
+        frontier=frontier,
+        objectives=objectives,
+        strategy=strategy.name,
+        jobs=jobs,
+        n_evaluated=n_evaluated,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        elapsed_s=time.perf_counter() - started,
+        settings=settings_dict,
+    )

@@ -1,0 +1,214 @@
+"""The standard ProTEA evaluator: one design point, five objectives.
+
+A point fixes the *programmable-accelerator deployment question* end to
+end: synthesis-time tile counts (``tiles_mha`` x ``tiles_ffn``, exactly
+Fig. 7's axes), the datapath quantization format, the runtime-programmed
+model, the multi-FPGA partitioning degree (``devices``), and the
+serving fleet (``fleet`` replicas under a ``scheduler``).  Evaluation
+composes the existing stack — ``ProTEA.synthesize`` → ``LatencyModel``
+→ :mod:`repro.parallel` (when ``devices > 1``) → :mod:`repro.serving`
+(a seeded Poisson workload) → :mod:`repro.fpga.power` — and reports:
+
+* ``latency_ms``   (min) — one inference end to end (pipeline fill
+  when partitioned);
+* ``throughput_inf_s`` (max) — steady-state fleet capacity;
+* ``p99_ms``       (min) — tail latency under the settings' workload;
+* ``power_w``      (min) — board power x total FPGA count;
+* ``util_pct``     (min) — worst per-device resource utilization.
+
+Infeasible corners (does not fit the device, exceeds the synthesized
+maxima, no viable partitioning) raise — the engine records them as
+per-point errors, mirroring how a real DSE flow tolerates bad corners.
+Everything returned is a flat JSON-serializable mapping, so records
+round-trip through the on-disk :class:`~repro.dse.cache.EvalCache`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..analysis.metrics import gops
+from ..analysis.traffic import analyze_traffic
+from ..core.accelerator import ProTEA
+from ..core.engines import DatapathFormats
+from ..fpga.power import PowerModel, PowerReport
+from ..isa.controller import ResynthesisRequiredError, SynthParams
+from ..nn.model_zoo import get_model
+from ..parallel import PipelineGroup, PipelinePartitioner, get_link
+from ..serving import ModelMix, PoissonArrivals, simulate, summarize
+from .pareto import Objective
+from .space import Axis, SearchSpace
+
+__all__ = ["OBJECTIVES", "DEFAULT_SETTINGS", "DEFAULT_OBJECTIVE_NAMES",
+           "get_objectives", "standard_space", "evaluate_point"]
+
+#: Every objective the standard evaluator can score.
+OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("latency_ms", "min", "ms"),
+    Objective("throughput_inf_s", "max", "inf/s"),
+    Objective("p99_ms", "min", "ms"),
+    Objective("power_w", "min", "W"),
+    Objective("util_pct", "min", "%"),
+)
+
+#: The CLI/engine default frontier dimensions (>= 3 objectives).
+DEFAULT_OBJECTIVE_NAMES: Tuple[str, ...] = (
+    "latency_ms", "throughput_inf_s", "p99_ms", "power_w")
+
+#: Workload and environment knobs shared by every point of a sweep.
+#: These are part of the cache key: changing any of them re-scores.
+DEFAULT_SETTINGS: Dict[str, Any] = {
+    "qps": 200.0,          # offered Poisson load for the p99 objective
+    "duration_ms": 300.0,  # workload horizon
+    "seed": 0,             # workload seed
+    "link": "aurora",      # interconnect preset for devices > 1
+    "scheduler": "least-loaded",
+}
+
+
+def get_objectives(names: Optional[Tuple[str, ...]] = None
+                   ) -> Tuple[Objective, ...]:
+    """Resolve objective names (default: the standard four)."""
+    names = tuple(names or DEFAULT_OBJECTIVE_NAMES)
+    by_name = {o.name: o for o in OBJECTIVES}
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        raise ValueError(
+            f"unknown objective(s) {unknown}; available: {sorted(by_name)}")
+    return tuple(by_name[n] for n in names)
+
+
+def standard_space(
+    models: Tuple[str, ...] = ("bert-variant", "model2-lhc-trigger"),
+    tiles_mha: Tuple[int, ...] = (8, 12, 48),
+    tiles_ffn: Tuple[int, ...] = (3, 6),
+    formats: Tuple[str, ...] = ("fix8",),
+    devices: Tuple[int, ...] = (1,),
+    fleets: Tuple[int, ...] = (1,),
+    schedulers: Tuple[str, ...] = ("least-loaded",),
+) -> SearchSpace:
+    """The canonical (SynthParams x model x partitioning x fleet) space."""
+    for name in models:
+        get_model(name)  # validate zoo keys eagerly, not per worker
+    return SearchSpace((
+        Axis("model", tuple(models)),
+        Axis("tiles_mha", tuple(tiles_mha)),
+        Axis("tiles_ffn", tuple(tiles_ffn)),
+        Axis("format", tuple(formats)),
+        Axis("devices", tuple(devices)),
+        Axis("fleet", tuple(fleets)),
+        Axis("scheduler", tuple(schedulers)),
+    ))
+
+
+# ---------------------------------------------------------------------------
+#: Per-process synthesis memo: workers in a pool each synthesize a
+#: (tiles, format) variant at most once, exactly like the cached
+#: `default_accelerator` in the experiments.
+_SYNTH_MEMO: Dict[Tuple[int, int, str], ProTEA] = {}
+
+
+def _formats(name: str) -> DatapathFormats:
+    if name == "fix8":
+        return DatapathFormats.fix8()
+    if name == "fix16":
+        return DatapathFormats.fix16()
+    raise ValueError(f"unknown datapath format {name!r}; "
+                     "available: ['fix16', 'fix8']")
+
+
+def _synthesize(tiles_mha: int, tiles_ffn: int, fmt: str) -> ProTEA:
+    key = (tiles_mha, tiles_ffn, fmt)
+    accel = _SYNTH_MEMO.get(key)
+    if accel is None:
+        base = SynthParams()
+        ts_mha = max(1, math.ceil(base.max_d_model / tiles_mha))
+        ts_ffn = max(1, math.ceil(base.max_d_model / tiles_ffn))
+        synth = replace(base, ts_mha=ts_mha, ts_ffn=ts_ffn)
+        # Fit is scored, not enforced: an over-budget point must come
+        # back as a recorded infeasibility, not a crash mid-synthesis.
+        accel = ProTEA.synthesize(synth, formats=_formats(fmt),
+                                  enforce_fit=False)
+        _SYNTH_MEMO[key] = accel
+    return accel
+
+
+def evaluate_point(point: Mapping[str, Any],
+                   settings: Optional[Mapping[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """Score one design point (the engine's standard evaluator).
+
+    Raises for infeasible points; the engine turns that into an error
+    record.  Module-level and picklable, so it runs under ``--jobs N``.
+    """
+    cfg = get_model(str(point["model"]))
+    tiles_mha = int(point.get("tiles_mha", 12))
+    tiles_ffn = int(point.get("tiles_ffn", 6))
+    devices = int(point.get("devices", 1))
+    fleet = int(point.get("fleet", 1))
+    if devices < 1 or fleet < 1:
+        raise ValueError("devices and fleet must be >= 1")
+    opts = dict(DEFAULT_SETTINGS, **dict(settings or {}))
+
+    accel = _synthesize(tiles_mha, tiles_ffn, str(point.get("format", "fix8")))
+    util_pct = max(accel.utilization.percent.values())
+    if util_pct > 100.0:
+        worst = max(accel.utilization.percent,
+                    key=accel.utilization.percent.get)
+        raise ValueError(
+            f"does not fit {accel.device.name}: {worst} at {util_pct:.0f}%")
+
+    link = get_link(str(opts["link"]))
+    if devices > 1:
+        plan = PipelinePartitioner(accel, link).best_plan(cfg, devices)
+        latency_ms = plan.latency_ms
+        unit_inf_s = plan.steady_state_inf_per_s
+        target = PipelineGroup(accel, devices, link=link)
+    else:
+        report = accel.latency_report(cfg)
+        latency_ms = report.latency_ms
+        unit_inf_s = 1e3 / latency_ms
+        target = accel
+
+    scheduler = str(point.get("scheduler", opts["scheduler"]))
+    requests = PoissonArrivals(
+        float(opts["qps"]), ModelMix(cfg.name),
+        seed=int(opts["seed"])).generate(float(opts["duration_ms"]))
+    if not requests:
+        raise ValueError(
+            "workload generated zero requests — raise qps or duration_ms")
+    serving = summarize(simulate(target, requests, fleet,
+                                 scheduler=scheduler))
+
+    workload_gops = gops(cfg, latency_ms / 1e3)
+    try:
+        achieved_gbps = analyze_traffic(accel, cfg).achieved_gbps
+    except ResynthesisRequiredError:
+        achieved_gbps = 0.0  # model only runs partitioned; skip the term
+    per_board = PowerReport.evaluate(
+        PowerModel(), accel.resources, accel.clock_mhz,
+        latency_s=latency_ms / 1e3, gops=workload_gops,
+        achieved_gbps=achieved_gbps)
+    n_fpgas = devices * fleet
+    power_w = per_board.total_w * n_fpgas
+
+    return {
+        # objectives
+        "latency_ms": latency_ms,
+        "throughput_inf_s": unit_inf_s * fleet,
+        "p99_ms": serving.p99_ms,
+        "power_w": power_w,
+        "util_pct": util_pct,
+        # supporting metrics
+        "clock_mhz": accel.clock_mhz,
+        "ts_mha": accel.synth.ts_mha,
+        "ts_ffn": accel.synth.ts_ffn,
+        "gops": workload_gops,
+        "gops_per_w": workload_gops / per_board.total_w,
+        "n_fpgas": n_fpgas,
+        "measured_rps": serving.throughput_rps,
+        "fleet_utilization": serving.utilization,
+        "p50_ms": serving.p50_ms,
+    }

@@ -1,0 +1,89 @@
+"""Multi-objective comparison: domination, Pareto fronts, ranking.
+
+Objectives are named and directed (``min`` or ``max``); a result's
+objective vector is a plain mapping, so these helpers work on
+:class:`~repro.dse.engine.EvalResult` objects and raw dicts alike via
+the ``key`` extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Sequence
+
+__all__ = ["Objective", "dominates", "pareto_front", "non_dominated_sort"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scoring dimension: its metric name and direction."""
+
+    name: str
+    goal: str = "min"
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        if self.goal not in ("min", "max"):
+            raise ValueError(
+                f"objective {self.name!r}: goal must be 'min' or 'max', "
+                f"not {self.goal!r}")
+
+    def better(self, a: float, b: float) -> bool:
+        """True when value ``a`` strictly beats ``b`` on this objective."""
+        return a < b if self.goal == "min" else a > b
+
+
+def dominates(a: Mapping[str, float], b: Mapping[str, float],
+              objectives: Sequence[Objective]) -> bool:
+    """Pareto domination: ``a`` is no worse everywhere, better somewhere."""
+    if not objectives:
+        raise ValueError("need at least one objective")
+    strictly_better = False
+    for obj in objectives:
+        va, vb = a[obj.name], b[obj.name]
+        if obj.better(vb, va):
+            return False
+        if obj.better(va, vb):
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(
+    items: Sequence[Any],
+    objectives: Sequence[Objective],
+    key: Callable[[Any], Mapping[str, float]] = lambda item: item,
+) -> List[Any]:
+    """The non-dominated subset of ``items``, in input order.
+
+    Ties (identical objective vectors) all survive: the frontier is a
+    set of *points*, and distinct designs may score identically.
+    """
+    front: List[Any] = []
+    for candidate in items:
+        cv = key(candidate)
+        if any(dominates(key(other), cv, objectives)
+               for other in items if other is not candidate):
+            continue
+        front.append(candidate)
+    return front
+
+
+def non_dominated_sort(
+    items: Sequence[Any],
+    objectives: Sequence[Objective],
+    key: Callable[[Any], Mapping[str, float]] = lambda item: item,
+) -> List[List[Any]]:
+    """Peel successive Pareto fronts (rank 0 = the frontier).
+
+    The standard NSGA-style ranking, used by the evolutionary strategy
+    to pick parents.  O(n^2) per front — spaces here are small.
+    """
+    remaining = list(items)
+    fronts: List[List[Any]] = []
+    while remaining:
+        front = pareto_front(remaining, objectives, key)
+        fronts.append(front)
+        survivors = [it for it in remaining
+                     if not any(it is f for f in front)]
+        remaining = survivors
+    return fronts

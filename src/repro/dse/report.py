@@ -1,0 +1,62 @@
+"""Paper-style text rendering of exploration results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.tables import render_table
+from .engine import EvalResult, ExplorationResult
+
+__all__ = ["render_exploration"]
+
+
+def _fmt(value) -> object:
+    if isinstance(value, float):
+        return round(value, 3)
+    return value
+
+
+def _rows(results: Sequence[EvalResult], names: Sequence[str],
+          objective_names: Sequence[str], frontier_ids: set) -> List[tuple]:
+    rows = []
+    for r in results:
+        mark = "*" if id(r) in frontier_ids else ""
+        if r.ok:
+            scores = [_fmt(r.objectives[n]) for n in objective_names]
+        else:
+            scores = ["-"] * len(objective_names)
+        rows.append(tuple([mark] + [r.point.get(n, "") for n in names]
+                          + scores + [r.error[:40]]))
+    return rows
+
+
+def render_exploration(result: ExplorationResult,
+                       pareto_only: bool = False,
+                       title: str = "Design-space exploration") -> str:
+    """Text table of the run: axes, objectives, frontier markers.
+
+    ``pareto_only`` restricts the rows to the frontier (every frontier
+    point is an ok result, so the error column is dropped).
+    """
+    axis_names = sorted({k for r in result.results for k in r.point})
+    objective_names = [o.name for o in result.objectives]
+    frontier_ids = {id(r) for r in result.frontier}
+    shown = result.frontier if pareto_only else result.results
+    headers = ["*"] + axis_names + objective_names + ["error"]
+    table = render_table(headers,
+                         _rows(shown, axis_names, objective_names,
+                               frontier_ids),
+                         title=title)
+    n_errors = sum(1 for r in result.results if not r.ok)
+    lines = [
+        table,
+        f"strategy: {result.strategy}, jobs: {result.jobs}, "
+        f"evaluated: {result.n_evaluated} fresh "
+        f"(+{result.cache_hits} cached), "
+        f"errors: {n_errors}, elapsed: {result.elapsed_s:.2f} s",
+        "frontier (*): {} of {} feasible point(s) over [{}]".format(
+            len(result.frontier),
+            sum(1 for r in result.results if r.ok),
+            ", ".join(f"{o.name} {o.goal}" for o in result.objectives)),
+    ]
+    return "\n".join(lines)

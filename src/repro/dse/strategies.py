@@ -1,0 +1,197 @@
+"""Exploration strategies: how points are proposed.
+
+A strategy is an ask/tell loop the engine drives to exhaustion:
+
+* :meth:`Strategy.ask` returns the next batch of design points to
+  evaluate (an empty batch ends the exploration);
+* :meth:`Strategy.tell` feeds the scored batch back, so adaptive
+  strategies (evolutionary) can steer the next generation.
+
+One-shot strategies (grid, random) propose everything in their first
+``ask``.  All randomness is seeded — the same (space, seed) pair always
+proposes the same points in the same order, which is what makes cached
+re-runs hit on every single point.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any, Dict, List, Optional, Sequence
+
+from .pareto import Objective, non_dominated_sort
+from .space import SearchSpace, point_id
+
+__all__ = ["Strategy", "GridStrategy", "RandomStrategy",
+           "EvolutionaryStrategy", "STRATEGIES", "get_strategy"]
+
+
+class Strategy:
+    """Base ask/tell interface (subclasses set ``name``)."""
+
+    name = "base"
+
+    def ask(self) -> List[Dict[str, Any]]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def tell(self, results: Sequence[Any]) -> None:
+        """Receive the scored batch (default: ignore — non-adaptive)."""
+
+
+class GridStrategy(Strategy):
+    """Exhaustive cartesian grid, one batch, nested-loop order."""
+
+    name = "grid"
+
+    def __init__(self, space: SearchSpace, **_: Any) -> None:
+        self._pending: Optional[List[Dict[str, Any]]] = None
+        self.space = space
+
+    def ask(self) -> List[Dict[str, Any]]:
+        if self._pending is None:
+            self._pending = list(self.space.grid())
+            return self._pending
+        return []
+
+
+class RandomStrategy(Strategy):
+    """Seeded random sample of ``samples`` *distinct* points."""
+
+    name = "random"
+
+    def __init__(self, space: SearchSpace, samples: int = 16,
+                 seed: int = 0, **_: Any) -> None:
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        self.space = space
+        self.samples = min(samples, space.size)
+        self.seed = seed
+        self._asked = False
+
+    def ask(self) -> List[Dict[str, Any]]:
+        if self._asked:
+            return []
+        self._asked = True
+        rng = Random(self.seed)
+        points: List[Dict[str, Any]] = []
+        seen = set()
+        # Distinctness cap: a small space may not hold `samples` unique
+        # feasible points; give up after enough fruitless draws.
+        budget = 64 * self.samples
+        while len(points) < self.samples and budget:
+            budget -= 1
+            point = self.space.sample(rng)
+            pid = point_id(point)
+            if pid in seen:
+                continue
+            seen.add(pid)
+            points.append(point)
+        return points
+
+
+class EvolutionaryStrategy(Strategy):
+    """A simple seeded (mu + lambda) multi-objective evolutionary loop.
+
+    Generation 0 is a random population; each ``tell`` ranks the scored
+    archive by non-dominated sort, keeps the best half as parents, and
+    breeds the next generation by uniform crossover plus per-child
+    mutation.  Points never repeat across generations (already-seen
+    children are replaced by fresh random samples), so every proposed
+    point is new information.
+    """
+
+    name = "evolutionary"
+
+    def __init__(self, space: SearchSpace,
+                 objectives: Sequence[Objective] = (),
+                 population: int = 8, generations: int = 4,
+                 mutation: float = 0.5, seed: int = 0, **_: Any) -> None:
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not objectives:
+            raise ValueError(
+                "the evolutionary strategy needs objectives to rank by")
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.population = population
+        self.generations = generations
+        self.mutation = mutation
+        self._rng = Random(seed)
+        self._generation = 0
+        self._seen: set = set()
+        self._archive: List[Any] = []  # ok EvalResults, all generations
+
+    # ------------------------------------------------------------------
+    def _fresh_random(self, out: List[Dict[str, Any]]) -> None:
+        """Top ``out`` up to the population size with unseen samples."""
+        budget = 64 * self.population
+        while len(out) < self.population and budget:
+            budget -= 1
+            point = self.space.sample(self._rng)
+            pid = point_id(point)
+            if pid in self._seen:
+                continue
+            self._seen.add(pid)
+            out.append(point)
+
+    def ask(self) -> List[Dict[str, Any]]:
+        if self._generation >= self.generations:
+            return []
+        self._generation += 1
+        batch: List[Dict[str, Any]] = []
+        parents = self._parents()
+        if parents:
+            budget = 64 * self.population
+            while len(batch) < self.population and budget:
+                budget -= 1
+                a = self._rng.choice(parents)
+                b = self._rng.choice(parents)
+                child = self.space.crossover(a.point, b.point, self._rng)
+                if self._rng.random() < self.mutation:
+                    child = self.space.mutate(child, self._rng)
+                pid = point_id(child)
+                if pid in self._seen:
+                    continue
+                self._seen.add(pid)
+                batch.append(child)
+        self._fresh_random(batch)
+        return batch
+
+    def _parents(self) -> List[Any]:
+        """Best half of the archive by Pareto rank (empty pre-gen-1)."""
+        if not self._archive:
+            return []
+        fronts = non_dominated_sort(
+            self._archive, self.objectives, key=lambda r: r.objectives)
+        parents: List[Any] = []
+        target = max(2, self.population // 2)
+        for front in fronts:
+            parents.extend(front)
+            if len(parents) >= target:
+                break
+        return parents
+
+    def tell(self, results: Sequence[Any]) -> None:
+        self._archive.extend(r for r in results if r.ok)
+
+
+STRATEGIES = {
+    cls.name: cls
+    for cls in (GridStrategy, RandomStrategy, EvolutionaryStrategy)
+}
+
+
+def get_strategy(name: str, space: SearchSpace,
+                 objectives: Sequence[Objective] = (),
+                 **options: Any) -> Strategy:
+    """Instantiate a strategy by registry name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: "
+            f"{sorted(STRATEGIES)}") from None
+    if cls is EvolutionaryStrategy:
+        return cls(space, objectives=objectives, **options)
+    return cls(space, **options)

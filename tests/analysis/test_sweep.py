@@ -38,3 +38,62 @@ class TestGridSweep:
     def test_empty_axes_rejected(self):
         with pytest.raises(ValueError):
             grid_sweep({}, lambda: 1)
+
+
+class TestDseBackedPath:
+    """grid_sweep now fronts the repro.dse engine; the legacy contract
+    (ordering, error text, result shape) must survive the delegation."""
+
+    def test_results_in_nested_loop_order(self):
+        results = grid_sweep({"a": [1, 2], "b": [10, 20]},
+                             evaluate=lambda a, b: (a, b))
+        assert [r.params for r in results] == [
+            {"a": 1, "b": 10}, {"a": 1, "b": 20},
+            {"a": 2, "b": 10}, {"a": 2, "b": 20},
+        ]
+
+    def test_runs_through_the_engine(self, monkeypatch):
+        import repro.dse.engine as engine
+
+        calls = {}
+        original = engine.explore
+
+        def spy(*args, **kwargs):
+            result = original(*args, **kwargs)
+            calls["strategy"] = result.strategy
+            calls["n"] = len(result.results)
+            return result
+
+        monkeypatch.setattr(engine, "explore", spy)
+        grid_sweep({"x": [1, 2, 3]}, evaluate=lambda x: x)
+        assert calls == {"strategy": "grid", "n": 3}
+
+    def test_error_text_keeps_type_prefix(self):
+        def boom(x):
+            raise KeyError("gone")
+
+        results = grid_sweep({"x": [1]}, boom, continue_on_error=True)
+        assert results[0].error == "KeyError: 'gone'"
+        assert results[0].value is None
+
+    def test_multiple_errors_recorded_independently(self):
+        def picky(x):
+            if x % 2:
+                raise ValueError(f"odd {x}")
+            return x
+
+        results = grid_sweep({"x": [1, 2, 3, 4]}, picky,
+                             continue_on_error=True)
+        assert [r.ok for r in results] == [False, True, False, True]
+        assert "odd 1" in results[0].error
+        assert "odd 3" in results[2].error
+
+    def test_single_axis_many_values(self):
+        results = grid_sweep({"n": list(range(20))},
+                             evaluate=lambda n: n * n)
+        assert [r.value for r in results] == [n * n for n in range(20)]
+
+    def test_empty_value_list_yields_empty_grid(self):
+        """product() semantics: an empty axis empties the grid."""
+        assert grid_sweep({"a": [1, 2], "b": []},
+                          evaluate=lambda a, b: a) == []

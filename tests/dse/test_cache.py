@@ -1,0 +1,72 @@
+"""Unit tests for the content-keyed on-disk evaluation cache."""
+
+from repro.dse import EvalCache
+
+
+class TestKeying:
+    def test_key_is_content_addressed(self):
+        k1 = EvalCache.key_for({"a": 1}, {"qps": 100})
+        k2 = EvalCache.key_for({"a": 1}, {"qps": 100})
+        assert k1 == k2
+
+    def test_key_insensitive_to_dict_order(self):
+        assert (EvalCache.key_for({"a": 1, "b": 2}, {"x": 1, "y": 2})
+                == EvalCache.key_for({"b": 2, "a": 1}, {"y": 2, "x": 1}))
+
+    def test_key_sensitive_to_point_and_settings(self):
+        base = EvalCache.key_for({"a": 1}, {"qps": 100})
+        assert EvalCache.key_for({"a": 2}, {"qps": 100}) != base
+        assert EvalCache.key_for({"a": 1}, {"qps": 200}) != base
+
+    def test_key_sensitive_to_package_version(self, monkeypatch):
+        """A release that changes the models must miss, not serve
+        stale scores."""
+        import repro
+
+        base = EvalCache.key_for({"a": 1})
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert EvalCache.key_for({"a": 1}) != base
+
+
+class TestStorage:
+    def test_roundtrip(self, tmp_path):
+        cache = EvalCache(tmp_path / "c")
+        key = cache.key_for({"a": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"objectives": {"latency_ms": 3.0}, "error": ""})
+        record = cache.get(key)
+        assert record["objectives"]["latency_ms"] == 3.0
+        assert len(cache) == 1
+
+    def test_hit_miss_counters(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        key = cache.key_for({"a": 1})
+        cache.get(key)
+        cache.put(key, {"v": 1})
+        cache.get(key)
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        key = cache.key_for({"a": 1})
+        cache.put(key, {"v": 1})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        key = cache.key_for({"a": 1})
+        (tmp_path / f"{key}.json").write_text("[1, 2]")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        for i in range(3):
+            cache.put(cache.key_for({"a": i}), {"v": i})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_persists_across_instances(self, tmp_path):
+        EvalCache(tmp_path).put(EvalCache.key_for({"a": 1}), {"v": 7})
+        reopened = EvalCache(tmp_path)
+        assert reopened.get(EvalCache.key_for({"a": 1})) == {"v": 7}

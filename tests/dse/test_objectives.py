@@ -1,0 +1,121 @@
+"""Tests for the standard ProTEA evaluator and its canonical space."""
+
+import pytest
+
+from repro.dse import (
+    DEFAULT_OBJECTIVE_NAMES,
+    OBJECTIVES,
+    evaluate_point,
+    explore,
+    get_objectives,
+    standard_space,
+)
+
+FAST = {"qps": 100.0, "duration_ms": 100.0, "seed": 0}
+
+
+def _point(**overrides):
+    point = {"model": "model2-lhc-trigger", "tiles_mha": 12, "tiles_ffn": 6,
+             "format": "fix8", "devices": 1, "fleet": 1,
+             "scheduler": "least-loaded"}
+    point.update(overrides)
+    return point
+
+
+class TestStandardSpace:
+    def test_axes(self):
+        space = standard_space()
+        assert space.names == ("model", "tiles_mha", "tiles_ffn", "format",
+                               "devices", "fleet", "scheduler")
+
+    def test_unknown_model_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            standard_space(models=("not-a-model",))
+
+
+class TestGetObjectives:
+    def test_default_has_at_least_three(self):
+        names = [o.name for o in get_objectives()]
+        assert tuple(names) == DEFAULT_OBJECTIVE_NAMES
+        assert len(names) >= 3
+
+    def test_subset_and_order_respected(self):
+        objs = get_objectives(("power_w", "latency_ms"))
+        assert [o.name for o in objs] == ["power_w", "latency_ms"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            get_objectives(("latency_ms", "carbon"))
+
+
+class TestEvaluatePoint:
+    def test_feasible_point_scores_all_objectives(self):
+        metrics = evaluate_point(_point(), FAST)
+        for obj in OBJECTIVES:
+            assert metrics[obj.name] > 0, obj.name
+        assert metrics["util_pct"] <= 100.0
+        assert metrics["clock_mhz"] == pytest.approx(200.0)
+        assert metrics["n_fpgas"] == 1
+
+    def test_published_tiles_beat_worse_tiles_on_latency(self):
+        best = evaluate_point(_point(tiles_mha=12, tiles_ffn=6), FAST)
+        worse = evaluate_point(_point(tiles_mha=48, tiles_ffn=6), FAST)
+        assert best["latency_ms"] < worse["latency_ms"]
+
+    def test_infeasible_tiles_raise(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            evaluate_point(_point(tiles_mha=6, tiles_ffn=3), FAST)
+
+    def test_fix16_costs_more_area(self):
+        fix8 = evaluate_point(_point(), FAST)
+        fix16 = evaluate_point(_point(format="fix16", tiles_mha=48), FAST)
+        assert fix16["util_pct"] > 0
+        assert fix8["util_pct"] <= 100.0
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown datapath format"):
+            evaluate_point(_point(format="int4"), FAST)
+
+    def test_fleet_scales_throughput_and_power(self):
+        one = evaluate_point(_point(), FAST)
+        two = evaluate_point(_point(fleet=2), FAST)
+        assert two["throughput_inf_s"] == pytest.approx(
+            2 * one["throughput_inf_s"])
+        assert two["power_w"] == pytest.approx(2 * one["power_w"])
+        assert two["n_fpgas"] == 2
+
+    def test_partitioned_point_uses_pipeline(self):
+        single = evaluate_point(_point(model="bert-variant"), FAST)
+        split = evaluate_point(_point(model="bert-variant", devices=2), FAST)
+        assert split["n_fpgas"] == 2
+        # Steady-state throughput improves; fill latency does not worsen.
+        assert split["throughput_inf_s"] > single["throughput_inf_s"]
+        assert split["power_w"] > single["power_w"]
+
+    def test_workload_settings_affect_p99(self):
+        light = evaluate_point(_point(model="bert-variant"),
+                               {"qps": 2.0, "duration_ms": 1000.0})
+        heavy = evaluate_point(_point(model="bert-variant"),
+                               {"qps": 50.0, "duration_ms": 1000.0})
+        assert heavy["p99_ms"] > light["p99_ms"]
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError, match="zero requests"):
+            evaluate_point(_point(), {"qps": 0.001, "duration_ms": 1.0})
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_point(_point(devices=0), FAST)
+
+
+class TestEndToEnd:
+    def test_standard_space_explore_smoke(self):
+        space = standard_space(models=("model2-lhc-trigger",),
+                               tiles_mha=(12, 48), tiles_ffn=(6,))
+        result = explore(space, evaluate_point,
+                         objectives=get_objectives(), settings=FAST)
+        assert len(result.results) == 2
+        assert all(r.ok for r in result.results)
+        assert 1 <= len(result.frontier) <= 2
+        # The frontier spans >= 3 objective dimensions.
+        assert len(result.frontier[0].objectives) >= 3

@@ -1,0 +1,78 @@
+"""Unit tests for multi-objective domination and Pareto extraction."""
+
+import pytest
+
+from repro.dse import Objective, dominates, non_dominated_sort, pareto_front
+
+LAT = Objective("latency", "min")
+TPUT = Objective("throughput", "max")
+OBJS = (LAT, TPUT)
+
+
+class TestObjective:
+    def test_direction(self):
+        assert LAT.better(1.0, 2.0)
+        assert TPUT.better(2.0, 1.0)
+
+    def test_bad_goal_rejected(self):
+        with pytest.raises(ValueError):
+            Objective("x", "maximize")
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates({"latency": 1, "throughput": 10},
+                         {"latency": 2, "throughput": 5}, OBJS)
+
+    def test_equal_does_not_dominate(self):
+        a = {"latency": 1, "throughput": 10}
+        assert not dominates(a, dict(a), OBJS)
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates({"latency": 1, "throughput": 5},
+                             {"latency": 2, "throughput": 10}, OBJS)
+
+    def test_needs_objectives(self):
+        with pytest.raises(ValueError):
+            dominates({}, {}, ())
+
+
+class TestParetoFront:
+    def test_frontier_extraction(self):
+        points = [
+            {"latency": 1.0, "throughput": 10.0},   # frontier
+            {"latency": 2.0, "throughput": 20.0},   # frontier (tradeoff)
+            {"latency": 3.0, "throughput": 5.0},    # dominated by both
+            {"latency": 1.5, "throughput": 10.0},   # dominated by first
+        ]
+        front = pareto_front(points, OBJS)
+        assert front == points[:2]
+
+    def test_ties_all_survive(self):
+        a = {"latency": 1.0, "throughput": 1.0}
+        front = pareto_front([a, dict(a)], OBJS)
+        assert len(front) == 2
+
+    def test_key_extractor(self):
+        items = [("p1", {"latency": 1.0, "throughput": 1.0}),
+                 ("p2", {"latency": 2.0, "throughput": 0.5})]
+        front = pareto_front(items, OBJS, key=lambda it: it[1])
+        assert front == [items[0]]
+
+
+class TestNonDominatedSort:
+    def test_rank_peeling(self):
+        points = [
+            {"latency": 1.0, "throughput": 10.0},
+            {"latency": 2.0, "throughput": 5.0},
+            {"latency": 3.0, "throughput": 1.0},
+        ]
+        fronts = non_dominated_sort(points, OBJS)
+        assert [len(f) for f in fronts] == [1, 1, 1]
+        assert fronts[0] == [points[0]]
+
+    def test_partition_is_complete(self):
+        points = [{"latency": float(i % 3), "throughput": float(i % 2)}
+                  for i in range(6)]
+        fronts = non_dominated_sort(points, OBJS)
+        assert sum(len(f) for f in fronts) == len(points)

@@ -1,0 +1,95 @@
+"""Unit tests for the declarative search space."""
+
+from random import Random
+
+import pytest
+
+from repro.dse import Axis, SearchSpace, point_id
+
+
+def _space(constraint=None):
+    return SearchSpace((Axis("a", (1, 2, 3)), Axis("b", ("x", "y"))),
+                       constraint=constraint)
+
+
+class TestAxis:
+    def test_values_frozen_as_tuple(self):
+        axis = Axis("a", [1, 2])
+        assert axis.values == (1, 2)
+        assert len(axis) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Axis("a", ())
+        with pytest.raises(ValueError):
+            Axis("", (1,))
+
+
+class TestSearchSpace:
+    def test_size_and_names(self):
+        space = _space()
+        assert space.size == 6
+        assert space.names == ("a", "b")
+        assert space.axis("b").values == ("x", "y")
+        with pytest.raises(KeyError):
+            space.axis("missing")
+
+    def test_grid_is_nested_loop_order(self):
+        points = list(_space().grid())
+        assert points == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+            {"a": 3, "b": "x"}, {"a": 3, "b": "y"},
+        ]
+
+    def test_constraint_prunes_grid(self):
+        space = _space(constraint=lambda p: p["a"] != 2)
+        assert all(p["a"] != 2 for p in space.grid())
+        assert len(list(space.grid())) == 4
+
+    def test_needs_axes_and_unique_names(self):
+        with pytest.raises(ValueError):
+            SearchSpace(())
+        with pytest.raises(ValueError):
+            SearchSpace((Axis("a", (1,)), Axis("a", (2,))))
+
+    def test_sample_is_seeded_and_feasible(self):
+        space = _space(constraint=lambda p: p["a"] != 1)
+        first = [space.sample(Random(7)) for _ in range(5)]
+        second = [space.sample(Random(7)) for _ in range(5)]
+        assert first == second
+        assert all(p["a"] != 1 for p in first)
+
+    def test_sample_unsatisfiable_constraint(self):
+        space = _space(constraint=lambda p: False)
+        with pytest.raises(ValueError, match="feasible"):
+            space.sample(Random(0))
+
+    def test_mutate_changes_exactly_one_axis(self):
+        space = _space()
+        point = {"a": 1, "b": "x"}
+        child = space.mutate(point, Random(3))
+        diffs = [k for k in point if child[k] != point[k]]
+        assert len(diffs) == 1
+
+    def test_crossover_draws_from_parents(self):
+        space = _space()
+        a, b = {"a": 1, "b": "x"}, {"a": 3, "b": "y"}
+        child = space.crossover(a, b, Random(5))
+        assert child["a"] in (1, 3) and child["b"] in ("x", "y")
+
+    def test_validate_point(self):
+        space = _space()
+        space.validate_point({"a": 1, "b": "x"})
+        with pytest.raises(ValueError, match="not one of"):
+            space.validate_point({"a": 99, "b": "x"})
+        with pytest.raises(ValueError, match="axes"):
+            space.validate_point({"a": 1})
+
+
+class TestPointId:
+    def test_order_insensitive(self):
+        assert point_id({"a": 1, "b": 2}) == point_id({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert point_id({"a": 1}) != point_id({"a": 2})

@@ -1,0 +1,105 @@
+"""Unit tests for the grid / random / evolutionary proposal loops."""
+
+import pytest
+
+from repro.dse import (
+    Axis,
+    EvalResult,
+    Objective,
+    SearchSpace,
+    get_strategy,
+    point_id,
+)
+
+OBJS = (Objective("y", "min"),)
+
+
+def _space():
+    return SearchSpace((Axis("a", (1, 2, 3, 4)), Axis("b", (10, 20, 30))))
+
+
+def _score(point) -> EvalResult:
+    return EvalResult(point=dict(point),
+                      objectives={"y": float(point["a"] * point["b"])},
+                      metrics={})
+
+
+class TestGrid:
+    def test_one_batch_then_done(self):
+        strategy = get_strategy("grid", _space())
+        batch = strategy.ask()
+        assert len(batch) == 12
+        assert strategy.ask() == []
+
+    def test_grid_order(self):
+        batch = get_strategy("grid", _space()).ask()
+        assert batch[0] == {"a": 1, "b": 10}
+        assert batch[-1] == {"a": 4, "b": 30}
+
+
+class TestRandom:
+    def test_seeded_and_distinct(self):
+        s1 = get_strategy("random", _space(), samples=6, seed=42).ask()
+        s2 = get_strategy("random", _space(), samples=6, seed=42).ask()
+        assert s1 == s2
+        assert len({point_id(p) for p in s1}) == 6
+
+    def test_different_seed_differs(self):
+        s1 = get_strategy("random", _space(), samples=8, seed=1).ask()
+        s2 = get_strategy("random", _space(), samples=8, seed=2).ask()
+        assert s1 != s2
+
+    def test_samples_capped_by_space(self):
+        batch = get_strategy("random", _space(), samples=999, seed=0).ask()
+        assert len(batch) == _space().size
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            get_strategy("random", _space(), samples=0)
+
+
+class TestEvolutionary:
+    def _drive(self, seed=0, generations=3, population=4):
+        strategy = get_strategy("evolutionary", _space(), objectives=OBJS,
+                                population=population,
+                                generations=generations, seed=seed)
+        proposed = []
+        while True:
+            batch = strategy.ask()
+            if not batch:
+                break
+            proposed.extend(batch)
+            strategy.tell([_score(p) for p in batch])
+        return proposed
+
+    def test_runs_all_generations_without_repeats(self):
+        proposed = self._drive(generations=3, population=4)
+        ids = [point_id(p) for p in proposed]
+        assert len(ids) == len(set(ids)), "points must never repeat"
+        assert len(proposed) == 12  # space holds enough distinct points
+
+    def test_points_stay_on_the_grid(self):
+        space = _space()
+        for point in self._drive(seed=5):
+            space.validate_point(point)
+
+    def test_seeded_determinism(self):
+        assert self._drive(seed=9) == self._drive(seed=9)
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError, match="objectives"):
+            get_strategy("evolutionary", _space())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            get_strategy("evolutionary", _space(), objectives=OBJS,
+                         population=1)
+        with pytest.raises(ValueError):
+            get_strategy("evolutionary", _space(), objectives=OBJS,
+                         generations=0)
+
+
+class TestRegistry:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            get_strategy("anneal", _space())

@@ -33,6 +33,13 @@ class TestParser:
         assert args.batch == "none"
         assert not args.as_json
 
+    def test_dse_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.strategy == "grid"
+        assert args.jobs == 1
+        assert not args.resume and args.cache_dir is None
+        assert not args.pareto and not args.as_json
+
 
 class TestCommands:
     def test_summary(self, capsys):
@@ -255,6 +262,109 @@ class TestPartition:
         with pytest.raises(ValueError, match="cannot pipeline"):
             main(["partition", "model2-lhc-trigger", "-k", "8",
                   "--tp", "1"])
+
+
+class TestDse:
+    """Acceptance: `dse --jobs N --json` produces a multi-objective
+    Pareto frontier; the cache makes re-runs incremental."""
+
+    ARGS = ["dse", "--model", "model2-lhc-trigger",
+            "--tiles-mha", "12,48", "--tiles-ffn", "6",
+            "--qps", "100", "--duration-ms", "100"]
+
+    def test_acceptance_invocation(self, capsys):
+        assert main(self.ARGS + ["--jobs", "2", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert len(blob["objectives"]) >= 3
+        assert blob["frontier"], "expected a non-empty Pareto frontier"
+        point = blob["frontier"][0]
+        assert set(o["name"] for o in blob["objectives"]) == set(
+            point["objectives"])
+        assert all(v is not None and v > 0
+                   for v in point["objectives"].values())
+        assert blob["evaluated"] == 2
+
+    def test_text_report_marks_frontier(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "frontier (*)" in out
+        assert "latency_ms" in out and "power_w" in out
+
+    def test_pareto_json_omits_full_results(self, capsys):
+        assert main(self.ARGS + ["--json", "--pareto"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert "results" not in blob and blob["frontier"]
+
+    def test_infeasible_corner_reported_not_fatal(self, capsys):
+        assert main(["dse", "--model", "model2-lhc-trigger",
+                     "--tiles-mha", "6,12", "--tiles-ffn", "3,6",
+                     "--qps", "100", "--duration-ms", "100",
+                     "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        errors = [r for r in blob["results"] if r["error"]]
+        assert errors and all("does not fit" in r["error"] for r in errors)
+
+    def test_resume_reevaluates_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = self.ARGS + ["--resume", "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["evaluated"] == 2 and warm["evaluated"] == 0
+        assert warm["cache"] == {"hits": 2, "misses": 0}
+        assert warm["frontier"] == [
+            dict(r, cached=True) for r in cold["frontier"]]
+        assert (tmp_path / ".dse_cache").is_dir()
+
+    def test_cache_dir_flag_implies_resume(self, tmp_path, capsys):
+        argv = self.ARGS + ["--cache-dir", str(tmp_path / "c"), "--json"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["evaluated"] == 0
+
+    def test_random_strategy_seeded(self, capsys):
+        argv = ["dse", "--strategy", "random", "--samples", "3",
+                "--seed", "5", "--model", "model2-lhc-trigger",
+                "--tiles-mha", "12,16,24,48", "--tiles-ffn", "4,6",
+                "--qps", "100", "--duration-ms", "100", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert len(first["results"]) == 3
+        assert ([r["point"] for r in first["results"]]
+                == [r["point"] for r in second["results"]])
+
+    def test_evolutionary_strategy_runs(self, capsys):
+        assert main(["dse", "--strategy", "evolutionary",
+                     "--population", "3", "--generations", "2",
+                     "--model", "model2-lhc-trigger",
+                     "--tiles-mha", "12,16,24,48", "--tiles-ffn", "4,6",
+                     "--qps", "100", "--duration-ms", "100",
+                     "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["strategy"] == "evolutionary"
+        assert 3 <= len(blob["results"]) <= 6
+        assert blob["frontier"]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit, match="invalid search space"):
+            main(["dse", "--model", "not-a-model"])
+
+    def test_bad_axis_list_rejected(self):
+        with pytest.raises(SystemExit, match="--tiles-mha"):
+            main(["dse", "--tiles-mha", "8,many"])
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SystemExit, match="invalid search space"):
+            main(["dse", "--objectives", "latency_ms,carbon"])
+
+    def test_invalid_jobs_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="invalid --jobs"):
+            main(["dse", "--jobs", "0"])
 
 
 class TestScalingCommand:

@@ -1,0 +1,90 @@
+"""The docs layer must not drift from the code it documents.
+
+``docs/cli.md`` promises a reference row for every CLI subcommand;
+these tests hold both directions of that promise (documented =>
+exists, exists => documented), and keep the architecture page and the
+examples index in sync with the package and file layout.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).parent.parent
+DOCS = REPO / "docs"
+
+
+def _cli_subcommands() -> set:
+    parser = build_parser()
+    action = next(a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction))
+    return set(action.choices)
+
+
+def _documented_subcommands() -> set:
+    """Names from the 'Subcommands' table rows of docs/cli.md."""
+    text = (DOCS / "cli.md").read_text()
+    table = text.split("## Subcommands", 1)[1]
+    # Stop at the next section so flag tables don't leak in.
+    table = table.split("\n## ", 1)[0]
+    names = re.findall(r"^\| `([a-z0-9]+)` \|", table, flags=re.M)
+    return set(names)
+
+
+class TestCliReference:
+    def test_every_documented_subcommand_exists(self):
+        documented = _documented_subcommands()
+        assert documented, "docs/cli.md Subcommands table parsed empty"
+        missing = documented - _cli_subcommands()
+        assert not missing, (
+            f"docs/cli.md documents {sorted(missing)} but the parser "
+            "does not provide them")
+
+    def test_every_subcommand_is_documented(self):
+        undocumented = _cli_subcommands() - _documented_subcommands()
+        assert not undocumented, (
+            f"CLI provides {sorted(undocumented)} but docs/cli.md has no "
+            "Subcommands row for them")
+
+    def test_dse_flags_documented(self):
+        """The headline dse flags appear in the reference."""
+        text = (DOCS / "cli.md").read_text()
+        for flag in ("--jobs", "--pareto", "--resume", "--strategy",
+                     "--objectives", "--cache-dir"):
+            assert flag in text, f"docs/cli.md missing {flag}"
+
+
+class TestArchitecture:
+    def test_every_package_described(self):
+        text = (DOCS / "architecture.md").read_text()
+        packages = sorted(
+            p.parent.name
+            for p in (REPO / "src" / "repro").glob("*/__init__.py"))
+        assert packages, "no packages found under src/repro"
+        for package in packages:
+            assert f"repro.{package}" in text, (
+                f"docs/architecture.md does not mention repro.{package}")
+
+    def test_readme_links_docs(self):
+        readme = (REPO / "README.md").read_text()
+        assert "docs/architecture.md" in readme
+        assert "docs/cli.md" in readme
+
+
+class TestExamplesIndex:
+    def test_every_example_indexed(self):
+        index = (REPO / "examples" / "README.md").read_text()
+        examples = sorted(p.name for p in (REPO / "examples").glob("*.py"))
+        assert examples
+        for example in examples:
+            assert f"`{example}`" in index, (
+                f"examples/README.md does not index {example}")
+
+    def test_no_stale_index_entries(self):
+        index = (REPO / "examples" / "README.md").read_text()
+        present = {p.name for p in (REPO / "examples").glob("*.py")}
+        indexed = set(re.findall(r"`([a-z0-9_]+\.py)`", index))
+        stale = indexed - present
+        assert not stale, f"examples/README.md indexes missing {stale}"

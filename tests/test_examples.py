@@ -24,6 +24,7 @@ def _run(name: str) -> None:
     "runtime_reprogramming.py",
     "serving_simulation.py",
     "multi_fpga_pipeline.py",
+    "design_space_exploration.py",
 ])
 def test_example_runs(name):
     _run(name)

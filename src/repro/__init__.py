@@ -85,15 +85,25 @@ from .parallel import (
 from .serving import (
     BatchingPolicy,
     ClusterSimulator,
+    GenerationRequest,
+    GenerationServingReport,
+    LengthSampler,
     ModelMix,
     PoissonArrivals,
     ServingReport,
+    attach_generation_lengths,
     plan_capacity,
+    simulate_generation,
     summarize,
+    summarize_generation,
 )
 from .serving import simulate as simulate_cluster
 
-__version__ = "1.0.0"
+# 1.1.0: autoregressive generation (KV-cache decode, prefill/decode
+# latency split, token-level continuous batching).  The version keys
+# the DSE evaluation cache, so records gain the generation metrics via
+# clean misses instead of stale hits.
+__version__ = "1.1.0"
 
 __all__ = [
     "ProTEA",
@@ -119,6 +129,12 @@ __all__ = [
     "summarize",
     "ServingReport",
     "plan_capacity",
+    "GenerationRequest",
+    "LengthSampler",
+    "attach_generation_lengths",
+    "simulate_generation",
+    "summarize_generation",
+    "GenerationServingReport",
     "InterconnectLink",
     "AURORA_64B66B",
     "get_link",

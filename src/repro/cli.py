@@ -22,6 +22,9 @@ Commands:
   (tiles x format x model x partitioning x fleet); ``--jobs`` fans the
   evaluations over a process pool, ``--resume`` reuses the on-disk
   evaluation cache, ``--pareto`` restricts output to the frontier.
+* ``generate`` — autoregressive generation serving: token-level
+  continuous batching over a fleet, prompt/output length
+  distributions, TTFT/TPOT/goodput metrics (``--json``).
 """
 
 from __future__ import annotations
@@ -82,6 +85,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="JSON [[t_ms, model], ...] for --scenario trace")
     srv.add_argument("--json", action="store_true", dest="as_json")
 
+    gen = sub.add_parser(
+        "generate",
+        help="autoregressive generation serving (continuous batching)")
+    gen.add_argument("--scenario", default="poisson",
+                     choices=("poisson", "bursty", "diurnal"))
+    gen.add_argument("--qps", type=float, default=20.0,
+                     help="offered request load (peak for diurnal)")
+    gen.add_argument("--instances", type=int, default=2)
+    gen.add_argument("--slots", type=int, default=8,
+                     help="in-flight sequence slots per instance")
+    gen.add_argument("--policy", default="least-loaded",
+                     choices=("round-robin", "least-loaded",
+                              "model-affinity"))
+    gen.add_argument("--model", action="append", dest="models",
+                     metavar="NAME[:WEIGHT]",
+                     help="model-zoo entry in the request mix (repeatable; "
+                          "default model2-lhc-trigger)")
+    gen.add_argument("--prompt-tokens", default="16", metavar="SPEC",
+                     help="prompt length: N, LO:HI, or geo:LO:MEAN")
+    gen.add_argument("--output-tokens", default="32", metavar="SPEC",
+                     help="output length: N, LO:HI, or geo:LO:MEAN")
+    gen.add_argument("--duration-ms", type=float, default=1000.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--reprogram-ms", type=float, default=0.0,
+                     help="workload-switch penalty per instance")
+    gen.add_argument("--ttft-slo-ms", type=float, default=None,
+                     help="time-to-first-token SLO for goodput")
+    gen.add_argument("--tpot-slo-ms", type=float, default=None,
+                     help="time-per-output-token SLO for goodput")
+    gen.add_argument("--json", action="store_true", dest="as_json")
+
     par = sub.add_parser(
         "partition", help="partition one model across K FPGAs")
     par.add_argument("model", help="model-zoo key")
@@ -123,7 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--objectives",
                      default="latency_ms,throughput_inf_s,p99_ms,power_w",
                      metavar="LIST",
-                     help="frontier dimensions (also: util_pct)")
+                     help="frontier dimensions (also: util_pct, "
+                          "ttft_p99_ms, tokens_per_s)")
     dse.add_argument("--qps", type=float, default=200.0,
                      help="offered load for the p99 objective")
     dse.add_argument("--duration-ms", type=float, default=300.0)
@@ -339,6 +374,44 @@ def _cmd_serve(args) -> None:
                    f"{args.instances} instance(s), {args.policy}")))
 
 
+def _cmd_generate(args) -> None:
+    from .experiments.common import default_accelerator
+    from .serving import (LengthSampler, attach_generation_lengths,
+                          render_generation_report, simulate_generation,
+                          summarize_generation)
+
+    mix = _parse_mix(args.models)
+    arrivals = _build_workload(args, mix)
+    accel = default_accelerator()
+    try:
+        prompt = LengthSampler.parse(args.prompt_tokens)
+        output = LengthSampler.parse(args.output_tokens)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    requests = attach_generation_lengths(
+        arrivals, prompt, output, seed=args.seed,
+        max_total=accel.synth.max_seq_len)
+    result = simulate_generation(
+        accel, requests, args.instances, slots=args.slots,
+        scheduler=args.policy, reprogram_latency_ms=args.reprogram_ms)
+    report = summarize_generation(result, ttft_slo_ms=args.ttft_slo_ms,
+                                  tpot_slo_ms=args.tpot_slo_ms)
+    if args.as_json:
+        out = {"scenario": args.scenario, "qps": args.qps,
+               "duration_ms": args.duration_ms, "seed": args.seed,
+               "prompt_tokens": args.prompt_tokens,
+               "output_tokens": args.output_tokens,
+               "reprogram_ms": args.reprogram_ms}
+        out.update(report.as_dict())
+        print(json.dumps(out, indent=2))
+    else:
+        print(render_generation_report(
+            report,
+            title=(f"Generation: {args.scenario} @ {args.qps:g} qps, "
+                   f"{args.instances} instance(s) x {args.slots} slot(s), "
+                   f"{args.policy}")))
+
+
 def _cmd_partition(args) -> None:
     from .analysis.tables import render_table
     from .experiments.common import default_accelerator
@@ -418,6 +491,7 @@ def _csv_strs(text: str) -> tuple:
 def _cmd_dse(args) -> None:
     from .dse import (EvalCache, evaluate_point, explore, get_objectives,
                       render_exploration, standard_space)
+    from .dse.objectives import GENERATION_OBJECTIVE_NAMES
 
     if args.jobs < 1:
         raise SystemExit(f"invalid --jobs {args.jobs} (expected >= 1)")
@@ -439,8 +513,13 @@ def _cmd_dse(args) -> None:
     cache = None
     if args.resume or args.cache_dir:
         cache = EvalCache(args.cache_dir or ".dse_cache")
+    # The generation simulation costs ~2x the rest of a point's
+    # evaluation: only pay for it when a generation objective is asked.
+    needs_gen = bool(set(GENERATION_OBJECTIVE_NAMES)
+                     & {o.name for o in objectives})
     settings = {"qps": args.qps, "duration_ms": args.duration_ms,
-                "seed": args.seed, "link": args.link}
+                "seed": args.seed, "link": args.link,
+                "gen_objectives": needs_gen}
     result = explore(
         space, evaluate_point,
         objectives=objectives,
@@ -479,6 +558,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_power()
     elif args.command == "serve":
         _cmd_serve(args)
+    elif args.command == "generate":
+        _cmd_generate(args)
     elif args.command == "partition":
         _cmd_partition(args)
     elif args.command == "dse":

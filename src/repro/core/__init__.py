@@ -16,7 +16,14 @@ from .decoder_module import DecoderModule, QuantizedDecoder, QuantizedDecoderLay
 from .design_space import SweepPoint, find_optimum, normalize_latency, tile_size_sweep
 from .engines import DatapathFormats
 from .ffn_module import FFNModule, FFNTrace
-from .latency import LatencyModel, LatencyOptions, LatencyReport, LayerLatency
+from .kv_cache import FxDecoderKVCache, FxLayerKVCache
+from .latency import (
+    GenerationReport,
+    LatencyModel,
+    LatencyOptions,
+    LatencyReport,
+    LayerLatency,
+)
 from .layernorm_unit import LayerNormUnit
 from .quantized import QuantizedEncoder, QuantizedLayer, QuantizedLinear
 from .resource_model import (
@@ -59,6 +66,9 @@ __all__ = [
     "LatencyOptions",
     "LatencyReport",
     "LayerLatency",
+    "GenerationReport",
+    "FxDecoderKVCache",
+    "FxLayerKVCache",
     "accelerator_resources",
     "device_utilization",
     "max_parallel_heads",

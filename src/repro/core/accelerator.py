@@ -176,6 +176,18 @@ class ProTEA:
     def latency_ms(self, config: TransformerConfig | None = None) -> float:
         return self.latency_report(config).latency_ms
 
+    def generation_report(
+        self,
+        config: TransformerConfig | None = None,
+        prompt_len: int = 16,
+        output_len: int = 16,
+    ):
+        """Prefill/decode split of one autoregressive generation call
+        (see :meth:`~repro.core.latency.LatencyModel.generation_report`)."""
+        cfg = config or self.config
+        return self.latency_model.generation_report(
+            cfg, prompt_len, output_len, self.clock_mhz)
+
     def throughput_gops(
         self, config: TransformerConfig | None = None
     ) -> float:

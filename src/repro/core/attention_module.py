@@ -146,6 +146,38 @@ class AttentionModule:
         return {"qkv": qkv, "qk": qk, "softmax": sm, "sv": sv,
                 "total": qkv + qk + sm + sv}
 
+    def decode_compute_cycles(
+        self, cache_len: int, d_model: int, num_heads: int
+    ) -> Dict[str, int]:
+        """Per-engine cycles of ONE new query row against ``cache_len`` keys.
+
+        The KV-cache decode step: Q/K/V projections run for a single
+        row (the cached keys/values are *not* recomputed), while the
+        score-dependent engines sweep the whole cache — the term that
+        grows with generated length.  ``cache_len`` counts the keys the
+        new row attends over, including itself.
+        """
+        if cache_len < 1:
+            raise ValueError("cache_len must be >= 1")
+        synth = self.synth
+        d_k = d_model // num_heads
+        tiles = max(1, math.ceil(d_model / synth.ts_mha))
+        chunk = synth.seq_chunk
+        m_chunks = math.ceil(cache_len / chunk)
+        k_rows = min(cache_len, chunk)
+        dk_synth = synth.max_d_model // synth.max_heads
+        passes = math.ceil(d_k / dk_synth)
+
+        qkv = tiles * schedule_loop(
+            qkv_loop_nest(1, d_k, synth.ts_mha)).cycles
+        qk = m_chunks * schedule_loop(
+            qk_loop_nest(1, k_rows, dk_synth, reduction_passes=passes)).cycles
+        sm = schedule_loop(self.softmax.loop_nest(1, cache_len)).cycles
+        sv = schedule_loop(
+            sv_loop_nest(1, d_k, chunk, key_chunks=m_chunks)).cycles
+        return {"qkv": qkv, "qk": qk, "softmax": sm, "sv": sv,
+                "total": qkv + qk + sm + sv}
+
     def weight_bytes_per_tile(self, d_model: int, num_heads: int) -> int:
         """Off-chip bytes of one head's Wq+Wk+Wv tile."""
         d_k = d_model // num_heads

@@ -33,7 +33,7 @@ from ..fixedpoint import FxTensor
 from ..hls import ResourceEstimate, schedule_loop
 from ..isa.controller import SynthParams
 from ..nn.decoder import Decoder, DecoderLayer
-from ..nn.functional import attention_scale
+from ..nn.functional import attention_scale, causal_fill
 from .attention_module import AttentionModule
 from .engines import (
     DatapathFormats,
@@ -168,13 +168,17 @@ class DecoderModule:
             scores_val = (q.raw @ k.raw.T) * (q.fmt.scale * k.fmt.scale) * scale
             scores = FxTensor.from_float(scores_val, self.formats.score)
             if masked:
-                # Mask unit: force future positions to the score minimum
-                # (exact integer operation — exp LUT then yields ~0).
-                raw = scores.raw.copy()
-                iu = np.triu_indices(raw.shape[0], k=1)
-                raw[iu] = scores.fmt.int_min
-                scores = FxTensor(raw, scores.fmt)
-            probs = self.softmax(scores)
+                # Mask unit: force future positions to the score format's
+                # minimum (shared causal_fill semantics) and gate their
+                # exp lanes to exactly zero in the softmax unit, so a
+                # masked lane leaks nothing into the row sum.
+                mask_bits = causal_fill(
+                    np.zeros(scores.raw.shape, dtype=bool), True)
+                scores = FxTensor(
+                    causal_fill(scores.raw, scores.fmt.int_min), scores.fmt)
+                probs = self.softmax(scores, masked=mask_bits)
+            else:
+                probs = self.softmax(scores)
             sv = (probs.raw @ v.raw) * (probs.fmt.scale * v.fmt.scale)
             outs.append(FxTensor.from_float(sv, self.formats.activation).raw)
         return FxTensor(np.concatenate(outs, axis=1), self.formats.activation)
@@ -204,7 +208,15 @@ class DecoderModule:
                              layer.cross_wv, masked=False)
         h2 = self._output_projection(ca, layer.cross_wo, h1,
                                      layer.ln2_gamma, layer.ln2_beta)
-        # FFN sub-layer: expansion + activation + contraction + LN.
+        return self._ffn_sublayer(h2, layer)
+
+    def _ffn_sublayer(
+        self, h2: FxTensor, layer: QuantizedDecoderLayer
+    ) -> FxTensor:
+        """FFN sub-layer: expansion + activation + contraction + LN.
+
+        Row-wise (shared by the full pass and the KV-cache decode step).
+        """
         from .engines import tiled_fx_matmul_2d
 
         ts = self.synth.ts_ffn

@@ -1,0 +1,173 @@
+"""Quantized KV-cache: incremental decode on the synthesized engines.
+
+The deployment form of :mod:`repro.nn.kv_cache`: per-layer, per-head
+K/V rows in the Q/K/V buffer format, appended one row per decoded
+token.  A decode step runs the newest target row through every decoder
+layer — one query projection against the cached keys/values instead of
+the full ``(t+1) x (t+1)`` masked sweep.
+
+**Bit-identity oracle.**  Every engine op on this path is either exact
+integer arithmetic (tiled matmuls, bias adds, row sums) or an
+elementwise/row-wise float op (score scaling, LUT lookups, layer norm),
+so the step's output row is *bit-identical* to row ``t`` of
+:meth:`~repro.core.decoder_module.DecoderModule.forward` over the first
+``t + 1`` tokens — provided masked softmax lanes contribute exactly
+zero, which the mask comparators in
+:class:`~repro.core.softmax_unit.SoftmaxUnit` guarantee.  The property
+tests assert raw-code equality at every step.
+
+Cache capacity is a synthesis-time ceiling: the score/SV buffers were
+generated for ``max_seq_len`` keys, so growing the cache past it raises
+:class:`~repro.isa.controller.ResynthesisRequiredError`, exactly like
+programming an over-long sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..fixedpoint import FxTensor
+from ..isa.controller import ResynthesisRequiredError
+from ..nn.functional import attention_scale
+from .decoder_module import DecoderModule, QuantizedDecoder, QuantizedDecoderLayer
+
+__all__ = ["FxLayerKVCache", "FxDecoderKVCache"]
+
+
+@dataclass
+class FxLayerKVCache:
+    """One layer's cached K/V rows (per head, in the QKV format)."""
+
+    self_k: List[FxTensor]
+    self_v: List[FxTensor]
+    cross_k: List[FxTensor]
+    cross_v: List[FxTensor]
+
+    @property
+    def seq_len(self) -> int:
+        return self.self_k[0].raw.shape[0] if self.self_k else 0
+
+    def cache_bytes(self) -> int:
+        """On-chip/HBM residency of this layer's self-attention cache."""
+        elem = (self.self_k[0].fmt.total_bits + 7) // 8 if self.self_k else 0
+        return sum(t.raw.size * elem for t in (*self.self_k, *self.self_v))
+
+
+@dataclass
+class FxDecoderKVCache:
+    """Incremental decoding state over a deployed decoder stack."""
+
+    module: DecoderModule
+    weights: QuantizedDecoder
+    memory: FxTensor
+    layers: List[FxLayerKVCache]
+
+    @classmethod
+    def initialize(
+        cls, module: DecoderModule, weights: QuantizedDecoder,
+        memory: FxTensor,
+    ) -> "FxDecoderKVCache":
+        """Empty cache; cross-attention K/V projected once from memory."""
+        layers = []
+        for layer in weights.layers:
+            d_k = layer.self_wq[0].weight.raw.shape[1]
+            empty = lambda: FxTensor(  # noqa: E731
+                np.empty((0, d_k), dtype=np.int64), module.formats.qkv)
+            layers.append(FxLayerKVCache(
+                self_k=[empty() for _ in layer.self_wk],
+                self_v=[empty() for _ in layer.self_wv],
+                cross_k=[module._project(memory, w) for w in layer.cross_wk],
+                cross_v=[module._project(memory, w) for w in layer.cross_wv],
+            ))
+        return cls(module=module, weights=weights, memory=memory,
+                   layers=layers)
+
+    @property
+    def seq_len(self) -> int:
+        """Tokens decoded so far (= cached key rows per head)."""
+        return self.layers[0].seq_len if self.layers else 0
+
+    def cache_bytes(self) -> int:
+        """Total K/V residency across layers (capacity planning)."""
+        return sum(layer.cache_bytes() for layer in self.layers)
+
+    # ------------------------------------------------------------------
+    def _attend_row(
+        self, q: FxTensor, keys: FxTensor, values: FxTensor, d_model: int
+    ) -> np.ndarray:
+        """One head's score → softmax → SV sweep for a single query row.
+
+        No mask lanes exist: every cached position is past-or-current,
+        so the row equals the full pass's masked row exactly (its future
+        lanes are gated to zero there).
+        """
+        module = self.module
+        scale = attention_scale(q.raw.shape[1], d_model, module.scale_mode)
+        scores_val = ((q.raw @ keys.raw.T)
+                      * (q.fmt.scale * keys.fmt.scale) * scale)
+        scores = FxTensor.from_float(scores_val, module.formats.score)
+        probs = module.softmax(scores)
+        sv = (probs.raw @ values.raw) * (probs.fmt.scale * values.fmt.scale)
+        return FxTensor.from_float(sv, module.formats.activation).raw
+
+    def _append(self, store: List[FxTensor], head: int, row: FxTensor) -> None:
+        store[head] = FxTensor(
+            np.concatenate([store[head].raw, row.raw]), row.fmt)
+
+    def step(self, x_row: FxTensor) -> FxTensor:
+        """Decode one token; returns its output row ``(1, d_model)``."""
+        module, synth = self.module, self.module.synth
+        if self.seq_len >= synth.max_seq_len:
+            raise ResynthesisRequiredError(
+                f"KV cache already holds {self.seq_len} positions — the "
+                f"synthesized buffers stop at max_seq_len="
+                f"{synth.max_seq_len}")
+        x = x_row
+        if x.raw.ndim == 1:
+            x = FxTensor(x.raw.reshape(1, -1), x.fmt)
+        if x.raw.shape[0] != 1:
+            raise ValueError("decode step expects exactly one target row")
+        d_model = x.raw.shape[1]
+        for layer, cache in zip(self.weights.layers, self.layers):
+            x = self._layer_step(x, layer, cache, d_model)
+        return x
+
+    def _layer_step(
+        self, x: FxTensor, layer: QuantizedDecoderLayer,
+        cache: FxLayerKVCache, d_model: int,
+    ) -> FxTensor:
+        module = self.module
+        # Masked self-attention against the (appended) cache.
+        outs = []
+        for h in range(layer.num_heads):
+            q = module._project(x, layer.self_wq[h])
+            self._append(cache.self_k, h, module._project(x, layer.self_wk[h]))
+            self._append(cache.self_v, h, module._project(x, layer.self_wv[h]))
+            outs.append(self._attend_row(q, cache.self_k[h],
+                                         cache.self_v[h], d_model))
+        sa = FxTensor(np.concatenate(outs, axis=1),
+                      module.formats.activation)
+        h1 = module._output_projection(sa, layer.self_wo, x,
+                                       layer.ln1_gamma, layer.ln1_beta)
+        # Cross attention over the precomputed memory projections.
+        outs = []
+        for h in range(layer.num_heads):
+            q = module._project(h1, layer.cross_wq[h])
+            outs.append(self._attend_row(q, cache.cross_k[h],
+                                         cache.cross_v[h], d_model))
+        ca = FxTensor(np.concatenate(outs, axis=1),
+                      module.formats.activation)
+        h2 = module._output_projection(ca, layer.cross_wo, h1,
+                                       layer.ln2_gamma, layer.ln2_beta)
+        return module._ffn_sublayer(h2, layer)
+
+    def prefill(self, prompt: FxTensor) -> FxTensor:
+        """Decode every prompt row in order; returns all output rows."""
+        if prompt.raw.ndim != 2 or prompt.raw.shape[0] < 1:
+            raise ValueError("prompt must be a non-empty (SL, d) matrix")
+        rows = [self.step(prompt[t:t + 1]).raw
+                for t in range(prompt.raw.shape[0])]
+        return FxTensor(np.concatenate(rows), self.module.formats.activation)

@@ -27,9 +27,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
-from ..isa.controller import ConfigRegisterFile, SynthParams
+from ..isa.controller import (
+    ConfigRegisterFile,
+    ResynthesisRequiredError,
+    SynthParams,
+)
 from ..memory.axi import AXI4Master
 from ..memory.dma import TilePhase, overlapped_cycles, serialized_cycles
 from ..memory.hbm import HBMSubsystem
@@ -37,7 +41,8 @@ from ..nn.model_zoo import TransformerConfig
 from .attention_module import AttentionModule
 from .ffn_module import FFNModule
 
-__all__ = ["LatencyOptions", "LayerLatency", "LatencyReport", "LatencyModel"]
+__all__ = ["LatencyOptions", "LayerLatency", "LatencyReport",
+           "GenerationReport", "LatencyModel"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,74 @@ class LatencyReport:
         return out
 
 
+@dataclass
+class GenerationReport:
+    """Prefill/decode latency split of one autoregressive invocation.
+
+    Prefill is the existing full-sequence pass at the prompt length and
+    produces the first token (TTFT).  Each subsequent token is one
+    decode step whose weight-streaming cost is fixed (every layer's
+    tiles stream again — batch size one amortizes nothing) and whose
+    attention cost grows with the KV-cache length.
+    """
+
+    config: TransformerConfig
+    prompt_len: int
+    output_len: int
+    clock_mhz: float
+    prefill: LatencyReport
+    #: Whole-model decode cycles per generated token after the first
+    #: (token ``i`` attends over ``prompt_len + i + 1`` cached keys).
+    decode_step_cycles: List[int]
+    #: One decode step's layer breakdown at the final cache length.
+    decode_layer: LayerLatency
+
+    @property
+    def ttft_ms(self) -> float:
+        """Time to first token = the prefill pass."""
+        return self.prefill.latency_ms
+
+    @property
+    def decode_ms(self) -> float:
+        """Total decode time across the remaining tokens."""
+        return sum(self.decode_step_cycles) / (self.clock_mhz * 1e3)
+
+    @property
+    def tpot_ms(self) -> float:
+        """Mean time per output token after the first (0 if none)."""
+        steps = len(self.decode_step_cycles)
+        return self.decode_ms / steps if steps else 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.ttft_ms + self.decode_ms
+
+    @property
+    def tokens_per_s(self) -> float:
+        """Output tokens per second over the whole invocation."""
+        return self.output_len / (self.total_ms / 1e3)
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        """Steady decode rate (excludes prefill; inf-free: 0 if none)."""
+        return (len(self.decode_step_cycles) / (self.decode_ms / 1e3)
+                if self.decode_step_cycles else 0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.config.name,
+            "prompt_tokens": self.prompt_len,
+            "output_tokens": self.output_len,
+            "clock_mhz": self.clock_mhz,
+            "ttft_ms": self.ttft_ms,
+            "tpot_ms": self.tpot_ms,
+            "decode_ms": self.decode_ms,
+            "total_ms": self.total_ms,
+            "tokens_per_s": self.tokens_per_s,
+            "decode_tokens_per_s": self.decode_tokens_per_s,
+        }
+
+
 class LatencyModel:
     """Latency evaluator for one synthesized accelerator instance."""
 
@@ -122,6 +195,36 @@ class LatencyModel:
             return overlapped_cycles(phases).total
         return serialized_cycles(phases).total
 
+    def _ffn_stages(
+        self, d_model: int, ffn: Dict[str, int]
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """FFN stage totals + load cycles (real weight tiles only)."""
+        synth = self.synth
+        elem = (self.attention.formats.weight_bits + 7) // 8
+        t_in = max(1, math.ceil(d_model / synth.ts_ffn))
+        ffn12_tile_bytes = synth.ts_ffn * synth.ts_ffn * elem
+        ffn3_tile_bytes = 4 * synth.ts_ffn * synth.ts_ffn * elem
+        grid = self.ffn.tile_grid(d_model)
+        real = {
+            "ffn1": t_in * t_in,
+            "ffn2": t_in * max(1, math.ceil(4 * d_model / synth.ts_ffn)),
+            "ffn3": t_in * t_in,
+        }
+        stages: Dict[str, int] = {}
+        loads: Dict[str, int] = {}
+        for name, tile_bytes in (("ffn1", ffn12_tile_bytes),
+                                 ("ffn2", ffn12_tile_bytes),
+                                 ("ffn3", ffn3_tile_bytes)):
+            inv = grid[name]
+            per_inv = ffn[name] // inv
+            n_loaded = min(real[name], inv)
+            load = self._xfer(tile_bytes)
+            loaded_part = self._stage(n_loaded, load, per_inv)
+            dry_part = (inv - n_loaded) * per_inv
+            stages[name] = loaded_part + dry_part
+            loads[name] = n_loaded * load
+        return stages, loads
+
     # ------------------------------------------------------------------
     def layer_cycles(
         self, seq_len: int, d_model: int, num_heads: int
@@ -139,32 +242,8 @@ class LatencyModel:
         qkv_per_tile_compute = att["qkv"] // tiles_mha
         qkv_stage = self._stage(tiles_mha, qkv_tile_load, qkv_per_tile_compute)
 
-        # --- FFN loads: real weight tiles only.
-        elem = (self.attention.formats.weight_bits + 7) // 8
-        t_in = max(1, math.ceil(d_model / synth.ts_ffn))
-        ffn12_tile_bytes = synth.ts_ffn * synth.ts_ffn * elem
-        ffn3_tile_bytes = 4 * synth.ts_ffn * synth.ts_ffn * elem
-        grid = self.ffn.tile_grid(d_model)
-        real = {
-            "ffn1": t_in * t_in,
-            "ffn2": t_in * max(1, math.ceil(4 * d_model / synth.ts_ffn)),
-            "ffn3": t_in * t_in,
-        }
-        stages: Dict[str, int] = {}
-        loads: Dict[str, int] = {
-            "qkv": tiles_mha * qkv_tile_load,
-        }
-        for name, tile_bytes in (("ffn1", ffn12_tile_bytes),
-                                 ("ffn2", ffn12_tile_bytes),
-                                 ("ffn3", ffn3_tile_bytes)):
-            inv = grid[name]
-            per_inv = ffn[name] // inv
-            n_loaded = min(real[name], inv)
-            load = self._xfer(tile_bytes)
-            loaded_part = self._stage(n_loaded, load, per_inv)
-            dry_part = (inv - n_loaded) * per_inv
-            stages[name] = loaded_part + dry_part
-            loads[name] = n_loaded * load
+        stages, loads = self._ffn_stages(d_model, ffn)
+        loads["qkv"] = tiles_mha * qkv_tile_load
 
         compute = {
             "qkv": att["qkv"],
@@ -183,6 +262,95 @@ class LatencyModel:
             + ffn["ln"]
         )
         return LayerLatency(compute=compute, loads=loads, total=total)
+
+    # ------------------------------------------------------------------
+    def decode_layer_cycles(
+        self, cache_len: int, d_model: int, num_heads: int
+    ) -> LayerLatency:
+        """One KV-cache decode step's cycle breakdown for one layer.
+
+        The weight-streaming term dominates: every Q/K/V and FFN weight
+        tile streams again for a single new row, so loads are the full
+        per-layer traffic while compute shrinks to one row — except the
+        score-path engines (QK/softmax/SV), which sweep the whole
+        ``cache_len``-deep cache and grow with generated length.
+        """
+        synth = self.synth
+        att = self.attention.decode_compute_cycles(cache_len, d_model,
+                                                   num_heads)
+        ffn = self.ffn.compute_cycles(1, d_model)
+
+        tiles_mha = max(1, math.ceil(d_model / synth.ts_mha))
+        w_tile = self.attention.weight_bytes_per_tile(d_model, num_heads)
+        x_tile = self.attention.input_bytes_per_tile(1)
+        qkv_tile_load = num_heads * self._xfer(w_tile) + self._xfer(x_tile)
+        qkv_per_tile_compute = att["qkv"] // tiles_mha
+        qkv_stage = self._stage(tiles_mha, qkv_tile_load, qkv_per_tile_compute)
+
+        stages, loads = self._ffn_stages(d_model, ffn)
+        loads["qkv"] = tiles_mha * qkv_tile_load
+
+        compute = {
+            "qkv": att["qkv"],
+            "qk": att["qk"],
+            "softmax": att["softmax"],
+            "sv": att["sv"],
+            "ffn1": ffn["ffn1"],
+            "ffn2": ffn["ffn2"],
+            "ffn3": ffn["ffn3"],
+            "ln": ffn["ln"],
+        }
+        total = (
+            qkv_stage
+            + att["qk"] + att["softmax"] + att["sv"]
+            + stages["ffn1"] + stages["ffn2"] + stages["ffn3"]
+            + ffn["ln"]
+        )
+        return LayerLatency(compute=compute, loads=loads, total=total)
+
+    def generation_report(
+        self,
+        config: TransformerConfig,
+        prompt_len: int,
+        output_len: int,
+        clock_mhz: float,
+    ) -> GenerationReport:
+        """Prefill + per-token decode latency of one generation call.
+
+        The KV cache must hold every prompt *and* output position in
+        the synthesized score/SV buffers, so ``prompt_len + output_len``
+        is validated against ``max_seq_len`` exactly like a programmed
+        sequence length.
+        """
+        if prompt_len < 1 or output_len < 1:
+            raise ValueError("prompt_len and output_len must be >= 1")
+        total_len = prompt_len + output_len
+        if total_len > self.synth.max_seq_len:
+            raise ResynthesisRequiredError(
+                f"generation needs a {total_len}-position KV cache "
+                f"(prompt {prompt_len} + output {output_len}) but the "
+                f"synthesized buffers stop at max_seq_len="
+                f"{self.synth.max_seq_len}")
+        prefill = self.evaluate(config.with_(seq_len=prompt_len), clock_mhz)
+        steps = [
+            self.decode_layer_cycles(prompt_len + i + 1, config.d_model,
+                                     config.num_heads).total
+            * config.num_layers
+            for i in range(output_len - 1)
+        ]
+        final_layer = self.decode_layer_cycles(total_len - 1 if output_len > 1
+                                               else prompt_len + 1,
+                                               config.d_model,
+                                               config.num_heads)
+        return GenerationReport(
+            config=config,
+            prompt_len=prompt_len,
+            output_len=output_len,
+            clock_mhz=clock_mhz,
+            prefill=prefill,
+            decode_step_cycles=steps,
+            decode_layer=final_layer,
+        )
 
     # ------------------------------------------------------------------
     def evaluate(

@@ -46,8 +46,19 @@ class SoftmaxUnit:
     # ------------------------------------------------------------------
     # Functional model
     # ------------------------------------------------------------------
-    def __call__(self, scores: FxTensor) -> FxTensor:
-        """Row-wise softmax of a ``(rows, cols)`` score tensor."""
+    def __call__(self, scores: FxTensor,
+                 masked: "np.ndarray | None" = None) -> FxTensor:
+        """Row-wise softmax of a ``(rows, cols)`` score tensor.
+
+        ``masked`` is an optional boolean matrix naming lanes the mask
+        unit blocked: their exp codes are gated to exactly 0 (the
+        comparator output overrides the LUT), so a masked lane
+        contributes nothing to the row sum or the SV reduction.  A
+        coarse score format alone cannot guarantee that — ``fix8``'s
+        score minimum is only -8.0, whose exp code is *nonzero* — and
+        exact zeroing is what makes incremental KV-cache decode
+        bit-identical to the masked full-sequence pass.
+        """
         raw = scores.raw
         if raw.ndim != 2:
             raise ValueError("softmax unit expects a 2-D score matrix")
@@ -56,6 +67,11 @@ class SoftmaxUnit:
         shifted = (raw - row_max) * scores.fmt.scale  # real-valued, <= 0
         # Pass 2: exp LUT (table stores _EXP_FMT codes) + wide-sum.
         exp_codes = quantize(self.exp_lut(shifted), _EXP_FMT)
+        if masked is not None:
+            masked = np.asarray(masked, dtype=bool)
+            if masked.shape != raw.shape:
+                raise ValueError("masked shape must match the score matrix")
+            exp_codes = np.where(masked, 0, exp_codes)
         row_sum = exp_codes.sum(axis=1, keepdims=True) * _EXP_FMT.scale
         # Pass 3: reciprocal LUT + one multiply per element.
         recip_codes = quantize(self.recip_lut(row_sum), _RECIP_FMT)

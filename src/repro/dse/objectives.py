@@ -42,7 +42,8 @@ from .pareto import Objective
 from .space import Axis, SearchSpace
 
 __all__ = ["OBJECTIVES", "DEFAULT_SETTINGS", "DEFAULT_OBJECTIVE_NAMES",
-           "get_objectives", "standard_space", "evaluate_point"]
+           "GENERATION_OBJECTIVE_NAMES", "get_objectives",
+           "standard_space", "evaluate_point"]
 
 #: Every objective the standard evaluator can score.
 OBJECTIVES: Tuple[Objective, ...] = (
@@ -51,6 +52,11 @@ OBJECTIVES: Tuple[Objective, ...] = (
     Objective("p99_ms", "min", "ms"),
     Objective("power_w", "min", "W"),
     Objective("util_pct", "min", "%"),
+    # Generation objectives (autoregressive serving): tail time to
+    # first token under the settings' generation workload, and the
+    # fleet's aggregate output-token rate.
+    Objective("ttft_p99_ms", "min", "ms"),
+    Objective("tokens_per_s", "max", "tok/s"),
 )
 
 #: The CLI/engine default frontier dimensions (>= 3 objectives).
@@ -65,7 +71,21 @@ DEFAULT_SETTINGS: Dict[str, Any] = {
     "seed": 0,             # workload seed
     "link": "aurora",      # interconnect preset for devices > 1
     "scheduler": "least-loaded",
+    # Generation-objective workload (ttft_p99_ms / tokens_per_s).
+    # "gen_objectives" gates the whole block: the continuous-batching
+    # simulation roughly triples the per-point cost, so callers that
+    # select no generation objective (the CLI does this automatically)
+    # skip it — the record then simply lacks the two keys.
+    "gen_objectives": True,
+    "gen_qps": 20.0,       # offered generation load per point
+    "gen_prompt": 16,      # prompt tokens per request
+    "gen_output": 16,      # output tokens per request
+    "gen_slots": 4,        # continuous-batching slots per instance
 }
+
+#: Objectives that require the generation workload simulation.
+GENERATION_OBJECTIVE_NAMES: Tuple[str, ...] = ("ttft_p99_ms",
+                                               "tokens_per_s")
 
 
 def get_objectives(names: Optional[Tuple[str, ...]] = None
@@ -135,6 +155,75 @@ def _synthesize(tiles_mha: int, tiles_ffn: int, fmt: str) -> ProTEA:
     return accel
 
 
+def _generation_lengths(accel: ProTEA,
+                        opts: Mapping[str, Any]) -> Tuple[int, int]:
+    """Prompt/output lengths clamped to the point's KV-cache capacity."""
+    max_sl = accel.synth.max_seq_len
+    prompt = min(int(opts["gen_prompt"]), max(1, max_sl // 2))
+    output = min(int(opts["gen_output"]), max(1, max_sl - prompt))
+    return prompt, output
+
+
+def _generation_metrics(accel: ProTEA, cfg, devices: int, fleet: int,
+                        opts: Mapping[str, Any]) -> Dict[str, float]:
+    """The generation objectives for one design point.
+
+    ``devices == 1``: a token-level continuous-batching simulation over
+    the point's fleet (queueing-aware TTFT tail).  ``devices > 1``:
+    the pipeline-parallel decode mode (no generation queueing model
+    spans device groups yet, so the tail equals the unloaded TTFT).
+    """
+    from ..serving import (LengthSampler, PoissonArrivals,
+                           attach_generation_lengths, simulate_generation,
+                           summarize_generation)
+
+    prompt, output = _generation_lengths(accel, opts)
+    if devices > 1:
+        link = get_link(str(opts["link"]))
+        try:
+            decode = PipelinePartitioner(accel, link).decode_report(
+                cfg, devices, prompt, output)
+            return {"ttft_p99_ms": decode.ttft_ms,
+                    "tokens_per_s": decode.steady_tokens_per_s * fleet}
+        except (ValueError, ResynthesisRequiredError):
+            # No pure-pipeline decode split (e.g. fewer layers than
+            # devices — the main path may still partition tensor-wise).
+            # Decode gains nothing from tensor splits in this model, so
+            # score the single-device decode path instead of erroring a
+            # point whose other objectives are perfectly feasible.  A
+            # model that also cannot fit one device is genuinely
+            # unscoreable: raise so the engine records an error record
+            # (a NaN objective would be undominatable on the frontier).
+            if cfg.num_layers > accel.synth.max_layers:
+                raise ValueError(
+                    f"{cfg.name}: no pipeline-parallel decode split "
+                    f"across {devices} device(s) and the model exceeds "
+                    "one device — generation objectives unscoreable"
+                ) from None
+            rep = accel.generation_report(cfg, prompt, output)
+            return {"ttft_p99_ms": rep.ttft_ms,
+                    "tokens_per_s": rep.tokens_per_s * fleet}
+
+    arrivals = PoissonArrivals(
+        float(opts["gen_qps"]), ModelMix(cfg.name),
+        seed=int(opts["seed"])).generate(float(opts["duration_ms"]))
+    if not arrivals:
+        # Degenerate workload: fall back to the analytic single-request
+        # split so the objectives stay defined (and deterministic).
+        rep = accel.generation_report(cfg, prompt, output)
+        return {"ttft_p99_ms": rep.ttft_ms,
+                "tokens_per_s": rep.tokens_per_s * fleet}
+    requests = attach_generation_lengths(
+        arrivals, LengthSampler("fixed", prompt),
+        LengthSampler("fixed", output), seed=int(opts["seed"]),
+        max_total=accel.synth.max_seq_len)
+    report = summarize_generation(simulate_generation(
+        accel, requests, fleet, slots=int(opts["gen_slots"]),
+        scheduler=str(opts["scheduler"])))
+    return {"ttft_p99_ms": report.p99_ttft_ms,
+            "tokens_per_s": report.tokens_per_s}
+
+
 def evaluate_point(point: Mapping[str, Any],
                    settings: Optional[Mapping[str, Any]] = None
                    ) -> Dict[str, Any]:
@@ -182,6 +271,9 @@ def evaluate_point(point: Mapping[str, Any],
     serving = summarize(simulate(target, requests, fleet,
                                  scheduler=scheduler))
 
+    gen_metrics = (_generation_metrics(accel, cfg, devices, fleet, opts)
+                   if opts["gen_objectives"] else {})
+
     workload_gops = gops(cfg, latency_ms / 1e3)
     try:
         achieved_gbps = analyze_traffic(accel, cfg).achieved_gbps
@@ -201,6 +293,7 @@ def evaluate_point(point: Mapping[str, Any],
         "p99_ms": serving.p99_ms,
         "power_w": power_w,
         "util_pct": util_pct,
+        **gen_metrics,
         # supporting metrics
         "clock_mhz": accel.clock_mhz,
         "ts_mha": accel.synth.ts_mha,

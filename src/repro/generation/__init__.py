@@ -1,0 +1,75 @@
+"""Autoregressive generation across the stack — one import surface.
+
+The paper's future-work decoder support (PR 2/3) gave this repo the
+decoder *compute* path; this package is the *generation* workload class
+built on it, re-exported from the layers that own each piece:
+
+* **KV caches** — golden float (:mod:`repro.nn.kv_cache`) and
+  bit-identical fixed-point (:mod:`repro.core.kv_cache`) incremental
+  decode, so step ``t`` reuses cached K/V instead of recomputing the
+  full masked sequence;
+* **prefill/decode latency split** —
+  :meth:`repro.core.latency.LatencyModel.generation_report`: prefill is
+  the full-sequence tiled-matmul pass at the prompt length (TTFT), each
+  decode step streams the full weight set for one token while its
+  attention sweep grows with the cache;
+* **token-level continuous batching** —
+  :mod:`repro.serving.generation`: instances hold in-flight sequence
+  sets, admissions prefill at step boundaries, finished sequences
+  vacate slots, TTFT/TPOT/goodput summarized by
+  :func:`repro.serving.slo.summarize_generation`;
+* **pipeline-parallel decode** —
+  :meth:`repro.parallel.pipeline.PipelinePartitioner.decode_report`:
+  per-token microbatches through the stage pipeline.
+
+Quickstart::
+
+    from repro.generation import (LengthSampler, attach_generation_lengths,
+                                  simulate_generation, summarize_generation)
+    from repro import ProTEA, ModelMix, PoissonArrivals
+
+    accel = ProTEA.synthesize()
+    reqs = attach_generation_lengths(
+        PoissonArrivals(20, ModelMix("model2-lhc-trigger"),
+                        seed=0).generate(1_000),
+        LengthSampler("uniform", 8, 16), LengthSampler("geometric", 4, 64),
+        max_total=accel.synth.max_seq_len)
+    report = summarize_generation(
+        simulate_generation(accel, reqs, n_instances=2, slots=8),
+        ttft_slo_ms=50.0, tpot_slo_ms=10.0)
+    print(report.p99_ttft_ms, report.tokens_per_s)
+"""
+
+from ..core.kv_cache import FxDecoderKVCache, FxLayerKVCache
+from ..core.latency import GenerationReport
+from ..nn.kv_cache import DecoderKVCache, LayerKVCache
+from ..parallel.pipeline import DecodePipelineReport
+from ..serving.generation import (
+    GenerationClusterSimulator,
+    GenerationInstanceStats,
+    GenerationRecord,
+    GenerationServiceModel,
+    GenerationSimulationResult,
+    simulate_generation,
+)
+from ..serving.slo import GenerationServingReport, summarize_generation
+from ..serving.workload import (
+    GenerationRequest,
+    LengthSampler,
+    attach_generation_lengths,
+)
+
+__all__ = [
+    # oracles
+    "DecoderKVCache", "LayerKVCache", "FxDecoderKVCache", "FxLayerKVCache",
+    # latency split
+    "GenerationReport",
+    # serving
+    "GenerationRequest", "LengthSampler", "attach_generation_lengths",
+    "GenerationClusterSimulator", "simulate_generation",
+    "GenerationSimulationResult", "GenerationRecord",
+    "GenerationInstanceStats", "GenerationServiceModel",
+    "GenerationServingReport", "summarize_generation",
+    # parallel decode
+    "DecodePipelineReport",
+]

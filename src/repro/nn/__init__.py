@@ -11,12 +11,15 @@ from .embedding import Embedding, sinusoidal_positional_encoding
 from .encoder import ACTIVATIONS, Encoder, EncoderLayer, FeedForward
 from .functional import (
     attention_scale,
+    causal_fill,
     gelu,
     layer_norm,
     relu,
     scaled_dot_product_attention,
+    score_mask_value,
     softmax,
 )
+from .kv_cache import DecoderKVCache, LayerKVCache
 from .linear import Linear, xavier_uniform
 from .model_zoo import BERT_VARIANT, MODEL_ZOO, TransformerConfig, get_model, table1_tests
 from .weights import (
@@ -35,6 +38,10 @@ __all__ = [
     "layer_norm",
     "scaled_dot_product_attention",
     "attention_scale",
+    "score_mask_value",
+    "causal_fill",
+    "DecoderKVCache",
+    "LayerKVCache",
     "Linear",
     "xavier_uniform",
     "MultiHeadAttention",

@@ -17,17 +17,25 @@ import numpy as np
 
 from .attention import MultiHeadAttention
 from .encoder import FeedForward
-from .functional import attention_scale, layer_norm, softmax
+from .functional import attention_scale, layer_norm, score_mask_value, softmax
 from .linear import Linear
 
 __all__ = ["causal_mask", "CrossAttention", "DecoderLayer", "Decoder"]
 
 
-def causal_mask(seq_len: int) -> np.ndarray:
-    """Additive mask blocking future positions (upper triangle)."""
+def causal_mask(seq_len: int, dtype=np.float64) -> np.ndarray:
+    """Additive mask blocking future positions (upper triangle).
+
+    The mask value is the *dtype's* finite minimum (see
+    :func:`~repro.nn.functional.score_mask_value`), so adding it forces
+    a masked score to the score format's minimum without ever leaving
+    the representable range — a fixed ``-1e30`` breaks under float32
+    downcasts.
+    """
     if seq_len < 1:
         raise ValueError("seq_len must be positive")
-    return np.triu(np.full((seq_len, seq_len), -1e30), k=1)
+    fill = score_mask_value(dtype)
+    return np.triu(np.full((seq_len, seq_len), fill, dtype=dtype), k=1)
 
 
 @dataclass

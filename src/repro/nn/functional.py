@@ -18,7 +18,42 @@ __all__ = [
     "layer_norm",
     "scaled_dot_product_attention",
     "attention_scale",
+    "score_mask_value",
+    "causal_fill",
 ]
+
+
+def score_mask_value(dtype=np.float64) -> float:
+    """The masked-score fill for a float score dtype: its finite minimum.
+
+    A fixed ``-1e30`` is only safe in float64: under a float32 downcast
+    repeated mask application can leave the representable range and
+    turn scores into ``-inf``/NaN, which then breaks the fixed-point
+    score-clamp contract (quantizers saturate *finite* values).  The
+    dtype's own minimum is always finite, always saturates, and still
+    underflows ``exp`` to exactly ``0.0`` after the row-max subtraction.
+    """
+    return float(np.finfo(np.dtype(dtype)).min)
+
+
+def causal_fill(scores: np.ndarray, fill) -> np.ndarray:
+    """Force strictly-future score positions to ``fill``.
+
+    The mask unit's semantics, shared by the golden float path (``fill =
+    score_mask_value(dtype)``) and the fixed-point path in
+    :mod:`repro.core.decoder_module` (``fill = score_fmt.int_min``): one
+    comparator per score lane forces position ``(i, j > i)`` to the
+    score representation's minimum.  Rows index the query (newest-last),
+    columns the keys; non-square inputs are aligned on the last row, so
+    a single-row decode step (``1 x cache_len``) masks nothing.
+    """
+    out = np.array(scores, copy=True)
+    if out.ndim != 2:
+        raise ValueError("causal_fill expects a 2-D score matrix")
+    rows, cols = out.shape
+    iu = np.triu_indices(rows, k=1 + (cols - rows), m=cols)
+    out[iu] = fill
+    return out
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

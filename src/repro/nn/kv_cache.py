@@ -1,0 +1,132 @@
+"""Golden (float64) KV-cache for incremental decoder inference.
+
+Autoregressive generation runs the decoder one token at a time: step
+``t`` appends one row to the target sequence and only needs that row of
+every sub-layer's output.  Masked self-attention at step ``t`` attends
+over positions ``0..t`` — exactly the keys/values already computed at
+earlier steps — so a **KV cache** stores each layer's per-head K/V rows
+and the step computes one query row against them, instead of re-running
+the full ``(t+1) x (t+1)`` masked pass.
+
+:class:`DecoderKVCache` is the float oracle for that dataflow.  It
+matches the full-sequence :class:`~repro.nn.decoder.Decoder` forward at
+every step to float64 round-off (BLAS kernels may block a single-row
+matmul differently from the same row of a full-matrix product, so the
+last ulp is not guaranteed — the *fixed-point* cache in
+:mod:`repro.core.kv_cache` is the bit-identical oracle).
+
+Cross-attention keys/values depend only on the encoder memory, so they
+are computed once at cache construction and reused by every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .decoder import Decoder
+from .functional import attention_scale, layer_norm, softmax
+
+__all__ = ["LayerKVCache", "DecoderKVCache"]
+
+
+@dataclass
+class LayerKVCache:
+    """One decoder layer's cached state.
+
+    ``self_k``/``self_v`` grow by one row per step (per head);
+    ``cross_k``/``cross_v`` are the fixed encoder-memory projections.
+    """
+
+    self_k: List[np.ndarray]
+    self_v: List[np.ndarray]
+    cross_k: List[np.ndarray]
+    cross_v: List[np.ndarray]
+
+    @property
+    def seq_len(self) -> int:
+        return self.self_k[0].shape[0] if self.self_k else 0
+
+
+@dataclass
+class DecoderKVCache:
+    """Incremental decoding state over a :class:`Decoder` stack."""
+
+    decoder: Decoder
+    memory: np.ndarray
+    layers: List[LayerKVCache] = field(default_factory=list)
+
+    @classmethod
+    def initialize(cls, decoder: Decoder, memory: np.ndarray
+                   ) -> "DecoderKVCache":
+        """Empty cache with the cross-attention K/V precomputed."""
+        memory = np.asarray(memory, dtype=np.float64)
+        layers = []
+        for layer in decoder.layers:
+            ca = layer.cross_attention
+            d_k = ca.d_k
+            layers.append(LayerKVCache(
+                self_k=[np.empty((0, d_k)) for _ in range(ca.num_heads)],
+                self_v=[np.empty((0, d_k)) for _ in range(ca.num_heads)],
+                cross_k=[ca.wk[h](memory) for h in range(ca.num_heads)],
+                cross_v=[ca.wv[h](memory) for h in range(ca.num_heads)],
+            ))
+        return cls(decoder=decoder, memory=memory, layers=layers)
+
+    @property
+    def seq_len(self) -> int:
+        """Tokens decoded so far."""
+        return self.layers[0].seq_len if self.layers else 0
+
+    # ------------------------------------------------------------------
+    def step(self, x_row: np.ndarray) -> np.ndarray:
+        """Decode one token: append its K/V, return its output row.
+
+        ``x_row`` is the newest target position's embedding, shape
+        ``(d_model,)`` or ``(1, d_model)``.  Equivalent to running the
+        full-sequence decoder over all rows so far and keeping the last
+        output row — without the quadratic recompute.
+        """
+        x = np.asarray(x_row, dtype=np.float64).reshape(1, -1)
+        for layer, cache in zip(self.decoder.layers, self.layers):
+            sa = layer.self_attention
+            d_model = x.shape[1]
+            scale = attention_scale(sa.d_k, d_model, sa.scale_mode)
+            heads = []
+            for h in range(sa.num_heads):
+                q = sa.wq[h](x)
+                cache.self_k[h] = np.concatenate(
+                    [cache.self_k[h], sa.wk[h](x)])
+                cache.self_v[h] = np.concatenate(
+                    [cache.self_v[h], sa.wv[h](x)])
+                # Newest row: every cached position is past-or-current,
+                # so no mask lane exists to fill.
+                w = softmax((q @ cache.self_k[h].T) * scale, axis=-1)
+                heads.append(w @ cache.self_v[h])
+            attn = sa.wo(np.concatenate(heads, axis=-1))
+            h1 = layer_norm(x + attn, layer.ln1_gamma, layer.ln1_beta,
+                            layer.eps)
+
+            ca = layer.cross_attention
+            c_scale = attention_scale(ca.d_k, d_model, ca.scale_mode)
+            c_heads = []
+            for h in range(ca.num_heads):
+                q = ca.wq[h](h1)
+                w = softmax((q @ cache.cross_k[h].T) * c_scale, axis=-1)
+                c_heads.append(w @ cache.cross_v[h])
+            cross = ca.wo(np.concatenate(c_heads, axis=-1))
+            h2 = layer_norm(h1 + cross, layer.ln2_gamma, layer.ln2_beta,
+                            layer.eps)
+
+            x = layer_norm(h2 + layer.ffn(h2), layer.ln3_gamma,
+                           layer.ln3_beta, layer.eps)
+        return x
+
+    def prefill(self, prompt: np.ndarray) -> np.ndarray:
+        """Decode every prompt row in order; returns all output rows."""
+        prompt = np.asarray(prompt, dtype=np.float64)
+        if prompt.ndim != 2 or prompt.shape[0] < 1:
+            raise ValueError("prompt must be a non-empty (SL, d) matrix")
+        return np.concatenate([self.step(row) for row in prompt])

@@ -48,7 +48,7 @@ from .partition import (
     tp_layer_latency,
     validate_tensor_parallel,
 )
-from .pipeline import PipelinePartitioner, PipelinePlan
+from .pipeline import DecodePipelineReport, PipelinePartitioner, PipelinePlan
 
 __all__ = [
     # interconnect
@@ -58,7 +58,7 @@ __all__ = [
     "balanced_partition", "tp_layer_latency", "validate_tensor_parallel",
     "activation_bytes", "tp_allreduce_cycles", "StagePlan",
     # pipeline
-    "PipelinePartitioner", "PipelinePlan",
+    "PipelinePartitioner", "PipelinePlan", "DecodePipelineReport",
     # serving adapter
     "PipelineGroup", "PipelineReport",
 ]

@@ -41,7 +41,82 @@ from .partition import (
     validate_tensor_parallel,
 )
 
-__all__ = ["PipelinePlan", "PipelinePartitioner"]
+__all__ = ["PipelinePlan", "DecodePipelineReport", "PipelinePartitioner"]
+
+
+@dataclass(frozen=True)
+class DecodePipelineReport:
+    """Pipeline-parallel autoregressive decode: one token per microbatch.
+
+    Each generated token's single activation row flows through the
+    stages.  Tokens of *one* sequence are strictly sequential (token
+    ``t+1`` needs token ``t``), so a lone sequence pays the whole
+    per-token path each step; with at least ``num_stages`` concurrent
+    sequences interleaved (continuous batching), stages stay full and
+    the bottleneck stage sets the aggregate token rate.
+    """
+
+    config: TransformerConfig
+    clock_mhz: float
+    link: InterconnectLink
+    prompt_len: int
+    cache_len: int
+    #: Per-stage cycles to decode one token at ``cache_len``.
+    stage_cycles: Tuple[int, ...]
+    #: One token's activation row crossing a stage boundary.
+    link_cycles: int
+    #: Prompt prefill through the pipeline (emits the first token).
+    prefill_fill_cycles: int
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_cycles)
+
+    @property
+    def per_token_cycles(self) -> int:
+        """One token end to end: every stage plus every link hop."""
+        return (sum(self.stage_cycles)
+                + (self.num_stages - 1) * self.link_cycles)
+
+    @property
+    def per_token_ms(self) -> float:
+        return self.per_token_cycles / (self.clock_mhz * 1e3)
+
+    @property
+    def ttft_ms(self) -> float:
+        """Prompt prefill through every stage (first token out)."""
+        return self.prefill_fill_cycles / (self.clock_mhz * 1e3)
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        worst = max(self.stage_cycles)
+        return max(worst, self.link_cycles if self.num_stages > 1 else 0)
+
+    @property
+    def sequential_tokens_per_s(self) -> float:
+        """Decode rate of a single sequence (no overlap possible)."""
+        return self.clock_mhz * 1e6 / self.per_token_cycles
+
+    @property
+    def steady_tokens_per_s(self) -> float:
+        """Aggregate rate with >= num_stages interleaved sequences."""
+        return self.clock_mhz * 1e6 / self.bottleneck_cycles
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.config.name,
+            "clock_mhz": self.clock_mhz,
+            "link": self.link.name,
+            "prompt_tokens": self.prompt_len,
+            "cache_len": self.cache_len,
+            "pipeline_stages": self.num_stages,
+            "stage_cycles": list(self.stage_cycles),
+            "link_cycles_per_token": self.link_cycles,
+            "ttft_ms": self.ttft_ms,
+            "per_token_ms": self.per_token_ms,
+            "sequential_tokens_per_s": self.sequential_tokens_per_s,
+            "steady_tokens_per_s": self.steady_tokens_per_s,
+        }
 
 
 @dataclass(frozen=True)
@@ -262,6 +337,53 @@ class PipelinePartitioner:
             stages=stages,
             boundary_bytes=boundary,
             link_cycles=link_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def decode_report(
+        self,
+        config: TransformerConfig,
+        n_devices: int,
+        prompt_len: int,
+        output_len: int,
+    ) -> DecodePipelineReport:
+        """Pipeline-parallel decode mode for ``config``.
+
+        Stages reuse the standard balanced layer split (per-layer decode
+        cost is layer-uniform, so the full-sequence balance is also the
+        decode balance); each stage then prices one token at the *final*
+        cache length — the conservative steady-state bound.  Tensor
+        parallelism is a prefill-side lever (it needs whole rows to
+        split); decode mode always runs pure pipeline (``tp_ways=1``).
+        """
+        if prompt_len < 1 or output_len < 1:
+            raise ValueError("prompt_len and output_len must be >= 1")
+        total = prompt_len + output_len
+        if total > self.accel.synth.max_seq_len:
+            raise ResynthesisRequiredError(
+                f"generation needs a {total}-position KV cache; the "
+                f"synthesized buffers stop at max_seq_len="
+                f"{self.accel.synth.max_seq_len}")
+        plan = self.plan(config.with_(seq_len=prompt_len), n_devices,
+                         tp_ways=1)
+        model = self.accel.latency_model
+        cache_len = max(total - 1, prompt_len + 1)
+        per_layer = model.decode_layer_cycles(
+            cache_len, config.d_model, config.num_heads).total
+        stage_cycles = tuple(s.num_layers * per_layer for s in plan.stages)
+        row_bytes = activation_bytes(model, 1, config.d_model)
+        link_cycles = (self.link.transfer_cycles(row_bytes,
+                                                 self.accel.clock_mhz)
+                       if plan.num_stages > 1 else 0)
+        return DecodePipelineReport(
+            config=config,
+            clock_mhz=self.accel.clock_mhz,
+            link=self.link,
+            prompt_len=prompt_len,
+            cache_len=cache_len,
+            stage_cycles=stage_cycles,
+            link_cycles=link_cycles,
+            prefill_fill_cycles=plan.fill_cycles,
         )
 
     # ------------------------------------------------------------------

@@ -40,7 +40,19 @@ from .cluster import (
     SimulationResult,
     simulate,
 )
-from .report import render_capacity_plan, render_serving_report
+from .generation import (
+    GenerationClusterSimulator,
+    GenerationInstanceStats,
+    GenerationRecord,
+    GenerationServiceModel,
+    GenerationSimulationResult,
+    simulate_generation,
+)
+from .report import (
+    render_capacity_plan,
+    render_generation_report,
+    render_serving_report,
+)
 from .scheduler import (
     SCHEDULERS,
     LeastLoaded,
@@ -51,26 +63,32 @@ from .scheduler import (
 )
 from .slo import (
     CapacityPlan,
+    GenerationServingReport,
     ModelMetrics,
     ServingReport,
     percentile,
     plan_capacity,
     summarize,
+    summarize_generation,
 )
 from .workload import (
     ArrivalProcess,
     BurstyArrivals,
     DiurnalArrivals,
+    GenerationRequest,
+    LengthSampler,
     ModelMix,
     PoissonArrivals,
     Request,
     TraceReplay,
+    attach_generation_lengths,
 )
 
 __all__ = [
     # workload
-    "Request", "ModelMix", "ArrivalProcess", "PoissonArrivals",
-    "BurstyArrivals", "DiurnalArrivals", "TraceReplay",
+    "Request", "GenerationRequest", "LengthSampler", "ModelMix",
+    "ArrivalProcess", "PoissonArrivals", "BurstyArrivals",
+    "DiurnalArrivals", "TraceReplay", "attach_generation_lengths",
     # batching
     "BatchingPolicy", "no_batching", "fixed_size", "timeout",
     "get_batching", "ServiceTimeModel",
@@ -80,9 +98,15 @@ __all__ = [
     # cluster
     "ClusterSimulator", "simulate", "SimulationResult", "RequestRecord",
     "InstanceStats",
+    # generation (token-level continuous batching)
+    "GenerationClusterSimulator", "simulate_generation",
+    "GenerationSimulationResult", "GenerationRecord",
+    "GenerationInstanceStats", "GenerationServiceModel",
     # slo
     "percentile", "ModelMetrics", "ServingReport", "summarize",
+    "GenerationServingReport", "summarize_generation",
     "CapacityPlan", "plan_capacity",
     # report
     "render_serving_report", "render_capacity_plan",
+    "render_generation_report",
 ]

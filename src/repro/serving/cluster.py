@@ -150,11 +150,14 @@ class ClusterSimulator:
         batching: Optional[BatchingPolicy] = None,
         models: Optional[Mapping[str, TransformerConfig]] = None,
         reprogram_latency_ms: float = 0.0,
+        check_jitter_ms: float = 0.0,
     ):
         if n_instances < 1:
             raise ValueError("need at least one instance")
         if reprogram_latency_ms < 0:
             raise ValueError("reprogram_latency_ms must be >= 0")
+        if check_jitter_ms < 0:
+            raise ValueError("check_jitter_ms must be >= 0")
         self.accel = accel
         self.n_instances = n_instances
         # Keep the spec, not an instance: stateful schedulers (round-
@@ -166,6 +169,13 @@ class ClusterSimulator:
         self.batching = batching or no_batching()
         self.service = ServiceTimeModel(accel, models or MODEL_ZOO)
         self.reprogram_latency_ms = reprogram_latency_ms
+        #: Fires batching-deadline checks this much *early*.  A check is
+        #: a pure wakeup — ``try_dispatch`` re-derives everything from
+        #: queue state, and an early check that finds the head under-age
+        #: re-arms at the true deadline — so any jitter value must
+        #: produce an identical dispatch trace.  Exposed precisely so
+        #: tests can prove that (the stale-check no-op property).
+        self.check_jitter_ms = check_jitter_ms
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[Request]) -> SimulationResult:
@@ -211,7 +221,13 @@ class ClusterSimulator:
                 if not inst.pending_check:
                     assert self.batching.timeout_ms is not None
                     deadline = inst.queue[0].t_ms + self.batching.timeout_ms
-                    push(deadline, _P_CHECK, ("check", inst))
+                    # Optionally wake early (jitter study); once inside
+                    # the jitter window, arm the true deadline so the
+                    # early wakeup cannot respawn itself forever.
+                    target = deadline - self.check_jitter_ms
+                    if target <= now + _EPS:
+                        target = deadline
+                    push(max(target, now), _P_CHECK, ("check", inst))
                     inst.pending_check = True
                 return
             batch = [inst.queue.popleft() for _ in range(size)]
@@ -251,6 +267,15 @@ class ClusterSimulator:
                 trace.append(("free", now, inst.idx))
                 try_dispatch(inst, now)
             else:  # check
+                # Deadline checks may be stale: the batch that armed
+                # them can have dispatched long ago (dispatch does not
+                # unschedule the event).  The guard is try_dispatch
+                # itself — it re-derives busy state, queue head, and
+                # head age from scratch, so a stale check either no-ops
+                # (busy/empty), re-arms for the *current* head, or
+                # dispatches exactly what the policy would dispatch
+                # anyway.  No reprogram charge happens outside a real
+                # dispatch, so stale events cannot double-charge.
                 inst = payload[1]
                 inst.pending_check = False
                 try_dispatch(inst, now)

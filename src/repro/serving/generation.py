@@ -1,0 +1,462 @@
+"""Token-level continuous batching for autoregressive generation.
+
+The request-level simulator (:mod:`.cluster`) holds a batch until every
+member finishes — right for fixed-length encoder invocations, wasteful
+for generation where members finish at different tokens.  This module
+is the generation service mode: an instance holds up to ``slots``
+in-flight sequences and advances them one *engine step* at a time,
+
+* new requests join at step boundaries — their prompt **prefill** runs
+  as part of the step and emits their first token (TTFT);
+* every already-active sequence decodes one token per step — the
+  layer's weight tiles stream **once per step**, amortized over all
+  in-flight sequences (the continuous-batching win), while each
+  sequence pays its own cache-length-dependent attention sweep;
+* finished sequences vacate their slot at the step boundary, so
+  admission capacity follows completion token-by-token, not
+  batch-by-batch.
+
+Costing comes from the same synthesized-accelerator model as
+everything else: prefill is
+:meth:`~repro.core.latency.LatencyModel.evaluate` at the prompt length,
+decode steps decompose
+:meth:`~repro.core.latency.LatencyModel.decode_layer_cycles` into the
+shared weight-stream term plus per-sequence compute.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.accelerator import ProTEA
+from ..core.runtime import RuntimeSession
+from ..nn.model_zoo import MODEL_ZOO, TransformerConfig
+from .scheduler import Scheduler, get_scheduler
+from .workload import GenerationRequest
+
+__all__ = [
+    "GenerationRecord",
+    "GenerationInstanceStats",
+    "GenerationSimulationResult",
+    "GenerationServiceModel",
+    "GenerationClusterSimulator",
+    "simulate_generation",
+]
+
+_EPS = 1e-9
+# Step completions land before new arrivals at equal timestamps, the
+# same event-priority rule the request-level simulator uses.
+_P_STEP, _P_ARRIVAL = 0, 1
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """Per-request outcome of one generation simulation."""
+
+    rid: int
+    model: str
+    instance: int
+    prompt_tokens: int
+    output_tokens: int
+    t_arrival_ms: float
+    t_admit_ms: float
+    t_first_token_ms: float
+    t_complete_ms: float
+
+    @property
+    def wait_ms(self) -> float:
+        """Queueing delay before the prompt entered an engine step."""
+        return self.t_admit_ms - self.t_arrival_ms
+
+    @property
+    def ttft_ms(self) -> float:
+        """Time to first token (arrival → end of prefill)."""
+        return self.t_first_token_ms - self.t_arrival_ms
+
+    @property
+    def tpot_ms(self) -> float:
+        """Mean time per output token after the first (0 if only one)."""
+        if self.output_tokens <= 1:
+            return 0.0
+        return ((self.t_complete_ms - self.t_first_token_ms)
+                / (self.output_tokens - 1))
+
+    @property
+    def latency_ms(self) -> float:
+        return self.t_complete_ms - self.t_arrival_ms
+
+
+@dataclass(frozen=True)
+class GenerationInstanceStats:
+    """End-of-run accounting for one instance."""
+
+    index: int
+    requests: int
+    steps: int
+    prefills: int
+    tokens: int
+    busy_ms: float
+    switch_count: int
+    reprogram_time_ms: float
+
+
+@dataclass
+class GenerationSimulationResult:
+    """Everything a generation run produced."""
+
+    records: List[GenerationRecord]
+    instances: List[GenerationInstanceStats]
+    n_instances: int
+    slots: int
+    makespan_ms: float
+    #: ``(t_ms, waiting + in-flight sequences)`` after every mutation.
+    queue_samples: List[Tuple[float, int]]
+    #: Flat event log: ("arrive"|"admit"|"step"|"finish", t_ms, ...).
+    trace: List[tuple]
+    scheduler: str = ""
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.records)
+
+    @property
+    def total_switches(self) -> int:
+        return sum(i.switch_count for i in self.instances)
+
+    @property
+    def total_reprogram_time_ms(self) -> float:
+        return sum(i.reprogram_time_ms for i in self.instances)
+
+
+class GenerationServiceModel:
+    """Maps (model, lengths) → milliseconds of prefill / decode steps.
+
+    Decode-step decomposition per layer: the weight-stream term (loads)
+    is paid once per step, each in-flight sequence adds its own
+    cache-length-dependent compute term.  Both halves are memoized —
+    the cycle model is deterministic, so the cache is exact.
+    """
+
+    def __init__(self, accel: ProTEA,
+                 models: Optional[Mapping[str, TransformerConfig]] = None):
+        self.accel = accel
+        self.models = dict(models or MODEL_ZOO)
+        self._prefill: Dict[Tuple[str, int], float] = {}
+        self._load_ms: Dict[str, float] = {}
+        self._compute_ms: Dict[Tuple[str, int], float] = {}
+
+    def config(self, model: str) -> TransformerConfig:
+        try:
+            return self.models[model]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {model!r}; available: {sorted(self.models)}"
+            ) from None
+
+    def validate(self, request: GenerationRequest) -> None:
+        """A request must fit the synthesized KV-cache capacity."""
+        self.config(request.model)  # raises on unknown models
+        max_sl = self.accel.synth.max_seq_len
+        if request.prompt_tokens > max_sl:
+            raise ValueError(
+                f"request {request.rid}: prompt of {request.prompt_tokens} "
+                f"tokens exceeds the synthesized max_seq_len={max_sl}")
+        if request.total_tokens > max_sl:
+            raise ValueError(
+                f"request {request.rid}: {request.prompt_tokens} prompt + "
+                f"{request.output_tokens} output tokens need a "
+                f"{request.total_tokens}-position KV cache; the synthesized "
+                f"buffers stop at max_seq_len={max_sl}")
+
+    def prefill_ms(self, model: str, prompt_tokens: int) -> float:
+        """Full-sequence pass at the prompt length (emits token #1)."""
+        key = (model, prompt_tokens)
+        if key not in self._prefill:
+            cfg = self.config(model).with_(seq_len=prompt_tokens)
+            self._prefill[key] = self.accel.latency_report(cfg).latency_ms
+        return self._prefill[key]
+
+    def _ms(self, cycles: int) -> float:
+        return cycles / (self.accel.clock_mhz * 1e3)
+
+    def _layer_load_ms(self, model: str) -> float:
+        if model not in self._load_ms:
+            cfg = self.config(model)
+            layer = self.accel.latency_model.decode_layer_cycles(
+                1, cfg.d_model, cfg.num_heads)
+            self._load_ms[model] = self._ms(layer.load_total)
+        return self._load_ms[model]
+
+    def _layer_compute_ms(self, model: str, cache_len: int) -> float:
+        key = (model, cache_len)
+        if key not in self._compute_ms:
+            cfg = self.config(model)
+            layer = self.accel.latency_model.decode_layer_cycles(
+                cache_len, cfg.d_model, cfg.num_heads)
+            self._compute_ms[key] = self._ms(layer.compute_total)
+        return self._compute_ms[key]
+
+    def decode_step_ms(self, model: str, cache_lens: Sequence[int]) -> float:
+        """One engine step decoding one token for every sequence.
+
+        ``cache_lens`` are the key counts each sequence attends over
+        this step (its cached positions plus the new token).
+        """
+        if not cache_lens:
+            return 0.0
+        cfg = self.config(model)
+        per_layer = (self._layer_load_ms(model)
+                     + sum(self._layer_compute_ms(model, cl)
+                           for cl in cache_lens))
+        return per_layer * cfg.num_layers
+
+
+class _Sequence:
+    """One in-flight request's decoding state."""
+
+    __slots__ = ("req", "cached", "remaining", "t_admit", "t_first")
+
+    def __init__(self, req: GenerationRequest, t_admit: float,
+                 t_first: float):
+        self.req = req
+        #: KV-cache positions held (prompt + emitted tokens).
+        self.cached = req.prompt_tokens
+        #: Tokens still to emit after the prefill's first token.
+        self.remaining = req.output_tokens - 1
+        self.t_admit = t_admit
+        self.t_first = t_first
+
+
+class _Instance:
+    """Mutable per-instance state (scheduler-visible via InstanceView)."""
+
+    def __init__(self, idx: int, session: RuntimeSession):
+        self.idx = idx
+        self.session = session
+        self.queue: Deque[GenerationRequest] = deque()
+        self.active: List[_Sequence] = []
+        self.busy_until = 0.0
+        self.last_model: Optional[str] = None
+        self.requests = 0
+        self.steps = 0
+        self.prefills = 0
+        self.tokens = 0
+        self.busy_ms = 0.0
+        #: Sequences whose step-boundary bookkeeping is pending.
+        self.step_done: List[Tuple[_Sequence, bool]] = []
+
+    def backlog(self, now_ms: float) -> int:
+        """Waiting plus in-flight sequences (scheduler load signal)."""
+        return len(self.queue) + len(self.active)
+
+    def stats(self) -> GenerationInstanceStats:
+        return GenerationInstanceStats(
+            index=self.idx,
+            requests=self.requests,
+            steps=self.steps,
+            prefills=self.prefills,
+            tokens=self.tokens,
+            busy_ms=self.busy_ms,
+            switch_count=self.session.switch_count,
+            reprogram_time_ms=self.session.reprogram_time_ms,
+        )
+
+
+class GenerationClusterSimulator:
+    """Event-driven continuous-batching simulator over N instances.
+
+    The generation counterpart of :class:`~repro.serving.cluster.
+    ClusterSimulator`: same dispatch schedulers, same reprogramming
+    accounting, but instances advance in-flight sequence sets one
+    token-level step at a time instead of serving opaque batches.
+    In-flight sequences of one instance always share a model (mixed
+    weights cannot be resident simultaneously), so a queued request of
+    a different model waits until the active set drains.
+    """
+
+    def __init__(
+        self,
+        accel: ProTEA,
+        n_instances: int,
+        slots: int = 8,
+        scheduler: Union[str, Scheduler] = "least-loaded",
+        models: Optional[Mapping[str, TransformerConfig]] = None,
+        reprogram_latency_ms: float = 0.0,
+    ):
+        if n_instances < 1:
+            raise ValueError("need at least one instance")
+        if slots < 1:
+            raise ValueError("need at least one sequence slot")
+        if reprogram_latency_ms < 0:
+            raise ValueError("reprogram_latency_ms must be >= 0")
+        self.accel = accel
+        self.n_instances = n_instances
+        self.slots = slots
+        self._scheduler_spec = scheduler
+        if isinstance(scheduler, str):
+            get_scheduler(scheduler)  # validate eagerly
+        self.service = GenerationServiceModel(accel, models)
+        self.reprogram_latency_ms = reprogram_latency_ms
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[GenerationRequest]
+            ) -> GenerationSimulationResult:
+        """Simulate the stream to completion (drains every sequence)."""
+        for req in requests:
+            if not isinstance(req, GenerationRequest):
+                raise TypeError(
+                    "generation mode needs GenerationRequest workloads — "
+                    "see repro.serving.attach_generation_lengths")
+            self.service.validate(req)
+        spec = self._scheduler_spec
+        scheduler = get_scheduler(spec) if isinstance(spec, str) else spec
+        instances = [
+            _Instance(i, RuntimeSession(
+                self.accel, reprogram_latency_ms=self.reprogram_latency_ms))
+            for i in range(self.n_instances)
+        ]
+        records: List[GenerationRecord] = []
+        trace: List[tuple] = []
+        samples: List[Tuple[float, int]] = []
+        heap: List[tuple] = [
+            (req.t_ms, _P_ARRIVAL, i, ("arrival", req))
+            for i, req in enumerate(requests)
+        ]
+        heapq.heapify(heap)
+        seq_no = len(heap)
+
+        def push(t: float, prio: int, payload: tuple) -> None:
+            nonlocal seq_no
+            heapq.heappush(heap, (t, prio, seq_no, payload))
+            seq_no += 1
+
+        def sample(now: float) -> None:
+            samples.append((now, sum(i.backlog(now) for i in instances)))
+
+        def start_step(inst: _Instance, now: float) -> None:
+            """Admit at the boundary, then run one engine step."""
+            if inst.busy_until > now + _EPS:
+                return
+            # --- admissions: same-model joins while slots are free.
+            admitted: List[GenerationRequest] = []
+            while (inst.queue
+                   and len(inst.active) + len(admitted) < self.slots):
+                head = inst.queue[0]
+                resident = (inst.active[0].req.model if inst.active
+                            else admitted[0].model if admitted else None)
+                if resident is not None and head.model != resident:
+                    break  # mixed weights cannot be resident together
+                admitted.append(inst.queue.popleft())
+            if not admitted and not inst.active:
+                return
+            model = admitted[0].model if admitted else inst.active[0].req.model
+            cfg = self.service.config(model)
+            switch_ms = inst.session.switch_cost_ms(cfg)
+            inst.session.deploy(cfg)
+            inst.last_model = model
+
+            # Decode sweep covers sequences active *before* this step;
+            # the newly admitted prefill inside it and join the next one.
+            decoding = list(inst.active)
+            duration = switch_ms
+            for req in admitted:
+                prefill = self.service.prefill_ms(model, req.prompt_tokens)
+                duration += prefill
+                seq = _Sequence(req, t_admit=now,
+                                t_first=now + duration)
+                inst.active.append(seq)
+                inst.prefills += 1
+                inst.requests += 1
+                inst.tokens += 1  # the prefill's first token
+                trace.append(("admit", now, inst.idx, req.rid,
+                              req.prompt_tokens, req.output_tokens))
+            if decoding:
+                duration += self.service.decode_step_ms(
+                    model, [s.cached + 1 for s in decoding])
+            end = now + duration
+            inst.busy_until = end
+            inst.busy_ms += duration
+            inst.steps += 1
+            inst.step_done = [(s, True) for s in decoding]
+            inst.tokens += len(decoding)
+            trace.append(("step", now, inst.idx, model, len(admitted),
+                          len(decoding), duration))
+            push(end, _P_STEP, ("step", inst))
+            sample(now)
+
+        def finish_step(inst: _Instance, now: float) -> None:
+            """Step boundary: emit tokens, vacate finished sequences."""
+            for seq, decoded in inst.step_done:
+                if decoded:
+                    seq.cached += 1
+                    seq.remaining -= 1
+            inst.step_done = []
+            still: List[_Sequence] = []
+            for seq in inst.active:
+                if seq.remaining <= 0 and seq.t_first <= now + _EPS:
+                    req = seq.req
+                    complete = seq.t_first if req.output_tokens == 1 else now
+                    records.append(GenerationRecord(
+                        rid=req.rid, model=req.model, instance=inst.idx,
+                        prompt_tokens=req.prompt_tokens,
+                        output_tokens=req.output_tokens,
+                        t_arrival_ms=req.t_ms, t_admit_ms=seq.t_admit,
+                        t_first_token_ms=seq.t_first,
+                        t_complete_ms=complete))
+                    trace.append(("finish", now, inst.idx, req.rid))
+                else:
+                    still.append(seq)
+            inst.active = still
+            sample(now)
+            start_step(inst, now)
+
+        while heap:
+            now, _prio, _seq, payload = heapq.heappop(heap)
+            kind = payload[0]
+            if kind == "arrival":
+                req = payload[1]
+                inst = scheduler.pick(instances, req, now)
+                inst.queue.append(req)
+                if inst.last_model is None:
+                    inst.last_model = req.model
+                trace.append(("arrive", now, req.rid, req.model, inst.idx))
+                sample(now)
+                start_step(inst, now)
+            else:  # step boundary
+                finish_step(payload[1], now)
+
+        makespan = max((r.t_complete_ms for r in records), default=0.0)
+        records.sort(key=lambda r: r.rid)
+        return GenerationSimulationResult(
+            records=records,
+            instances=[i.stats() for i in instances],
+            n_instances=self.n_instances,
+            slots=self.slots,
+            makespan_ms=makespan,
+            queue_samples=samples,
+            trace=trace,
+            scheduler=scheduler.name,
+        )
+
+
+def simulate_generation(
+    accel: ProTEA,
+    requests: Sequence[GenerationRequest],
+    n_instances: int,
+    slots: int = 8,
+    scheduler: Union[str, Scheduler] = "least-loaded",
+    models: Optional[Mapping[str, TransformerConfig]] = None,
+    reprogram_latency_ms: float = 0.0,
+) -> GenerationSimulationResult:
+    """One-call wrapper around :class:`GenerationClusterSimulator`."""
+    sim = GenerationClusterSimulator(
+        accel, n_instances, slots=slots, scheduler=scheduler, models=models,
+        reprogram_latency_ms=reprogram_latency_ms)
+    return sim.run(requests)

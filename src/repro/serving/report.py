@@ -8,9 +8,54 @@ tables (aggregate, per-model, per-instance) via
 from __future__ import annotations
 
 from ..analysis.tables import render_table
-from .slo import CapacityPlan, ServingReport
+from .slo import CapacityPlan, GenerationServingReport, ServingReport
 
-__all__ = ["render_serving_report", "render_capacity_plan"]
+__all__ = ["render_serving_report", "render_capacity_plan",
+           "render_generation_report"]
+
+
+def render_generation_report(report: GenerationServingReport,
+                             title: str = "Generation summary") -> str:
+    """Aggregate + per-instance tables for a continuous-batching run."""
+    agg_rows = [
+        ("requests", report.total_requests),
+        ("output tokens", report.total_tokens),
+        ("instances x slots", f"{report.n_instances} x {report.slots}"),
+        ("scheduler", report.scheduler),
+        ("horizon (ms)", report.horizon_ms),
+        ("throughput (req/s)", report.throughput_rps),
+        ("throughput (tok/s)", report.tokens_per_s),
+        ("utilization", report.utilization),
+        ("TTFT mean / p50 / p99 (ms)",
+         f"{report.mean_ttft_ms:.3g} / {report.p50_ttft_ms:.3g} / "
+         f"{report.p99_ttft_ms:.3g}"),
+        ("TPOT mean / p99 (ms)",
+         f"{report.mean_tpot_ms:.3g} / {report.p99_tpot_ms:.3g}"),
+        ("latency mean / p99 (ms)",
+         f"{report.mean_latency_ms:.3g} / {report.p99_latency_ms:.3g}"),
+        ("mean wait (ms)", report.mean_wait_ms),
+        ("workload switches", report.total_switches),
+    ]
+    if report.slo_attainment is not None:
+        slo = " + ".join(
+            part for part in (
+                f"TTFT <= {report.ttft_slo_ms:g} ms"
+                if report.ttft_slo_ms is not None else "",
+                f"TPOT <= {report.tpot_slo_ms:g} ms"
+                if report.tpot_slo_ms is not None else "")
+            if part)
+        agg_rows.append((f"SLO attainment ({slo})", report.slo_attainment))
+        agg_rows.append(("goodput (tok/s)", report.goodput_tokens_per_s))
+    parts = [render_table(("metric", "value"), agg_rows, title=title)]
+    parts.append(render_table(
+        ("inst", "requests", "steps", "prefills", "tokens", "busy ms",
+         "switches"),
+        [(i.index, i.requests, i.steps, i.prefills, i.tokens, i.busy_ms,
+          i.switch_count)
+         for i in report.instances],
+        title="Per-instance",
+    ))
+    return "\n\n".join(parts)
 
 
 def render_serving_report(report: ServingReport,

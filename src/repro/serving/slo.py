@@ -21,21 +21,35 @@ from ..core.accelerator import ProTEA
 from ..nn.model_zoo import TransformerConfig
 from .batching import BatchingPolicy
 from .cluster import InstanceStats, SimulationResult, simulate
+from .generation import GenerationSimulationResult
 from .workload import Request
 
 __all__ = ["percentile", "ModelMetrics", "ServingReport", "summarize",
+           "GenerationServingReport", "summarize_generation",
            "CapacityPlan", "plan_capacity"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    """Nearest-rank percentile of ``values`` (q in [0, 100]).
+
+    Matches ``numpy.percentile(..., method="inverted_cdf")`` at every
+    rank, including the edges (q=0 → smallest sample, q=100 → largest,
+    single-sample inputs) — regression-tested against numpy.  An empty
+    input has no percentile of any rank and raises instead of leaking
+    an index error (or a silent NaN) to the caller.
+    """
     if not values:
-        return math.nan
+        raise ValueError("percentile of an empty sequence is undefined")
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100 * len(ordered)))
     return ordered[rank - 1]
+
+
+def _pct(values: Sequence[float], q: float) -> float:
+    """Percentile for report plumbing: empty runs report NaN."""
+    return percentile(values, q) if values else math.nan
 
 
 @dataclass(frozen=True)
@@ -189,9 +203,9 @@ def summarize(result: SimulationResult,
                      if horizon > 0 else 0.0),
         mean_latency_ms=(sum(latencies) / len(latencies)
                          if latencies else math.nan),
-        p50_ms=percentile(latencies, 50),
-        p95_ms=percentile(latencies, 95),
-        p99_ms=percentile(latencies, 99),
+        p50_ms=_pct(latencies, 50),
+        p95_ms=_pct(latencies, 95),
+        p99_ms=_pct(latencies, 99),
         mean_wait_ms=(sum(r.wait_ms for r in recs) / len(recs)
                       if recs else math.nan),
         mean_queue_depth=_time_weighted_mean(result.queue_samples, horizon),
@@ -204,6 +218,147 @@ def summarize(result: SimulationResult,
         slo_ms=slo_ms,
         slo_attainment=attainment(latencies),
         per_model=per_model,
+        instances=list(result.instances),
+    )
+
+
+@dataclass(frozen=True)
+class GenerationServingReport:
+    """Token-level metrics of one continuous-batching simulation.
+
+    TTFT (time to first token) and TPOT (time per output token) are the
+    generation SLO pair; **goodput** is the tokens/s produced by
+    requests that met *both* SLOs — the capacity a generation service
+    can actually sell.
+    """
+
+    total_requests: int
+    total_tokens: int
+    horizon_ms: float
+    throughput_rps: float
+    tokens_per_s: float
+    utilization: float
+    mean_ttft_ms: float
+    p50_ttft_ms: float
+    p95_ttft_ms: float
+    p99_ttft_ms: float
+    mean_tpot_ms: float
+    p99_tpot_ms: float
+    mean_latency_ms: float
+    p99_latency_ms: float
+    mean_wait_ms: float
+    mean_queue_depth: float
+    total_switches: int
+    total_reprogram_time_ms: float
+    scheduler: str
+    n_instances: int
+    slots: int
+    ttft_slo_ms: Optional[float] = None
+    tpot_slo_ms: Optional[float] = None
+    slo_attainment: Optional[float] = None
+    goodput_tokens_per_s: Optional[float] = None
+    instances: List["object"] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly flattening (NaN → null for strict parsers)."""
+        def num(v):
+            return (None if isinstance(v, float) and math.isnan(v) else v)
+
+        out = {
+            "total_requests": self.total_requests,
+            "total_tokens": self.total_tokens,
+            "horizon_ms": self.horizon_ms,
+            "throughput_rps": num(self.throughput_rps),
+            "tokens_per_s": num(self.tokens_per_s),
+            "utilization": self.utilization,
+            "ttft_ms": {"mean": num(self.mean_ttft_ms),
+                        "p50": num(self.p50_ttft_ms),
+                        "p95": num(self.p95_ttft_ms),
+                        "p99": num(self.p99_ttft_ms)},
+            "tpot_ms": {"mean": num(self.mean_tpot_ms),
+                        "p99": num(self.p99_tpot_ms)},
+            "latency_ms": {"mean": num(self.mean_latency_ms),
+                           "p99": num(self.p99_latency_ms)},
+            "mean_wait_ms": num(self.mean_wait_ms),
+            "queue_depth_mean": self.mean_queue_depth,
+            "reprogramming": {"switches": self.total_switches,
+                              "time_ms": self.total_reprogram_time_ms},
+            "scheduler": self.scheduler,
+            "instances": self.n_instances,
+            "slots": self.slots,
+            "per_instance": [
+                {"index": i.index, "requests": i.requests,
+                 "steps": i.steps, "prefills": i.prefills,
+                 "tokens": i.tokens, "busy_ms": i.busy_ms,
+                 "switches": i.switch_count,
+                 "switch_ms": i.reprogram_time_ms}
+                for i in self.instances
+            ],
+        }
+        if self.ttft_slo_ms is not None or self.tpot_slo_ms is not None:
+            out["slo"] = {"ttft_ms": self.ttft_slo_ms,
+                          "tpot_ms": self.tpot_slo_ms,
+                          "attainment": num(self.slo_attainment),
+                          "goodput_tokens_per_s":
+                              num(self.goodput_tokens_per_s)}
+        return out
+
+
+def summarize_generation(
+    result: GenerationSimulationResult,
+    ttft_slo_ms: Optional[float] = None,
+    tpot_slo_ms: Optional[float] = None,
+) -> GenerationServingReport:
+    """Reduce a generation simulation to its TTFT/TPOT/goodput metrics."""
+    recs = result.records
+    horizon = result.makespan_ms
+    horizon_s = horizon / 1e3 if horizon > 0 else math.nan
+    ttfts = [r.ttft_ms for r in recs]
+    tpots = [r.tpot_ms for r in recs if r.output_tokens > 1]
+    lats = [r.latency_ms for r in recs]
+
+    def meets(r) -> bool:
+        if ttft_slo_ms is not None and r.ttft_ms > ttft_slo_ms:
+            return False
+        if (tpot_slo_ms is not None and r.output_tokens > 1
+                and r.tpot_ms > tpot_slo_ms):
+            return False
+        return True
+
+    slo_active = ttft_slo_ms is not None or tpot_slo_ms is not None
+    good = [r for r in recs if meets(r)] if slo_active else []
+    busy = sum(i.busy_ms for i in result.instances)
+    mean = lambda xs: sum(xs) / len(xs) if xs else math.nan  # noqa: E731
+    return GenerationServingReport(
+        total_requests=len(recs),
+        total_tokens=result.total_tokens,
+        horizon_ms=horizon,
+        throughput_rps=len(recs) / horizon_s if recs else 0.0,
+        tokens_per_s=(result.total_tokens / horizon_s if recs else 0.0),
+        utilization=(busy / (result.n_instances * horizon)
+                     if horizon > 0 else 0.0),
+        mean_ttft_ms=mean(ttfts),
+        p50_ttft_ms=_pct(ttfts, 50),
+        p95_ttft_ms=_pct(ttfts, 95),
+        p99_ttft_ms=_pct(ttfts, 99),
+        mean_tpot_ms=mean(tpots),
+        p99_tpot_ms=_pct(tpots, 99),
+        mean_latency_ms=mean(lats),
+        p99_latency_ms=_pct(lats, 99),
+        mean_wait_ms=mean([r.wait_ms for r in recs]),
+        mean_queue_depth=_time_weighted_mean(result.queue_samples, horizon),
+        total_switches=result.total_switches,
+        total_reprogram_time_ms=result.total_reprogram_time_ms,
+        scheduler=result.scheduler,
+        n_instances=result.n_instances,
+        slots=result.slots,
+        ttft_slo_ms=ttft_slo_ms,
+        tpot_slo_ms=tpot_slo_ms,
+        slo_attainment=(len(good) / len(recs)
+                        if slo_active and recs else None),
+        goodput_tokens_per_s=(
+            sum(r.output_tokens for r in good) / horizon_s
+            if slo_active and recs else None),
         instances=list(result.instances),
     )
 

@@ -25,16 +25,19 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Request",
+    "GenerationRequest",
+    "LengthSampler",
     "ModelMix",
     "ArrivalProcess",
     "PoissonArrivals",
     "BurstyArrivals",
     "DiurnalArrivals",
     "TraceReplay",
+    "attach_generation_lengths",
 ]
 
 
@@ -45,6 +48,122 @@ class Request:
     rid: int
     t_ms: float
     model: str
+
+
+@dataclass(frozen=True)
+class GenerationRequest(Request):
+    """One autoregressive request: a prompt plus a token budget.
+
+    Subclasses :class:`Request` so dispatch schedulers and trace tooling
+    see the same surface; the extra fields drive the prefill/decode
+    split in the generation service mode.
+    """
+
+    prompt_tokens: int = 1
+    output_tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 1 or self.output_tokens < 1:
+            raise ValueError("prompt_tokens and output_tokens must be >= 1")
+
+    @property
+    def total_tokens(self) -> int:
+        """KV-cache positions the request occupies when finished."""
+        return self.prompt_tokens + self.output_tokens
+
+
+class LengthSampler:
+    """Seed-deterministic token-length distribution.
+
+    Kinds (all clamped to ``[lo, hi]`` with ``lo >= 1``):
+
+    * ``fixed``     — every sample is ``lo``;
+    * ``uniform``   — integer uniform on ``[lo, hi]``;
+    * ``geometric`` — ``lo + Geometric(1/mean_extra)``, the classic
+      open-ended output-length model, truncated at ``hi``.
+    """
+
+    def __init__(self, kind: str = "fixed", lo: int = 16,
+                 hi: Optional[int] = None, mean_extra: float = 8.0):
+        if kind not in ("fixed", "uniform", "geometric"):
+            raise ValueError(
+                f"unknown length distribution {kind!r}; "
+                "available: ['fixed', 'geometric', 'uniform']")
+        if lo < 1:
+            raise ValueError("lo must be >= 1")
+        hi = lo if hi is None else hi
+        if hi < lo:
+            raise ValueError("need hi >= lo")
+        if mean_extra <= 0:
+            raise ValueError("mean_extra must be positive")
+        self.kind = kind
+        self.lo = lo
+        self.hi = hi
+        self.mean_extra = mean_extra
+
+    @classmethod
+    def parse(cls, spec: str) -> "LengthSampler":
+        """CLI form: ``N`` (fixed), ``LO:HI`` (uniform), ``geo:LO:MEAN``."""
+        parts = spec.split(":")
+        try:
+            if len(parts) == 1:
+                return cls("fixed", int(parts[0]))
+            if parts[0] == "geo" and len(parts) == 3:
+                lo = int(parts[1])
+                mean = float(parts[2])
+                return cls("geometric", lo, lo + int(8 * mean),
+                           mean_extra=mean)
+            if len(parts) == 2:
+                return cls("uniform", int(parts[0]), int(parts[1]))
+        except ValueError as exc:
+            raise ValueError(f"invalid length spec {spec!r}: {exc}") from None
+        raise ValueError(
+            f"invalid length spec {spec!r} (expected N, LO:HI, or "
+            "geo:LO:MEAN)")
+
+    def sample(self, rng: random.Random) -> int:
+        if self.kind == "fixed":
+            return self.lo
+        if self.kind == "uniform":
+            return rng.randint(self.lo, self.hi)
+        # geometric: count Bernoulli(p) failures, p = 1/mean_extra.
+        extra = int(math.log(max(rng.random(), 1e-12))
+                    / math.log(1.0 - 1.0 / (self.mean_extra + 1.0)))
+        return min(self.lo + extra, self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LengthSampler({self.kind!r}, lo={self.lo}, hi={self.hi}, "
+                f"mean_extra={self.mean_extra})")
+
+
+def attach_generation_lengths(
+    requests: Sequence[Request],
+    prompt: LengthSampler,
+    output: LengthSampler,
+    seed: int = 0,
+    max_total: Optional[int] = None,
+) -> List["GenerationRequest"]:
+    """Decorate an arrival stream with sampled prompt/output lengths.
+
+    Deterministic given ``seed`` and the request order; any arrival
+    process composes with any length distribution.  ``max_total`` caps
+    ``prompt + output`` (the synthesized KV-cache capacity): prompts
+    clamp first, outputs take the remainder (always >= 1).
+    """
+    rng = random.Random(seed)
+    out: List[GenerationRequest] = []
+    for req in requests:
+        p = prompt.sample(rng)
+        o = output.sample(rng)
+        if max_total is not None:
+            if max_total < 2:
+                raise ValueError("max_total must be >= 2")
+            p = min(p, max_total - 1)
+            o = min(o, max_total - p)
+        out.append(GenerationRequest(
+            rid=req.rid, t_ms=req.t_ms, model=req.model,
+            prompt_tokens=p, output_tokens=o))
+    return out
 
 
 class ModelMix:

@@ -1,0 +1,94 @@
+"""Prefill/decode latency split (GenerationReport + decode cycles)."""
+
+import pytest
+
+from repro.core import ProTEA
+from repro.isa import ResynthesisRequiredError, SynthParams
+from repro.nn import BERT_VARIANT, get_model
+
+
+@pytest.fixture(scope="module")
+def accel():
+    return ProTEA.synthesize(SynthParams())
+
+
+class TestDecodeLayerCycles:
+    def test_weight_streaming_dominates(self, accel):
+        """Per-token loads are the full layer weight traffic; compute
+        is one row — the decode regime the KV cache creates."""
+        layer = accel.latency_model.decode_layer_cycles(16, 768, 8)
+        assert layer.load_total > layer.compute_total
+
+    def test_attention_term_grows_with_cache(self, accel):
+        model = accel.latency_model
+        short = model.decode_layer_cycles(8, 768, 8)
+        long = model.decode_layer_cycles(120, 768, 8)
+        assert long.compute["qk"] > short.compute["qk"]
+        assert long.compute["softmax"] > short.compute["softmax"]
+        assert long.compute["sv"] > short.compute["sv"]
+
+    def test_loads_independent_of_cache(self, accel):
+        model = accel.latency_model
+        a = model.decode_layer_cycles(4, 768, 8)
+        b = model.decode_layer_cycles(100, 768, 8)
+        assert a.loads == b.loads
+
+    def test_decode_cheaper_than_full_sequence(self, accel):
+        """One decode step must undercut re-running the whole prefix."""
+        model = accel.latency_model
+        decode = model.decode_layer_cycles(64, 768, 8)
+        full = model.layer_cycles(64, 768, 8)
+        assert decode.total < full.total
+
+    def test_invalid_cache_len(self, accel):
+        with pytest.raises(ValueError):
+            accel.latency_model.decode_layer_cycles(0, 768, 8)
+
+
+class TestGenerationReport:
+    def test_ttft_is_prefill_latency(self, accel):
+        rep = accel.generation_report(BERT_VARIANT, prompt_len=32,
+                                      output_len=16)
+        prefill = accel.latency_report(BERT_VARIANT.with_(seq_len=32))
+        assert rep.ttft_ms == prefill.latency_ms
+
+    def test_totals_compose(self, accel):
+        rep = accel.generation_report(BERT_VARIANT, prompt_len=16,
+                                      output_len=8)
+        assert rep.total_ms == pytest.approx(rep.ttft_ms + rep.decode_ms)
+        assert len(rep.decode_step_cycles) == 7
+        assert rep.tpot_ms == pytest.approx(rep.decode_ms / 7)
+        assert rep.tokens_per_s == pytest.approx(
+            8 / (rep.total_ms / 1e3))
+
+    def test_single_token_output_has_no_decode(self, accel):
+        rep = accel.generation_report(BERT_VARIANT, prompt_len=16,
+                                      output_len=1)
+        assert rep.decode_step_cycles == []
+        assert rep.decode_ms == 0.0
+        assert rep.tpot_ms == 0.0
+        assert rep.total_ms == rep.ttft_ms
+
+    def test_decode_steps_monotone_in_cache_depth(self, accel):
+        rep = accel.generation_report(BERT_VARIANT, prompt_len=8,
+                                      output_len=32)
+        steps = rep.decode_step_cycles
+        assert all(b >= a for a, b in zip(steps, steps[1:]))
+
+    def test_capacity_validated(self, accel):
+        max_sl = accel.synth.max_seq_len
+        with pytest.raises(ResynthesisRequiredError):
+            accel.generation_report(BERT_VARIANT, prompt_len=max_sl,
+                                    output_len=1)
+        with pytest.raises(ValueError):
+            accel.generation_report(BERT_VARIANT, prompt_len=0,
+                                    output_len=4)
+
+    def test_as_dict_round_trips(self, accel):
+        import json
+
+        rep = accel.generation_report(get_model("model2-lhc-trigger"),
+                                      prompt_len=8, output_len=8)
+        blob = json.loads(json.dumps(rep.as_dict()))
+        assert blob["prompt_tokens"] == 8
+        assert blob["tokens_per_s"] > 0

@@ -1,0 +1,114 @@
+"""KV-cache oracle: incremental fixed-point decode is bit-identical to
+the full-sequence DecoderModule at every step."""
+
+import numpy as np
+import pytest
+
+from repro.core import DatapathFormats, DecoderModule, QuantizedDecoder
+from repro.core.kv_cache import FxDecoderKVCache
+from repro.fixedpoint import FxTensor
+from repro.isa import ResynthesisRequiredError, SynthParams
+from repro.nn import Decoder, get_model
+
+#: The oracle sweep: three model-zoo shapes (tiny physics model, a
+#: pruned single-layer BERT slice, a two-layer base block) under both
+#: datapath formats.  Step counts stay small — each step re-runs the
+#: full-sequence pass as the reference, which is quadratic by design.
+ZOO_CONFIGS = ["model2-lhc-trigger", "model1-peng-isqed21",
+               "model3-efa-trans"]
+FORMATS = {"fix8": DatapathFormats.fix8, "fix16": DatapathFormats.fix16}
+STEPS = 5
+MEM_LEN = 6
+
+
+def _stack(model_name, fmt_name):
+    cfg = get_model(model_name)
+    fmts = FORMATS[fmt_name]()
+    synth = SynthParams()  # published maxima cover every zoo shape
+    rng = np.random.default_rng(hash((model_name, fmt_name)) % 2**32)
+    golden = Decoder.initialize(rng, num_layers=cfg.num_layers,
+                                d_model=cfg.d_model,
+                                num_heads=cfg.num_heads,
+                                activation=cfg.activation)
+    module = DecoderModule(synth, fmts)
+    weights = QuantizedDecoder.from_decoder(golden, fmts)
+    x = FxTensor.from_float(rng.normal(0, 0.5, (STEPS, cfg.d_model)),
+                            fmts.activation)
+    memory = FxTensor.from_float(rng.normal(0, 0.5, (MEM_LEN, cfg.d_model)),
+                                 fmts.activation)
+    return module, weights, x, memory
+
+
+class TestBitIdentityOracle:
+    @pytest.mark.parametrize("fmt_name", sorted(FORMATS))
+    @pytest.mark.parametrize("model_name", ZOO_CONFIGS)
+    def test_incremental_equals_full_at_every_step(self, model_name,
+                                                   fmt_name):
+        module, weights, x, memory = _stack(model_name, fmt_name)
+        cache = FxDecoderKVCache.initialize(module, weights, memory)
+        for t in range(STEPS):
+            row = cache.step(x[t:t + 1])
+            full = module.forward(x[:t + 1], memory, weights)
+            assert np.array_equal(row.raw, full.raw[t:t + 1]), (
+                f"{model_name}/{fmt_name}: step {t} diverged from the "
+                f"full-sequence decoder")
+            assert row.fmt == full.fmt
+
+    @pytest.mark.parametrize("fmt_name", sorted(FORMATS))
+    def test_prefill_equals_full_forward(self, fmt_name):
+        module, weights, x, memory = _stack("model2-lhc-trigger", fmt_name)
+        cache = FxDecoderKVCache.initialize(module, weights, memory)
+        out = cache.prefill(x)
+        full = module.forward(x, memory, weights)
+        assert np.array_equal(out.raw, full.raw)
+        assert cache.seq_len == STEPS
+
+
+class TestCacheMechanics:
+    def test_capacity_enforced_at_max_seq_len(self):
+        synth = SynthParams(ts_mha=16, ts_ffn=32, max_heads=2,
+                            max_layers=1, max_d_model=64, max_seq_len=4,
+                            seq_chunk=4)
+        fmts = DatapathFormats.fix8()
+        rng = np.random.default_rng(0)
+        golden = Decoder.initialize(rng, 1, 64, 2)
+        module = DecoderModule(synth, fmts)
+        weights = QuantizedDecoder.from_decoder(golden, fmts)
+        x = FxTensor.from_float(rng.normal(0, 0.5, (5, 64)),
+                                fmts.activation)
+        memory = FxTensor.from_float(rng.normal(0, 0.5, (3, 64)),
+                                     fmts.activation)
+        cache = FxDecoderKVCache.initialize(module, weights, memory)
+        for t in range(4):
+            cache.step(x[t:t + 1])
+        with pytest.raises(ResynthesisRequiredError):
+            cache.step(x[4:5])
+
+    def test_single_row_enforced(self):
+        module, weights, x, memory = _stack("model2-lhc-trigger", "fix8")
+        cache = FxDecoderKVCache.initialize(module, weights, memory)
+        with pytest.raises(ValueError):
+            cache.step(x)  # multi-row input is a prefill, not a step
+
+    def test_cache_bytes_grow_with_steps(self):
+        module, weights, x, memory = _stack("model2-lhc-trigger", "fix8")
+        cache = FxDecoderKVCache.initialize(module, weights, memory)
+        assert cache.cache_bytes() == 0
+        cache.step(x[0:1])
+        one = cache.cache_bytes()
+        cache.step(x[1:2])
+        assert cache.cache_bytes() == 2 * one > 0
+
+    def test_causality_via_cache(self):
+        """A later step cannot change an earlier step's output — the
+        cache formulation makes causality structural."""
+        module, weights, x, memory = _stack("model2-lhc-trigger", "fix8")
+        c1 = FxDecoderKVCache.initialize(module, weights, memory)
+        first = c1.step(x[0:1])
+        c2 = FxDecoderKVCache.initialize(module, weights, memory)
+        first_again = c2.step(x[0:1])
+        perturbed = FxTensor(
+            np.clip(x.raw[1:2] + 9, x.fmt.int_min, x.fmt.int_max), x.fmt)
+        c1.step(x[1:2])
+        c2.step(perturbed)
+        assert np.array_equal(first.raw, first_again.raw)

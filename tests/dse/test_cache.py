@@ -70,3 +70,52 @@ class TestStorage:
         EvalCache(tmp_path).put(EvalCache.key_for({"a": 1}), {"v": 7})
         reopened = EvalCache(tmp_path)
         assert reopened.get(EvalCache.key_for({"a": 1})) == {"v": 7}
+
+
+class TestObjectiveOrderingCannotAlias:
+    """The cache key covers (point, settings) but *not* the objective
+    selection or its order — deliberately: records store the full
+    metrics mapping and each run re-derives its own objective vector.
+    These tests pin that two runs differing only in `--pareto`
+    objective order share entries *safely* (same key, order-insensitive
+    content) and can never read a wrong value through the alias."""
+
+    def test_key_ignores_objective_order_by_construction(self):
+        """Objective selection is not part of the key inputs, and the
+        canonical JSON sorts keys, so no ordering of any mapping can
+        mint a second key for the same content."""
+        s1 = {"qps": 100, "link": "aurora"}
+        s2 = {"link": "aurora", "qps": 100}
+        assert EvalCache.key_for({"a": 1}, s1) == EvalCache.key_for(
+            {"a": 1}, s2)
+
+    def test_reordered_objectives_hit_and_rederive_correctly(self, tmp_path):
+        from repro.dse import Axis, Objective, SearchSpace, explore
+
+        space = SearchSpace((Axis("x", (1, 2, 3)),))
+
+        def evaluator(point, settings):
+            return {"a": float(point["x"]), "b": -float(point["x"])}
+
+        cache = EvalCache(tmp_path)
+        fwd = (Objective("a", "min"), Objective("b", "max"))
+        rev = (Objective("b", "max"), Objective("a", "min"))
+        first = explore(space, evaluator, objectives=fwd, cache=cache)
+        second = explore(space, evaluator, objectives=rev, cache=cache)
+        assert first.cache_misses == 3 and first.cache_hits == 0
+        assert second.cache_hits == 3 and second.cache_misses == 0
+        # Same stored metrics, each run's own objective ordering.
+        for r1, r2 in zip(first.results, second.results):
+            assert r1.metrics == r2.metrics
+            assert list(r1.objectives) == ["a", "b"]
+            assert list(r2.objectives) == ["b", "a"]
+            assert r1.objectives["a"] == r2.objectives["a"]
+
+    def test_distinct_settings_still_miss(self, tmp_path):
+        """Sharing is keyed on content: any real settings change (not
+        mere reordering) must re-score."""
+        cache = EvalCache(tmp_path)
+        k1 = cache.key_for({"x": 1}, {"qps": 100})
+        k2 = cache.key_for({"x": 1}, {"qps": 200})
+        cache.put(k1, {"metrics": {"a": 1.0}, "error": ""})
+        assert cache.get(k2) is None

@@ -119,3 +119,60 @@ class TestEndToEnd:
         assert 1 <= len(result.frontier) <= 2
         # The frontier spans >= 3 objective dimensions.
         assert len(result.frontier[0].objectives) >= 3
+
+
+class TestGenerationObjectives:
+    def test_generation_metrics_present_and_sane(self):
+        metrics = evaluate_point(_point(), FAST)
+        assert metrics["ttft_p99_ms"] > 0
+        assert metrics["tokens_per_s"] > 0
+
+    def test_generation_objectives_selectable(self):
+        objs = get_objectives(("ttft_p99_ms", "tokens_per_s"))
+        assert [o.name for o in objs] == ["ttft_p99_ms", "tokens_per_s"]
+        assert objs[0].goal == "min" and objs[1].goal == "max"
+
+    def test_partitioned_point_scores_generation(self):
+        metrics = evaluate_point(_point(model="bert-variant", devices=2),
+                                 FAST)
+        assert metrics["ttft_p99_ms"] > 0
+        assert metrics["tokens_per_s"] > 0
+
+    def test_pipeline_infeasible_decode_degrades_gracefully(self):
+        """A 1-layer model on 2 devices has no pure-pipeline decode
+        split; the point must still score (single-device decode path),
+        not error out."""
+        metrics = evaluate_point(_point(devices=2), FAST)
+        assert metrics["tokens_per_s"] > 0
+
+    def test_fleet_scales_generation_tokens(self):
+        one = evaluate_point(_point(devices=2, model="bert-variant"), FAST)
+        two = evaluate_point(_point(devices=2, model="bert-variant",
+                                    fleet=2), FAST)
+        assert two["tokens_per_s"] == pytest.approx(
+            2 * one["tokens_per_s"])
+
+    def test_gen_objectives_gate_skips_simulation(self):
+        metrics = evaluate_point(_point(), dict(FAST,
+                                                gen_objectives=False))
+        assert "ttft_p99_ms" not in metrics
+        assert "tokens_per_s" not in metrics
+        assert metrics["latency_ms"] > 0  # rest of the point unaffected
+
+    def test_unscoreable_generation_corner_raises(self):
+        """devices>1 with no pipeline decode split AND a model too big
+        for one device must raise (an error record), never emit NaN
+        objectives that would be undominatable on a frontier."""
+        from repro.core import ProTEA
+        from repro.dse.objectives import _generation_metrics
+        from repro.isa import SynthParams
+        from repro.nn import TransformerConfig
+
+        accel = ProTEA.synthesize(SynthParams(max_layers=2))
+        cfg = TransformerConfig(name="too-deep", d_model=64, num_heads=2,
+                                num_layers=3, seq_len=16)
+        with pytest.raises(ValueError, match="unscoreable"):
+            _generation_metrics(accel, cfg, devices=4, fleet=1,
+                                opts=dict(FAST, link="aurora",
+                                          gen_prompt=8, gen_output=8,
+                                          gen_slots=2, gen_qps=20.0))

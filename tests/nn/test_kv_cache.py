@@ -1,0 +1,150 @@
+"""Golden KV-cache: incremental decode vs the full-sequence decoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Decoder,
+    DecoderKVCache,
+    MultiHeadAttention,
+    causal_fill,
+    causal_mask,
+    score_mask_value,
+    softmax,
+)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    rng = np.random.default_rng(11)
+    decoder = Decoder.initialize(rng, num_layers=2, d_model=32, num_heads=4)
+    gen = np.random.default_rng(12)
+    x = gen.normal(size=(12, 32))
+    memory = gen.normal(size=(7, 32))
+    return decoder, x, memory
+
+
+class TestIncrementalEqualsFull:
+    def test_every_step_matches_full_forward(self, stack):
+        """Step ``t`` equals row ``t`` of the full pass over ``t+1``
+        tokens (float64 round-off only — BLAS may block a one-row
+        matmul differently from the same row of a full product)."""
+        decoder, x, memory = stack
+        cache = DecoderKVCache.initialize(decoder, memory)
+        for t in range(x.shape[0]):
+            row = cache.step(x[t])
+            full = decoder(x[:t + 1], memory)
+            np.testing.assert_allclose(row, full[t:t + 1],
+                                       rtol=1e-10, atol=1e-12)
+
+    def test_prefill_matches_full_forward(self, stack):
+        decoder, x, memory = stack
+        cache = DecoderKVCache.initialize(decoder, memory)
+        out = cache.prefill(x)
+        np.testing.assert_allclose(out, decoder(x, memory),
+                                   rtol=1e-10, atol=1e-12)
+        assert cache.seq_len == x.shape[0]
+
+    def test_cache_grows_one_row_per_step(self, stack):
+        decoder, x, memory = stack
+        cache = DecoderKVCache.initialize(decoder, memory)
+        assert cache.seq_len == 0
+        cache.step(x[0])
+        assert cache.seq_len == 1
+        layer0 = cache.layers[0]
+        assert all(k.shape == (1, 32 // 4) for k in layer0.self_k)
+
+    def test_cross_kv_precomputed_and_fixed(self, stack):
+        decoder, x, memory = stack
+        cache = DecoderKVCache.initialize(decoder, memory)
+        before = [k.copy() for k in cache.layers[0].cross_k]
+        cache.step(x[0])
+        cache.step(x[1])
+        for b, a in zip(before, cache.layers[0].cross_k):
+            np.testing.assert_array_equal(b, a)
+
+    def test_empty_prompt_rejected(self, stack):
+        decoder, _, memory = stack
+        cache = DecoderKVCache.initialize(decoder, memory)
+        with pytest.raises(ValueError):
+            cache.prefill(np.empty((0, 32)))
+
+
+class TestMaskHelpers:
+    def test_mask_value_is_dtype_minimum(self):
+        assert score_mask_value(np.float64) == np.finfo(np.float64).min
+        assert score_mask_value(np.float32) == float(
+            np.finfo(np.float32).min)
+
+    def test_causal_mask_dtype_aware(self):
+        m32 = causal_mask(4, dtype=np.float32)
+        assert m32.dtype == np.float32
+        assert np.all(np.isfinite(m32))
+        assert np.all(m32[np.triu_indices(4, k=1)]
+                      == np.finfo(np.float32).min)
+
+    def test_causal_fill_square(self):
+        filled = causal_fill(np.zeros((3, 3)), -7.0)
+        assert np.all(filled[np.triu_indices(3, k=1)] == -7.0)
+        assert np.all(np.tril(filled) == 0)
+
+    def test_causal_fill_last_rows_alignment(self):
+        """A (rows < cols) block is the *last* rows of the sequence:
+        a single decode row masks nothing."""
+        one = causal_fill(np.zeros((1, 5)), -7.0)
+        assert np.all(one == 0)
+        two = causal_fill(np.zeros((2, 5)), -7.0)
+        assert np.all(two[0, :4] == 0) and two[0, 4] == -7.0
+        assert np.all(two[1] == 0)
+
+    def test_causal_fill_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            causal_fill(np.zeros(4), -1.0)
+
+
+class TestMaskedSoftmaxRegression:
+    """The causal_mask bugfix: masked softmax rows must equal an
+    explicit re-normalized reference in float32 and float64."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_masked_rows_match_renormalized_reference(self, dtype):
+        rng = np.random.default_rng(3)
+        n = 9
+        scores = rng.normal(scale=3.0, size=(n, n)).astype(dtype)
+        masked = (scores + causal_mask(n, dtype=dtype)).astype(dtype)
+        rows = softmax(masked, axis=-1)
+        tol = 1e-6 if dtype is np.float32 else 1e-14
+        for i in range(n):
+            visible = scores[i, :i + 1].astype(np.float64)
+            e = np.exp(visible - visible.max())
+            ref = e / e.sum()
+            np.testing.assert_allclose(rows[i, :i + 1], ref, rtol=tol,
+                                       atol=tol)
+            # Future lanes carry exactly zero probability.
+            assert np.all(rows[i, i + 1:] == 0.0)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_mask_stays_finite_under_reapplication(self, dtype):
+        """Applying the mask twice (the float32 failure mode of the old
+        fixed ``-1e30``) must not reach inf/NaN."""
+        m = causal_mask(6, dtype=dtype)
+        scores = np.zeros((6, 6), dtype=dtype)
+        once = np.where(m < 0, m, scores).astype(dtype)
+        twice = np.where(m < 0, np.maximum(once, m), once)
+        assert np.all(np.isfinite(twice))
+        out = softmax(twice, axis=-1)
+        assert np.all(np.isfinite(out))
+
+    def test_attention_with_masked_fill_matches_additive(self):
+        """Additive application of the dtype-min mask and a hard fill
+        agree — both force masked scores to the format minimum."""
+        rng = np.random.default_rng(5)
+        mha = MultiHeadAttention.initialize(rng, 16, 2)
+        x = rng.normal(size=(6, 16))
+        additive = mha(x, mask=causal_mask(6))
+        trace = mha.forward_trace(x, mask=causal_mask(6))
+        for s in trace.scores:
+            filled = causal_fill(s, score_mask_value())
+            np.testing.assert_allclose(softmax(filled, axis=-1),
+                                       softmax(s, axis=-1))
+        assert additive.shape == (6, 16)

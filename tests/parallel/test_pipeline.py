@@ -213,3 +213,58 @@ class TestAsDict:
         assert blob["fill"]["ms"] == pytest.approx(plan.fill_ms)
         assert blob["steady_state"]["inf_per_s"] == pytest.approx(
             plan.steady_state_inf_per_s)
+
+
+class TestDecodeMode:
+    def test_stage_cycles_follow_layer_split(self, accel, partitioner):
+        cfg = get_model("bert-variant")
+        rep = partitioner.decode_report(cfg, 4, prompt_len=32,
+                                        output_len=32)
+        per_layer = accel.latency_model.decode_layer_cycles(
+            rep.cache_len, cfg.d_model, cfg.num_heads).total
+        assert sum(rep.stage_cycles) == cfg.num_layers * per_layer
+        assert rep.num_stages == 4
+
+    def test_steady_beats_sequential_with_stages(self, partitioner):
+        rep = partitioner.decode_report(get_model("bert-variant"), 4,
+                                        prompt_len=16, output_len=16)
+        assert rep.steady_tokens_per_s > rep.sequential_tokens_per_s
+        assert rep.per_token_ms > 0 and rep.ttft_ms > 0
+
+    def test_single_device_degenerates(self, accel, partitioner):
+        cfg = get_model("bert-variant")
+        rep = partitioner.decode_report(cfg, 1, prompt_len=16,
+                                        output_len=16)
+        assert rep.link_cycles == 0
+        assert rep.num_stages == 1
+        per_layer = accel.latency_model.decode_layer_cycles(
+            rep.cache_len, cfg.d_model, cfg.num_heads).total
+        assert rep.per_token_cycles == cfg.num_layers * per_layer
+        assert rep.steady_tokens_per_s == pytest.approx(
+            rep.sequential_tokens_per_s)
+
+    def test_ttft_is_pipelined_prefill(self, partitioner):
+        cfg = get_model("bert-variant")
+        rep = partitioner.decode_report(cfg, 4, prompt_len=32,
+                                        output_len=8)
+        plan = partitioner.plan(cfg.with_(seq_len=32), 4, tp_ways=1)
+        assert rep.prefill_fill_cycles == plan.fill_cycles
+        assert rep.ttft_ms == pytest.approx(plan.fill_ms)
+
+    def test_capacity_and_argument_validation(self, accel, partitioner):
+        cfg = get_model("bert-variant")
+        with pytest.raises(ResynthesisRequiredError):
+            partitioner.decode_report(cfg, 2,
+                                      prompt_len=accel.synth.max_seq_len,
+                                      output_len=1)
+        with pytest.raises(ValueError):
+            partitioner.decode_report(cfg, 2, prompt_len=0, output_len=4)
+
+    def test_as_dict_round_trips(self, partitioner):
+        import json
+
+        rep = partitioner.decode_report(get_model("bert-variant"), 2,
+                                        prompt_len=8, output_len=8)
+        blob = json.loads(json.dumps(rep.as_dict()))
+        assert blob["pipeline_stages"] == 2
+        assert blob["steady_tokens_per_s"] > 0

@@ -185,3 +185,72 @@ class TestValidation:
     def test_empty_workload_is_fine(self, default_accel):
         res = simulate(default_accel, [], 2)
         assert res.records == [] and res.makespan_ms == 0.0
+
+
+class TestStaleDeadlineChecks:
+    """Batching-deadline (`check`) events may fire for an instance that
+    already dispatched the batch that armed them.  These tests pin the
+    no-op guarantee: a stale or early check never double-charges a
+    reprogram and never produces a phantom dispatch."""
+
+    def _bursty(self, seed=7):
+        from repro.serving import BurstyArrivals
+
+        return BurstyArrivals(300, MIX2, seed=seed,
+                              burst_factor=6.0).generate(1_500)
+
+    def test_trace_identity_with_and_without_deadline_jitter(
+            self, default_accel):
+        """Checks are pure wakeups: firing them *early* by any jitter
+        must replay the identical dispatch trace (the early event finds
+        the head under-age and re-arms the true deadline)."""
+        reqs = self._bursty()
+        base = ClusterSimulator(default_accel, 2,
+                                batching=timeout(6, 2.0),
+                                reprogram_latency_ms=3.0).run(reqs)
+        for jitter in (0.4, 1.1, 50.0):
+            jittered = ClusterSimulator(
+                default_accel, 2, batching=timeout(6, 2.0),
+                reprogram_latency_ms=3.0,
+                check_jitter_ms=jitter).run(reqs)
+            assert jittered.records == base.records, f"jitter={jitter}"
+            dispatches = [e for e in base.trace if e[0] == "dispatch"]
+            jdispatches = [e for e in jittered.trace
+                           if e[0] == "dispatch"]
+            assert jdispatches == dispatches, f"jitter={jitter}"
+
+    def test_stale_check_no_double_reprogram_no_phantom_dispatch(
+            self, default_accel):
+        """Arm a deadline, fill the batch before it expires (dispatch),
+        and let the stale check fire while the instance is busy: the
+        run must show exactly one dispatch and one reprogram charge."""
+        trace = [(0.0, "model3-efa-trans"), (0.5, "model3-efa-trans")]
+        res = simulate(default_accel, TraceReplay(trace).generate(), 1,
+                       batching=timeout(2, 5.0),
+                       reprogram_latency_ms=10.0)
+        dispatches = [e for e in res.trace if e[0] == "dispatch"]
+        assert len(dispatches) == 1            # full batch at t=0.5
+        assert dispatches[0][4] == 2           # both requests in it
+        assert res.instances[0].switch_count == 1
+        assert res.total_reprogram_time_ms == pytest.approx(10.0)
+
+    def test_check_rearms_for_younger_head(self, default_accel):
+        """After a stale check fires, a younger head still gets served
+        exactly at its own deadline — no earlier, no later."""
+        svc = default_accel.latency_report(
+            get_model("model2-lhc-trigger")).latency_ms
+        trace = [(0.0, "model2-lhc-trigger"),
+                 (0.2, "model2-lhc-trigger"),   # fills the batch at 0.2
+                 (1.0, "model2-lhc-trigger")]   # lone younger head
+        res = simulate(default_accel, TraceReplay(trace).generate(), 1,
+                       batching=timeout(2, 4.0))
+        by_rid = {r.rid: r for r in res.records}
+        # The lone request dispatches at its own deadline (1.0 + 4.0)
+        # or when the instance frees, whichever is later.
+        first_free = 0.2 + 2 * svc
+        expected = max(1.0 + 4.0, first_free)
+        assert by_rid[2].t_dispatch_ms == pytest.approx(expected)
+
+    def test_negative_jitter_rejected(self, default_accel):
+        with pytest.raises(ValueError):
+            ClusterSimulator(default_accel, 1, check_jitter_ms=-0.1)

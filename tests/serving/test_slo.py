@@ -1,7 +1,5 @@
 """Tests for serving metrics, SLO attainment, and capacity planning."""
 
-import math
-
 import pytest
 
 from repro.serving import (
@@ -30,12 +28,40 @@ class TestPercentile:
     def test_unsorted_input(self):
         assert percentile([5.0, 1.0, 3.0], 50) == 3.0
 
-    def test_empty_is_nan(self):
-        assert math.isnan(percentile([], 50))
+    def test_empty_raises_clearly(self):
+        """No rank exists for an empty input: a clear error, not an
+        IndexError (or a silent NaN leaking into reports)."""
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
 
     def test_out_of_range_q(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+
+    def test_single_sample_every_q(self):
+        for q in (0, 1e-9, 50, 99.999999, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_matches_numpy_inverted_cdf(self):
+        """Edge audit against the reference definition: q=0, q=100,
+        q just below 100, exact-rank products, and fuzzed ranks."""
+        np = pytest.importorskip("numpy")
+        import random
+
+        rng = random.Random(42)
+        cases = []
+        for n in (1, 2, 3, 5, 7, 10, 20, 29, 100, 1000):
+            vals = sorted(rng.uniform(0, 100) for _ in range(n))
+            qs = [0, 1e-9, 25, 50, 75, 95, 99, 99.999999, 100,
+                  100 * 2 / 3, 100 * 3 / 7]
+            qs += [rng.uniform(0, 100) for _ in range(20)]
+            cases.append((vals, qs))
+        for vals, qs in cases:
+            for q in qs:
+                expected = float(np.percentile(vals, q,
+                                               method="inverted_cdf"))
+                assert percentile(vals, q) == expected, (
+                    f"n={len(vals)}, q={q!r}")
 
 
 @pytest.fixture(scope="module")

@@ -374,3 +374,46 @@ class TestScalingCommand:
         assert "Multi-FPGA scaling" in out
         assert "bert-variant" in out and "model3-efa-trans" in out
         assert "speedup" in out
+
+
+class TestGenerate:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.command == "generate"
+        assert args.scenario == "poisson"
+        assert args.instances == 2 and args.slots == 8
+        assert args.prompt_tokens == "16" and args.output_tokens == "32"
+        assert not args.as_json
+
+    def test_acceptance_invocation(self, capsys):
+        """The ISSUE's acceptance check: `repro generate --json` reports
+        TTFT/TPOT/tokens-per-second end to end through the synthesized-
+        accelerator latency model."""
+        assert main(["generate", "--qps", "50", "--duration-ms", "500",
+                     "--instances", "2", "--slots", "4", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ttft_ms"]["p99"] > 0
+        assert blob["tpot_ms"]["mean"] > 0
+        assert blob["tokens_per_s"] > 0
+        assert blob["instances"] == 2 and blob["slots"] == 4
+
+    def test_generate_is_deterministic(self, capsys):
+        argv = ["generate", "--qps", "40", "--duration-ms", "400",
+                "--seed", "3", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_text_report_with_slos(self, capsys):
+        assert main(["generate", "--qps", "30", "--duration-ms", "300",
+                     "--prompt-tokens", "4:12",
+                     "--output-tokens", "geo:4:8",
+                     "--ttft-slo-ms", "50", "--tpot-slo-ms", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "TTFT" in out and "TPOT" in out
+        assert "goodput" in out
+
+    def test_bad_length_spec_rejected(self):
+        with pytest.raises(SystemExit, match="length spec"):
+            main(["generate", "--prompt-tokens", "nope"])

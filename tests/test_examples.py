@@ -25,6 +25,7 @@ def _run(name: str) -> None:
     "serving_simulation.py",
     "multi_fpga_pipeline.py",
     "design_space_exploration.py",
+    "generation_serving.py",
 ])
 def test_example_runs(name):
     _run(name)
@@ -43,6 +44,7 @@ def test_examples_directory_complete():
         "latency_timeline.py",
         "serving_simulation.py",
         "multi_fpga_pipeline.py",
+        "generation_serving.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

@@ -1,0 +1,107 @@
+"""Scenario layer on the unified simulation kernel.
+
+Both serving simulators now run on ``repro.sim`` — one deterministic
+event kernel — which is what makes the scenarios below expressible at
+all.  Three deployments the plain fleets couldn't model:
+
+1. **Heterogeneous fleet**: two full-speed instances plus one
+   half-speed instance pinned to a single model (think: an older board
+   kept around for one workload).  Capability-aware dispatch keeps the
+   pinned model on its board whenever that is the better choice.
+2. **Failure injection**: the same fleet with MTBF/MTTR faults —
+   in-flight batches abort and retry elsewhere, the report gains
+   availability, retry counts, and the degraded-window p99.
+3. **Priority generation**: an overloaded single-slot generation
+   instance where 15% of requests are latency-critical; priority
+   admission + step-boundary preemption collapses their wait while
+   plain FIFO drowns them.
+
+Run:  python examples/sim_scenarios.py
+"""
+
+from repro import FailurePlan, FleetSpec, ProTEA, SynthParams
+from repro.serving import (
+    LengthSampler,
+    ModelMix,
+    PoissonArrivals,
+    attach_generation_lengths,
+    attach_priorities,
+    fixed_size,
+    render_serving_report,
+    simulate,
+    simulate_generation,
+    summarize,
+    summarize_generation,
+)
+
+accel = ProTEA.synthesize(SynthParams())
+print("instance:", accel.summary(), "\n")
+
+# ------------------------------------------------------------------ #
+# 1. Heterogeneous fleet: 2x full speed + a half-speed pinned board.
+# ------------------------------------------------------------------ #
+mix = ModelMix({"model2-lhc-trigger": 3.0, "model1-peng-isqed21": 1.0})
+reqs = PoissonArrivals(600, mix, seed=0).generate(1_000)
+
+fleet = FleetSpec.parse("1.0x2,0.5@model1-peng-isqed21")
+hetero = simulate(accel, reqs, fleet=fleet, scheduler="least-loaded",
+                  batching=fixed_size(4), reprogram_latency_ms=5.0)
+print(render_serving_report(
+    summarize(hetero),
+    title=f"Heterogeneous fleet {fleet.describe()} @ 600 qps"))
+
+pinned = [r for r in hetero.records if r.instance == 2]
+assert pinned, "the pinned instance served nothing"
+assert all(r.model == "model1-peng-isqed21" for r in pinned)
+print(f"\npinned instance served {len(pinned)} requests, all "
+      "model1-peng-isqed21 (capability dispatch held)\n")
+
+# ------------------------------------------------------------------ #
+# 2. The same traffic under MTBF/MTTR failure injection.
+# ------------------------------------------------------------------ #
+plan = FailurePlan(mtbf_ms=250.0, mttr_ms=30.0, seed=7)
+faulty = simulate(accel, reqs, 3, scheduler="least-loaded",
+                  batching=fixed_size(4), reprogram_latency_ms=5.0,
+                  failures=plan)
+report = summarize(faulty, slo_ms=50.0)
+print(render_serving_report(
+    report, title="3 instances, faults at MTBF 250 ms / MTTR 30 ms"))
+assert len(faulty.records) == len(reqs)  # nothing lost to faults
+assert report.availability is not None and report.availability < 1.0
+print(f"\navailability {report.availability:.3f}, "
+      f"{report.total_failures} faults, {report.total_retries} retries, "
+      f"degraded p99 {report.p99_degraded_ms:.2f} ms "
+      f"(healthy p99 {report.p99_ms:.2f} ms)\n")
+
+# ------------------------------------------------------------------ #
+# 3. Priority admission + preemption on an overloaded generator.
+# ------------------------------------------------------------------ #
+arrivals = PoissonArrivals(400, ModelMix("model2-lhc-trigger"),
+                           seed=8).generate(300)
+base = attach_generation_lengths(
+    arrivals, LengthSampler("fixed", 12), LengthSampler("fixed", 48),
+    max_total=accel.synth.max_seq_len)
+critical = attach_priorities(base, 0.15, seed=4)
+marked = {r.rid for r in critical if r.priority}
+
+fifo = simulate_generation(accel, base, 1, slots=1)
+prio = simulate_generation(accel, critical, 1, slots=1)
+
+
+def class_wait(result, rids):
+    recs = [r for r in result.records if r.rid in rids]
+    return sum(r.wait_ms for r in recs) / len(recs)
+
+
+fifo_wait = class_wait(fifo, marked)
+prio_wait = class_wait(prio, marked)
+rep = summarize_generation(prio, ttft_slo_ms=20.0)
+print(f"critical-class mean wait: FIFO {fifo_wait:.1f} ms -> "
+      f"priority {prio_wait:.1f} ms "
+      f"({prio.total_preemptions} preemptions)")
+assert prio_wait < fifo_wait / 10
+assert prio.total_preemptions > 0
+assert sorted(r.rid for r in prio.records) == [r.rid for r in base]
+
+print("\nOK: heterogeneous dispatch, failure injection, and priority "
+      "preemption all behaved as modeled")

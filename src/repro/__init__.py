@@ -21,7 +21,10 @@ Fig. 7, and the multi-FPGA scaling curve), ``repro.serving``
 planning), ``repro.parallel`` (multi-FPGA pipeline/tensor partitioning
 with an inter-device interconnect model), ``repro.dse`` (parallel
 multi-objective design-space exploration with Pareto-frontier
-extraction and an on-disk evaluation cache).  The full layer stack is
+extraction and an on-disk evaluation cache), ``repro.sim`` (the
+unified event-driven simulation kernel every simulator runs on:
+deterministic event heap, per-component RNG streams, heterogeneous
+fleets, MTBF/MTTR failure injection).  The full layer stack is
 documented in ``docs/architecture.md``.
 
 Serving quickstart::
@@ -92,18 +95,20 @@ from .serving import (
     PoissonArrivals,
     ServingReport,
     attach_generation_lengths,
+    attach_priorities,
     plan_capacity,
     simulate_generation,
     summarize,
     summarize_generation,
 )
 from .serving import simulate as simulate_cluster
+from .sim import FailurePlan, FleetSpec, InstanceSpec
 
-# 1.1.0: autoregressive generation (KV-cache decode, prefill/decode
-# latency split, token-level continuous batching).  The version keys
-# the DSE evaluation cache, so records gain the generation metrics via
-# clean misses instead of stale hits.
-__version__ = "1.1.0"
+# 1.2.0: unified event-driven simulation kernel (repro.sim) with
+# heterogeneous fleets, MTBF/MTTR failure injection, and priority
+# preemption.  The version keys the DSE evaluation cache, so records
+# gain the availability metrics via clean misses instead of stale hits.
+__version__ = "1.2.0"
 
 __all__ = [
     "ProTEA",
@@ -132,9 +137,13 @@ __all__ = [
     "GenerationRequest",
     "LengthSampler",
     "attach_generation_lengths",
+    "attach_priorities",
     "simulate_generation",
     "summarize_generation",
     "GenerationServingReport",
+    "FleetSpec",
+    "InstanceSpec",
+    "FailurePlan",
     "InterconnectLink",
     "AURORA_64B66B",
     "get_link",

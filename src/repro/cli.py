@@ -12,7 +12,9 @@ Commands:
 * ``power`` — power/energy profile of the published instance.
 * ``serve`` — discrete-event multi-instance serving simulation
   (scenario x batching x scheduler x fleet size); ``--plan`` searches
-  the minimum fleet meeting a p99 SLO.
+  the minimum fleet meeting a p99 SLO, ``--heterogeneous`` describes
+  per-instance speed/capability fleets, ``--failures`` injects
+  MTBF/MTTR instance faults (availability + degraded-tail reporting).
 * ``partition`` — split one model across K FPGAs (pipeline + tensor
   parallel) and report per-stage cycles, interconnect cost, fill
   latency, and steady-state throughput; ``--gantt`` draws the
@@ -24,7 +26,9 @@ Commands:
   evaluation cache, ``--pareto`` restricts output to the frontier.
 * ``generate`` — autoregressive generation serving: token-level
   continuous batching over a fleet, prompt/output length
-  distributions, TTFT/TPOT/goodput metrics (``--json``).
+  distributions, TTFT/TPOT/goodput metrics (``--json``); also takes
+  ``--heterogeneous``/``--failures``, plus ``--priority`` for
+  priority admission with step-boundary preemption.
 """
 
 from __future__ import annotations
@@ -76,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--batch-timeout-ms", type=float, default=2.0)
     srv.add_argument("--reprogram-ms", type=float, default=0.0,
                      help="workload-switch penalty per instance")
+    srv.add_argument("--heterogeneous", default=None, metavar="SPEC",
+                     help="per-instance fleet spec "
+                          "SPEED[xCOUNT][@MODEL[+MODEL..]],... "
+                          "(overrides --instances; e.g. "
+                          "'1.0x2,0.5@model2-lhc-trigger')")
+    srv.add_argument("--failures", default=None, metavar="MTBF:MTTR",
+                     help="inject instance faults: mean up-time and "
+                          "mean repair time in ms (e.g. 200:20)")
     srv.add_argument("--slo-ms", type=float, default=None,
                      help="latency SLO for attainment reporting")
     srv.add_argument("--plan", action="store_true",
@@ -110,6 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--reprogram-ms", type=float, default=0.0,
                      help="workload-switch penalty per instance")
+    gen.add_argument("--heterogeneous", default=None, metavar="SPEC",
+                     help="per-instance fleet spec "
+                          "SPEED[/SLOTS][xCOUNT][@MODEL[+MODEL..]],... "
+                          "(overrides --instances)")
+    gen.add_argument("--failures", default=None, metavar="MTBF:MTTR",
+                     help="inject instance faults: mean up-time and "
+                          "mean repair time in ms (e.g. 200:20)")
+    gen.add_argument("--priority", type=float, default=None,
+                     metavar="FRAC",
+                     help="mark this fraction of requests high-priority "
+                          "(admitted first, may preempt at step "
+                          "boundaries)")
     gen.add_argument("--ttft-slo-ms", type=float, default=None,
                      help="time-to-first-token SLO for goodput")
     gen.add_argument("--tpot-slo-ms", type=float, default=None,
@@ -158,7 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
                      default="latency_ms,throughput_inf_s,p99_ms,power_w",
                      metavar="LIST",
                      help="frontier dimensions (also: util_pct, "
-                          "ttft_p99_ms, tokens_per_s)")
+                          "ttft_p99_ms, tokens_per_s, availability, "
+                          "p99_degraded_ms)")
     dse.add_argument("--qps", type=float, default=200.0,
                      help="offered load for the p99 objective")
     dse.add_argument("--duration-ms", type=float, default=300.0)
@@ -322,6 +347,51 @@ def _build_workload(args, mix):
     return gen.generate(args.duration_ms)
 
 
+def _parse_fleet(args, requests, generation: bool):
+    """``--heterogeneous`` / ``--failures`` → (FleetSpec, FailurePlan).
+
+    Validates eagerly — unknown pinned models, capability sets that
+    leave part of the workload unservable, and serve-mode ``/SLOTS``
+    entries all exit with a message here instead of crashing the
+    simulation mid-run.
+    """
+    from .nn import MODEL_ZOO
+    from .sim import FailurePlan, FleetSpec
+
+    fleet = failures = None
+    if args.heterogeneous:
+        try:
+            fleet = FleetSpec.parse(args.heterogeneous)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        unknown = sorted(
+            {m for s in fleet.specs for m in (s.models or ())}
+            - set(MODEL_ZOO))
+        if unknown:
+            raise SystemExit(
+                f"--heterogeneous pins unknown models {unknown}; "
+                f"available: {sorted(MODEL_ZOO)}")
+        if not generation and any(s.slots is not None for s in fleet.specs):
+            raise SystemExit(
+                "--heterogeneous /SLOTS entries are a generate-mode "
+                "knob; the request-level serve simulation has no "
+                "sequence slots")
+        unservable = sorted(
+            {r.model for r in requests}
+            - {m for s in fleet.specs for m in (s.models or MODEL_ZOO)})
+        if unservable:
+            raise SystemExit(
+                f"--heterogeneous leaves the workload's models "
+                f"{unservable} unservable: no instance's capability "
+                "set covers them")
+    if args.failures:
+        try:
+            failures = FailurePlan.parse(args.failures, seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    return fleet, failures
+
+
 def _cmd_serve(args) -> None:
     from .experiments.common import default_accelerator
     from .serving import (get_batching, plan_capacity, render_capacity_plan,
@@ -332,8 +402,13 @@ def _cmd_serve(args) -> None:
     accel = default_accelerator()
     batching = get_batching(args.batch, args.batch_size,
                             args.batch_timeout_ms)
+    fleet, failures = _parse_fleet(args, requests, generation=False)
 
     if args.plan:
+        if fleet is not None:
+            raise SystemExit(
+                "--plan searches fleet *size* and cannot honor a fixed "
+                "--heterogeneous spec")
         if args.slo_ms is None:
             raise SystemExit("--plan requires --slo-ms")
         # Gate throughput on the *realized* offered load: for diurnal
@@ -345,7 +420,8 @@ def _cmd_serve(args) -> None:
             accel, requests, target_p99_ms=args.slo_ms,
             target_qps=realized_qps,
             scheduler=args.policy, batching=batching,
-            reprogram_latency_ms=args.reprogram_ms)
+            reprogram_latency_ms=args.reprogram_ms,
+            failures=failures)
         if args.as_json:
             print(json.dumps({
                 "instances": plan.instances,
@@ -358,27 +434,32 @@ def _cmd_serve(args) -> None:
         return
 
     result = simulate(
-        accel, requests, args.instances, scheduler=args.policy,
-        batching=batching, reprogram_latency_ms=args.reprogram_ms)
+        accel, requests, None if fleet else args.instances,
+        scheduler=args.policy, batching=batching,
+        reprogram_latency_ms=args.reprogram_ms,
+        fleet=fleet, failures=failures)
     report = summarize(result, slo_ms=args.slo_ms)
+    n_inst = fleet.n if fleet else args.instances
     if args.as_json:
         out = {"scenario": args.scenario, "qps": args.qps,
                "duration_ms": args.duration_ms, "seed": args.seed,
                "reprogram_ms": args.reprogram_ms}
+        if fleet is not None:
+            out["fleet"] = fleet.describe()
         out.update(report.as_dict())
         print(json.dumps(out, indent=2))
     else:
         print(render_serving_report(
             report,
             title=(f"Serving: {args.scenario} @ {args.qps:g} qps, "
-                   f"{args.instances} instance(s), {args.policy}")))
+                   f"{n_inst} instance(s), {args.policy}")))
 
 
 def _cmd_generate(args) -> None:
     from .experiments.common import default_accelerator
     from .serving import (LengthSampler, attach_generation_lengths,
-                          render_generation_report, simulate_generation,
-                          summarize_generation)
+                          attach_priorities, render_generation_report,
+                          simulate_generation, summarize_generation)
 
     mix = _parse_mix(args.models)
     arrivals = _build_workload(args, mix)
@@ -388,27 +469,41 @@ def _cmd_generate(args) -> None:
         output = LengthSampler.parse(args.output_tokens)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    fleet, failures = _parse_fleet(args, arrivals, generation=True)
     requests = attach_generation_lengths(
         arrivals, prompt, output, seed=args.seed,
         max_total=accel.synth.max_seq_len)
+    if args.priority is not None:
+        try:
+            requests = attach_priorities(requests, args.priority,
+                                         seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     result = simulate_generation(
-        accel, requests, args.instances, slots=args.slots,
-        scheduler=args.policy, reprogram_latency_ms=args.reprogram_ms)
+        accel, requests, None if fleet else args.instances,
+        slots=args.slots, scheduler=args.policy,
+        reprogram_latency_ms=args.reprogram_ms,
+        fleet=fleet, failures=failures)
     report = summarize_generation(result, ttft_slo_ms=args.ttft_slo_ms,
                                   tpot_slo_ms=args.tpot_slo_ms)
+    n_inst = fleet.n if fleet else args.instances
     if args.as_json:
         out = {"scenario": args.scenario, "qps": args.qps,
                "duration_ms": args.duration_ms, "seed": args.seed,
                "prompt_tokens": args.prompt_tokens,
                "output_tokens": args.output_tokens,
                "reprogram_ms": args.reprogram_ms}
+        if fleet is not None:
+            out["fleet"] = fleet.describe()
+        if args.priority is not None:
+            out["priority_fraction"] = args.priority
         out.update(report.as_dict())
         print(json.dumps(out, indent=2))
     else:
         print(render_generation_report(
             report,
             title=(f"Generation: {args.scenario} @ {args.qps:g} qps, "
-                   f"{args.instances} instance(s) x {args.slots} slot(s), "
+                   f"{n_inst} instance(s) x {args.slots} slot(s), "
                    f"{args.policy}")))
 
 
@@ -491,7 +586,8 @@ def _csv_strs(text: str) -> tuple:
 def _cmd_dse(args) -> None:
     from .dse import (EvalCache, evaluate_point, explore, get_objectives,
                       render_exploration, standard_space)
-    from .dse.objectives import GENERATION_OBJECTIVE_NAMES
+    from .dse.objectives import (FAILURE_OBJECTIVE_NAMES,
+                                 GENERATION_OBJECTIVE_NAMES)
 
     if args.jobs < 1:
         raise SystemExit(f"invalid --jobs {args.jobs} (expected >= 1)")
@@ -513,13 +609,15 @@ def _cmd_dse(args) -> None:
     cache = None
     if args.resume or args.cache_dir:
         cache = EvalCache(args.cache_dir or ".dse_cache")
-    # The generation simulation costs ~2x the rest of a point's
-    # evaluation: only pay for it when a generation objective is asked.
-    needs_gen = bool(set(GENERATION_OBJECTIVE_NAMES)
-                     & {o.name for o in objectives})
+    # The generation and failure-injection simulations each add real
+    # per-point cost: only pay for the ones whose objectives are asked.
+    selected = {o.name for o in objectives}
+    needs_gen = bool(set(GENERATION_OBJECTIVE_NAMES) & selected)
+    needs_fail = bool(set(FAILURE_OBJECTIVE_NAMES) & selected)
     settings = {"qps": args.qps, "duration_ms": args.duration_ms,
                 "seed": args.seed, "link": args.link,
-                "gen_objectives": needs_gen}
+                "gen_objectives": needs_gen,
+                "fail_objectives": needs_fail}
     result = explore(
         space, evaluate_point,
         objectives=objectives,

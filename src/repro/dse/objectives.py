@@ -42,8 +42,8 @@ from .pareto import Objective
 from .space import Axis, SearchSpace
 
 __all__ = ["OBJECTIVES", "DEFAULT_SETTINGS", "DEFAULT_OBJECTIVE_NAMES",
-           "GENERATION_OBJECTIVE_NAMES", "get_objectives",
-           "standard_space", "evaluate_point"]
+           "GENERATION_OBJECTIVE_NAMES", "FAILURE_OBJECTIVE_NAMES",
+           "get_objectives", "standard_space", "evaluate_point"]
 
 #: Every objective the standard evaluator can score.
 OBJECTIVES: Tuple[Objective, ...] = (
@@ -57,6 +57,11 @@ OBJECTIVES: Tuple[Objective, ...] = (
     # fleet's aggregate output-token rate.
     Objective("ttft_p99_ms", "min", "ms"),
     Objective("tokens_per_s", "max", "tok/s"),
+    # Failure objectives (MTBF/MTTR injection on the serving workload):
+    # fleet-time fraction up, and the latency tail of requests that
+    # arrived degraded or were retried.
+    Objective("availability", "max", ""),
+    Objective("p99_degraded_ms", "min", "ms"),
 )
 
 #: The CLI/engine default frontier dimensions (>= 3 objectives).
@@ -81,11 +86,21 @@ DEFAULT_SETTINGS: Dict[str, Any] = {
     "gen_prompt": 16,      # prompt tokens per request
     "gen_output": 16,      # output tokens per request
     "gen_slots": 4,        # continuous-batching slots per instance
+    # Failure-objective workload (availability / p99_degraded_ms).
+    # "fail_objectives" gates the failure-injected rerun of the serving
+    # simulation; callers that select neither objective skip it.
+    "fail_objectives": True,
+    "fail_mtbf_ms": 150.0,  # mean instance up-time
+    "fail_mttr_ms": 25.0,   # mean repair duration
 }
 
 #: Objectives that require the generation workload simulation.
 GENERATION_OBJECTIVE_NAMES: Tuple[str, ...] = ("ttft_p99_ms",
                                                "tokens_per_s")
+
+#: Objectives that require the failure-injected serving simulation.
+FAILURE_OBJECTIVE_NAMES: Tuple[str, ...] = ("availability",
+                                            "p99_degraded_ms")
 
 
 def get_objectives(names: Optional[Tuple[str, ...]] = None
@@ -274,6 +289,22 @@ def evaluate_point(point: Mapping[str, Any],
     gen_metrics = (_generation_metrics(accel, cfg, devices, fleet, opts)
                    if opts["gen_objectives"] else {})
 
+    fail_metrics: Dict[str, float] = {}
+    if opts["fail_objectives"]:
+        # Re-run the serving workload with MTBF/MTTR injection (the
+        # kernel engine's scenario layer); seeded per instance index,
+        # so every point sees the same fault history per replica.
+        from ..sim import FailurePlan
+
+        plan = FailurePlan(
+            mtbf_ms=float(opts["fail_mtbf_ms"]),
+            mttr_ms=float(opts["fail_mttr_ms"]),
+            seed=int(opts["seed"]))
+        degraded = summarize(simulate(target, requests, fleet,
+                                      scheduler=scheduler, failures=plan))
+        fail_metrics = {"availability": degraded.availability,
+                        "p99_degraded_ms": degraded.p99_degraded_ms}
+
     workload_gops = gops(cfg, latency_ms / 1e3)
     try:
         achieved_gbps = analyze_traffic(accel, cfg).achieved_gbps
@@ -294,6 +325,7 @@ def evaluate_point(point: Mapping[str, Any],
         "power_w": power_w,
         "util_pct": util_pct,
         **gen_metrics,
+        **fail_metrics,
         # supporting metrics
         "clock_mhz": accel.clock_mhz,
         "ts_mha": accel.synth.ts_mha,

@@ -82,6 +82,7 @@ from .workload import (
     Request,
     TraceReplay,
     attach_generation_lengths,
+    attach_priorities,
 )
 
 __all__ = [
@@ -89,6 +90,7 @@ __all__ = [
     "Request", "GenerationRequest", "LengthSampler", "ModelMix",
     "ArrivalProcess", "PoissonArrivals", "BurstyArrivals",
     "DiurnalArrivals", "TraceReplay", "attach_generation_lengths",
+    "attach_priorities",
     # batching
     "BatchingPolicy", "no_batching", "fixed_size", "timeout",
     "get_batching", "ServiceTimeModel",

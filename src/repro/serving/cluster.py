@@ -17,6 +17,16 @@ the batched service time from :class:`.batching.ServiceTimeModel`.
 Heap ties break on (event priority, insertion sequence), so a run is a
 pure function of (workload, topology, policies) — the acceptance
 property behind trace-identical replays.
+
+Since the unified kernel landed, :meth:`ClusterSimulator.run` executes
+on :class:`repro.sim.serve.ServeEngine` — bit-identical to the legacy
+closure loop on seeded scenarios (pinned by the goldens under
+``tests/goldens/``) and measurably faster, plus the scenario layer the
+old loop could not express: heterogeneous fleets
+(:class:`~repro.sim.fleet.FleetSpec`) and failure/recovery injection
+(:class:`~repro.sim.failures.FailurePlan`).  The legacy loop survives
+as :meth:`ClusterSimulator.run_legacy`, the reference implementation
+the goldens and the kernel-speedup benchmark compare against.
 """
 
 from __future__ import annotations
@@ -30,6 +40,8 @@ from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..core.accelerator import ProTEA
 from ..core.runtime import RuntimeSession
 from ..nn.model_zoo import MODEL_ZOO, TransformerConfig
+from ..sim.failures import FailurePlan
+from ..sim.fleet import FleetSpec
 from .batching import BatchingPolicy, ServiceTimeModel, no_batching
 from .scheduler import Scheduler, get_scheduler
 from .workload import Request
@@ -54,6 +66,10 @@ class RequestRecord:
     t_arrival_ms: float
     t_dispatch_ms: float
     t_complete_ms: float
+    #: Dispatches lost to instance failures before this one completed.
+    retries: int = 0
+    #: Arrived while at least one instance was down (failure runs).
+    degraded: bool = False
 
     @property
     def wait_ms(self) -> float:
@@ -79,6 +95,10 @@ class InstanceStats:
     reprogram_count: int
     switch_count: int
     reprogram_time_ms: float
+    #: Faults injected into this instance (failure runs only).
+    failures: int = 0
+    #: Total time this instance spent down (failure runs only).
+    downtime_ms: float = 0.0
 
 
 class _Instance:
@@ -121,10 +141,15 @@ class SimulationResult:
     makespan_ms: float
     #: ``(t_ms, total queued requests)`` after every queue mutation.
     queue_samples: List[Tuple[float, int]]
-    #: Flat event log: ("arrive"|"dispatch"|"free", t_ms, ...) tuples.
+    #: Flat event log: ("arrive"|"dispatch"|"free", t_ms, ...) tuples
+    #: (failure runs add "fail"/"recover").
     trace: List[tuple]
     scheduler: str = ""
     batching: str = ""
+    #: Fleet-time fraction up (None unless failures were injected).
+    availability: Optional[float] = None
+    total_failures: int = 0
+    total_retries: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -145,21 +170,33 @@ class ClusterSimulator:
     def __init__(
         self,
         accel: ProTEA,
-        n_instances: int,
+        n_instances: Optional[int] = None,
         scheduler: Union[str, Scheduler] = "least-loaded",
         batching: Optional[BatchingPolicy] = None,
         models: Optional[Mapping[str, TransformerConfig]] = None,
         reprogram_latency_ms: float = 0.0,
         check_jitter_ms: float = 0.0,
+        fleet: Optional[FleetSpec] = None,
+        failures: Optional[FailurePlan] = None,
     ):
-        if n_instances < 1:
-            raise ValueError("need at least one instance")
+        if fleet is None:
+            if n_instances is None:
+                raise ValueError("need n_instances or a FleetSpec")
+            if n_instances < 1:
+                raise ValueError("need at least one instance")
+            fleet = FleetSpec.uniform(n_instances)
+        elif n_instances is not None and n_instances != fleet.n:
+            raise ValueError(
+                f"n_instances={n_instances} contradicts the {fleet.n}-"
+                "instance FleetSpec (pass one or the other)")
         if reprogram_latency_ms < 0:
             raise ValueError("reprogram_latency_ms must be >= 0")
         if check_jitter_ms < 0:
             raise ValueError("check_jitter_ms must be >= 0")
         self.accel = accel
-        self.n_instances = n_instances
+        self.fleet = fleet
+        self.failures = failures
+        self.n_instances = fleet.n
         # Keep the spec, not an instance: stateful schedulers (round-
         # robin's cursor) must start fresh every run() or replays of
         # the same workload would diverge.
@@ -177,11 +214,51 @@ class ClusterSimulator:
         #: tests can prove that (the stale-check no-op property).
         self.check_jitter_ms = check_jitter_ms
 
+    def _scheduler(self) -> Scheduler:
+        """A fresh scheduler per run (stateful cursors must reset)."""
+        spec = self._scheduler_spec
+        return get_scheduler(spec) if isinstance(spec, str) else spec
+
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[Request]) -> SimulationResult:
-        """Simulate the full stream and drain every queue."""
-        spec = self._scheduler_spec
-        scheduler = get_scheduler(spec) if isinstance(spec, str) else spec
+        """Simulate the full stream on the unified kernel.
+
+        Bit-identical to :meth:`run_legacy` on homogeneous, no-failure
+        scenarios (the trace-identity goldens hold the two loops to
+        byte-equal rendered reports) and the only path that understands
+        heterogeneous fleets and failure injection.
+        """
+        from ..sim.serve import ServeEngine
+
+        engine = ServeEngine(
+            self.accel,
+            fleet=self.fleet,
+            scheduler=self._scheduler(),
+            batching=self.batching,
+            models=self.service.models,
+            reprogram_latency_ms=self.reprogram_latency_ms,
+            check_jitter_ms=self.check_jitter_ms,
+            failures=self.failures,
+        )
+        return engine.run(requests)
+
+    # ------------------------------------------------------------------
+    def run_legacy(self, requests: Sequence[Request]) -> SimulationResult:
+        """The pre-kernel closure loop, kept as the reference engine.
+
+        The goldens and the kernel-speedup benchmark run both engines
+        over the same seeded scenarios; this one cannot express fleets
+        or failures and refuses to silently ignore them.
+        """
+        if not self.fleet.homogeneous:
+            raise ValueError(
+                "run_legacy cannot simulate a heterogeneous fleet — "
+                "use run() (the kernel engine)")
+        if self.failures is not None:
+            raise ValueError(
+                "run_legacy cannot inject failures — use run() (the "
+                "kernel engine)")
+        scheduler = self._scheduler()
         instances = [
             _Instance(i, RuntimeSession(
                 self.accel, reprogram_latency_ms=self.reprogram_latency_ms))
@@ -297,14 +374,17 @@ class ClusterSimulator:
 def simulate(
     accel: ProTEA,
     requests: Sequence[Request],
-    n_instances: int,
+    n_instances: Optional[int] = None,
     scheduler: Union[str, Scheduler] = "least-loaded",
     batching: Optional[BatchingPolicy] = None,
     models: Optional[Mapping[str, TransformerConfig]] = None,
     reprogram_latency_ms: float = 0.0,
+    fleet: Optional[FleetSpec] = None,
+    failures: Optional[FailurePlan] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`ClusterSimulator`."""
     sim = ClusterSimulator(
         accel, n_instances, scheduler=scheduler, batching=batching,
-        models=models, reprogram_latency_ms=reprogram_latency_ms)
+        models=models, reprogram_latency_ms=reprogram_latency_ms,
+        fleet=fleet, failures=failures)
     return sim.run(requests)

@@ -34,6 +34,8 @@ from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..core.accelerator import ProTEA
 from ..core.runtime import RuntimeSession
 from ..nn.model_zoo import MODEL_ZOO, TransformerConfig
+from ..sim.failures import FailurePlan
+from ..sim.fleet import FleetSpec
 from .scheduler import Scheduler, get_scheduler
 from .workload import GenerationRequest
 
@@ -65,6 +67,12 @@ class GenerationRecord:
     t_admit_ms: float
     t_first_token_ms: float
     t_complete_ms: float
+    #: Steps lost to instance failures (mid-prefill or mid-decode).
+    retries: int = 0
+    #: Times this request was evicted for higher-priority work.
+    preemptions: int = 0
+    #: Arrived while at least one instance was down (failure runs).
+    degraded: bool = False
 
     @property
     def wait_ms(self) -> float:
@@ -101,6 +109,12 @@ class GenerationInstanceStats:
     busy_ms: float
     switch_count: int
     reprogram_time_ms: float
+    #: Sequences this instance evicted for higher-priority work.
+    preemptions: int = 0
+    #: Faults injected into this instance (failure runs only).
+    failures: int = 0
+    #: Total time this instance spent down (failure runs only).
+    downtime_ms: float = 0.0
 
 
 @dataclass
@@ -114,9 +128,16 @@ class GenerationSimulationResult:
     makespan_ms: float
     #: ``(t_ms, waiting + in-flight sequences)`` after every mutation.
     queue_samples: List[Tuple[float, int]]
-    #: Flat event log: ("arrive"|"admit"|"step"|"finish", t_ms, ...).
+    #: Flat event log: ("arrive"|"admit"|"step"|"finish", t_ms, ...)
+    #: (priority runs add "preempt"/"resume", failure runs
+    #: "fail"/"recover").
     trace: List[tuple]
     scheduler: str = ""
+    #: Fleet-time fraction up (None unless failures were injected).
+    availability: Optional[float] = None
+    total_failures: int = 0
+    total_retries: int = 0
+    total_preemptions: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -284,20 +305,35 @@ class GenerationClusterSimulator:
     def __init__(
         self,
         accel: ProTEA,
-        n_instances: int,
+        n_instances: Optional[int] = None,
         slots: int = 8,
         scheduler: Union[str, Scheduler] = "least-loaded",
         models: Optional[Mapping[str, TransformerConfig]] = None,
         reprogram_latency_ms: float = 0.0,
+        fleet: Optional[FleetSpec] = None,
+        failures: Optional[FailurePlan] = None,
+        preemption: Optional[bool] = None,
     ):
-        if n_instances < 1:
-            raise ValueError("need at least one instance")
+        if fleet is None:
+            if n_instances is None:
+                raise ValueError("need n_instances or a FleetSpec")
+            if n_instances < 1:
+                raise ValueError("need at least one instance")
+            fleet = FleetSpec.uniform(n_instances)
+        elif n_instances is not None and n_instances != fleet.n:
+            raise ValueError(
+                f"n_instances={n_instances} contradicts the {fleet.n}-"
+                "instance FleetSpec (pass one or the other)")
         if slots < 1:
             raise ValueError("need at least one sequence slot")
         if reprogram_latency_ms < 0:
             raise ValueError("reprogram_latency_ms must be >= 0")
         self.accel = accel
-        self.n_instances = n_instances
+        self.fleet = fleet
+        self.failures = failures
+        #: None = auto: preempt iff any request carries a priority.
+        self.preemption = preemption
+        self.n_instances = fleet.n
         self.slots = slots
         self._scheduler_spec = scheduler
         if isinstance(scheduler, str):
@@ -305,18 +341,63 @@ class GenerationClusterSimulator:
         self.service = GenerationServiceModel(accel, models)
         self.reprogram_latency_ms = reprogram_latency_ms
 
-    # ------------------------------------------------------------------
-    def run(self, requests: Sequence[GenerationRequest]
-            ) -> GenerationSimulationResult:
-        """Simulate the stream to completion (drains every sequence)."""
+    def _scheduler(self) -> Scheduler:
+        """A fresh scheduler per run (stateful cursors must reset)."""
+        spec = self._scheduler_spec
+        return get_scheduler(spec) if isinstance(spec, str) else spec
+
+    def _validate(self, requests: Sequence[GenerationRequest]) -> None:
         for req in requests:
             if not isinstance(req, GenerationRequest):
                 raise TypeError(
                     "generation mode needs GenerationRequest workloads — "
                     "see repro.serving.attach_generation_lengths")
             self.service.validate(req)
-        spec = self._scheduler_spec
-        scheduler = get_scheduler(spec) if isinstance(spec, str) else spec
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[GenerationRequest]
+            ) -> GenerationSimulationResult:
+        """Simulate the stream to completion on the unified kernel.
+
+        Bit-identical to :meth:`run_legacy` on homogeneous, no-failure,
+        no-priority scenarios (pinned by the trace-identity goldens)
+        and the only path that understands heterogeneous fleets,
+        failure injection, and priority admission with preemption.
+        """
+        from ..sim.generate import GenerationEngine
+
+        self._validate(requests)
+        engine = GenerationEngine(
+            self.service,
+            fleet=self.fleet,
+            slots=self.slots,
+            scheduler=self._scheduler(),
+            reprogram_latency_ms=self.reprogram_latency_ms,
+            failures=self.failures,
+            preemption=self.preemption,
+        )
+        return engine.run(requests)
+
+    # ------------------------------------------------------------------
+    def run_legacy(self, requests: Sequence[GenerationRequest]
+                   ) -> GenerationSimulationResult:
+        """The pre-kernel closure loop, kept as the reference engine."""
+        if not self.fleet.homogeneous:
+            raise ValueError(
+                "run_legacy cannot simulate a heterogeneous fleet — "
+                "use run() (the kernel engine)")
+        if self.failures is not None:
+            raise ValueError(
+                "run_legacy cannot inject failures — use run() (the "
+                "kernel engine)")
+        self._validate(requests)  # before touching .priority: a plain
+        # Request workload must get the guided TypeError, not an
+        # AttributeError from the priority scan below.
+        if self.preemption or any(r.priority for r in requests):
+            raise ValueError(
+                "run_legacy cannot preempt — use run() (the kernel "
+                "engine) for priority workloads")
+        scheduler = self._scheduler()
         instances = [
             _Instance(i, RuntimeSession(
                 self.accel, reprogram_latency_ms=self.reprogram_latency_ms))
@@ -449,14 +530,18 @@ class GenerationClusterSimulator:
 def simulate_generation(
     accel: ProTEA,
     requests: Sequence[GenerationRequest],
-    n_instances: int,
+    n_instances: Optional[int] = None,
     slots: int = 8,
     scheduler: Union[str, Scheduler] = "least-loaded",
     models: Optional[Mapping[str, TransformerConfig]] = None,
     reprogram_latency_ms: float = 0.0,
+    fleet: Optional[FleetSpec] = None,
+    failures: Optional[FailurePlan] = None,
+    preemption: Optional[bool] = None,
 ) -> GenerationSimulationResult:
     """One-call wrapper around :class:`GenerationClusterSimulator`."""
     sim = GenerationClusterSimulator(
         accel, n_instances, slots=slots, scheduler=scheduler, models=models,
-        reprogram_latency_ms=reprogram_latency_ms)
+        reprogram_latency_ms=reprogram_latency_ms, fleet=fleet,
+        failures=failures, preemption=preemption)
     return sim.run(requests)

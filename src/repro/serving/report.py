@@ -46,6 +46,14 @@ def render_generation_report(report: GenerationServingReport,
             if part)
         agg_rows.append((f"SLO attainment ({slo})", report.slo_attainment))
         agg_rows.append(("goodput (tok/s)", report.goodput_tokens_per_s))
+    if report.availability is not None:
+        # Failure block (failure runs only; goldens stay byte-stable).
+        agg_rows.append(("availability", report.availability))
+        agg_rows.append(("failures / retries",
+                         f"{report.total_failures} / "
+                         f"{report.total_retries}"))
+    if report.total_preemptions:
+        agg_rows.append(("preemptions", report.total_preemptions))
     parts = [render_table(("metric", "value"), agg_rows, title=title)]
     parts.append(render_table(
         ("inst", "requests", "steps", "prefills", "tokens", "busy ms",
@@ -81,6 +89,15 @@ def render_serving_report(report: ServingReport,
     if report.slo_ms is not None:
         agg_rows.append((f"SLO attainment (<= {report.slo_ms:g} ms)",
                          report.slo_attainment))
+    if report.availability is not None:
+        # Failure-injection block: only rendered for failure runs so
+        # non-failure reports stay byte-identical to the goldens.
+        agg_rows.append(("availability", report.availability))
+        agg_rows.append(("failures / retries",
+                         f"{report.total_failures} / "
+                         f"{report.total_retries}"))
+        agg_rows.append(("degraded arrivals", report.degraded_count))
+        agg_rows.append(("p99 degraded (ms)", report.p99_degraded_ms))
     parts = [render_table(("metric", "value"), agg_rows, title=title)]
 
     if report.per_model:
@@ -94,14 +111,24 @@ def render_serving_report(report: ServingReport,
             title="Per-model",
         ))
 
-    parts.append(render_table(
-        ("inst", "requests", "batches", "busy ms", "switches",
-         "reprogram ms"),
-        [(i.index, i.requests, i.batches, i.busy_ms, i.switch_count,
-          i.reprogram_time_ms)
-         for i in report.instances],
-        title="Per-instance",
-    ))
+    if report.availability is not None:
+        parts.append(render_table(
+            ("inst", "requests", "batches", "busy ms", "switches",
+             "reprogram ms", "faults", "down ms"),
+            [(i.index, i.requests, i.batches, i.busy_ms, i.switch_count,
+              i.reprogram_time_ms, i.failures, i.downtime_ms)
+             for i in report.instances],
+            title="Per-instance",
+        ))
+    else:
+        parts.append(render_table(
+            ("inst", "requests", "batches", "busy ms", "switches",
+             "reprogram ms"),
+            [(i.index, i.requests, i.batches, i.busy_ms, i.switch_count,
+              i.reprogram_time_ms)
+             for i in report.instances],
+            title="Per-instance",
+        ))
     return "\n\n".join(parts)
 
 

@@ -92,6 +92,18 @@ class ServingReport:
     slo_attainment: Optional[float] = None
     per_model: Dict[str, ModelMetrics] = field(default_factory=dict)
     instances: List[InstanceStats] = field(default_factory=list)
+    # Failure-injection metrics (None/0 unless the run injected faults;
+    # reports omit them then, keeping non-failure renders byte-stable).
+    #: Fleet-time fraction up across the run.
+    availability: Optional[float] = None
+    total_failures: int = 0
+    #: Dispatches lost to faults and re-served elsewhere.
+    total_retries: int = 0
+    #: Requests that arrived while at least one instance was down.
+    degraded_count: Optional[int] = None
+    #: Tail latency of the degraded-arrival subset (falls back to the
+    #: overall p99 when no request saw a degraded fleet).
+    p99_degraded_ms: Optional[float] = None
 
     def as_dict(self) -> dict:
         """JSON-friendly flattening (CLI ``--json`` output).
@@ -149,6 +161,14 @@ class ServingReport:
         if self.slo_ms is not None:
             out["slo"] = {"p_latency_ms": self.slo_ms,
                           "attainment": self.slo_attainment}
+        if self.availability is not None:
+            out["failures"] = {
+                "availability": self.availability,
+                "count": self.total_failures,
+                "retries": self.total_retries,
+                "degraded_requests": self.degraded_count,
+                "p99_degraded_ms": num(self.p99_degraded_ms),
+            }
         return out
 
 
@@ -194,6 +214,15 @@ def summarize(result: SimulationResult,
             slo_attainment=attainment(lats),
         )
 
+    degraded_count = p99_degraded = None
+    if result.availability is not None:
+        touched = [r.latency_ms for r in recs if r.degraded or r.retries]
+        degraded_count = sum(1 for r in recs if r.degraded)
+        # An undominatable NaN would poison Pareto fronts: when no
+        # request saw a degraded fleet, the degraded tail IS the tail.
+        p99_degraded = (percentile(touched, 99) if touched
+                        else _pct(latencies, 99))
+
     busy = sum(i.busy_ms for i in result.instances)
     return ServingReport(
         total_requests=len(recs),
@@ -219,6 +248,11 @@ def summarize(result: SimulationResult,
         slo_attainment=attainment(latencies),
         per_model=per_model,
         instances=list(result.instances),
+        availability=result.availability,
+        total_failures=result.total_failures,
+        total_retries=result.total_retries,
+        degraded_count=degraded_count,
+        p99_degraded_ms=p99_degraded,
     )
 
 
@@ -258,6 +292,11 @@ class GenerationServingReport:
     slo_attainment: Optional[float] = None
     goodput_tokens_per_s: Optional[float] = None
     instances: List["object"] = field(default_factory=list)
+    # Scenario-layer metrics (omitted from reports when inactive).
+    availability: Optional[float] = None
+    total_failures: int = 0
+    total_retries: int = 0
+    total_preemptions: int = 0
 
     def as_dict(self) -> dict:
         """JSON-friendly flattening (NaN → null for strict parsers)."""
@@ -301,6 +340,12 @@ class GenerationServingReport:
                           "attainment": num(self.slo_attainment),
                           "goodput_tokens_per_s":
                               num(self.goodput_tokens_per_s)}
+        if self.availability is not None:
+            out["failures"] = {"availability": self.availability,
+                               "count": self.total_failures,
+                               "retries": self.total_retries}
+        if self.total_preemptions:
+            out["preemptions"] = self.total_preemptions
         return out
 
 
@@ -360,6 +405,10 @@ def summarize_generation(
             sum(r.output_tokens for r in good) / horizon_s
             if slo_active and recs else None),
         instances=list(result.instances),
+        availability=result.availability,
+        total_failures=result.total_failures,
+        total_retries=result.total_retries,
+        total_preemptions=result.total_preemptions,
     )
 
 
@@ -389,6 +438,7 @@ def plan_capacity(
     models: Optional[Mapping[str, TransformerConfig]] = None,
     reprogram_latency_ms: float = 0.0,
     max_instances: int = 256,
+    failures=None,
 ) -> CapacityPlan:
     """Minimum fleet size meeting the p99 SLO (and target throughput).
 
@@ -396,11 +446,20 @@ def plan_capacity(
     probing finds a feasible size, then binary search pins the minimum
     (queueing delay is monotone non-increasing in fleet size for these
     policies).  Raises ``RuntimeError`` if even ``max_instances`` fails.
+
+    ``failures`` (a :class:`~repro.sim.failures.FailurePlan`) plans
+    capacity under fault injection — each instance's fault history is
+    seeded per index, so probe fleets share fault draws and the search
+    stays monotone in practice.
     """
     if target_p99_ms <= 0:
         raise ValueError("target_p99_ms must be positive")
     if not requests:
         raise ValueError("cannot plan capacity for an empty workload")
+    if max_instances < 1:
+        raise ValueError(
+            "cannot plan capacity over an empty fleet: max_instances "
+            "must be >= 1")
 
     probes: Dict[int, float] = {}
     reports: Dict[int, ServingReport] = {}
@@ -408,7 +467,8 @@ def plan_capacity(
     def meets(n: int) -> bool:
         result = simulate(accel, requests, n, scheduler=scheduler,
                           batching=batching, models=models,
-                          reprogram_latency_ms=reprogram_latency_ms)
+                          reprogram_latency_ms=reprogram_latency_ms,
+                          failures=failures)
         report = summarize(result, slo_ms=target_p99_ms)
         probes[n] = report.p99_ms
         reports[n] = report

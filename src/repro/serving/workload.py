@@ -38,6 +38,7 @@ __all__ = [
     "DiurnalArrivals",
     "TraceReplay",
     "attach_generation_lengths",
+    "attach_priorities",
 ]
 
 
@@ -56,11 +57,15 @@ class GenerationRequest(Request):
 
     Subclasses :class:`Request` so dispatch schedulers and trace tooling
     see the same surface; the extra fields drive the prefill/decode
-    split in the generation service mode.
+    split in the generation service mode.  ``priority`` feeds the
+    kernel engine's priority admission: higher values admit first, and
+    a strictly-higher-priority arrival may preempt an in-flight
+    sequence at a step boundary (0 everywhere = plain FIFO).
     """
 
     prompt_tokens: int = 1
     output_tokens: int = 1
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_tokens < 1 or self.output_tokens < 1:
@@ -81,6 +86,12 @@ class LengthSampler:
     * ``uniform``   — integer uniform on ``[lo, hi]``;
     * ``geometric`` — ``lo + Geometric(1/mean_extra)``, the classic
       open-ended output-length model, truncated at ``hi``.
+
+    Degenerate parameters are accepted, not rejected: a zero-variance
+    uniform (``lo == hi``), a single-token fixed sampler (``lo == 1``),
+    and a zero-``mean_extra`` geometric (which collapses to ``fixed``)
+    all sample cleanly — capacity sweeps routinely drive distributions
+    to their edges and must not die in the sampler.
     """
 
     def __init__(self, kind: str = "fixed", lo: int = 16,
@@ -94,8 +105,8 @@ class LengthSampler:
         hi = lo if hi is None else hi
         if hi < lo:
             raise ValueError("need hi >= lo")
-        if mean_extra <= 0:
-            raise ValueError("mean_extra must be positive")
+        if mean_extra < 0:
+            raise ValueError("mean_extra must be >= 0")
         self.kind = kind
         self.lo = lo
         self.hi = hi
@@ -127,6 +138,10 @@ class LengthSampler:
         if self.kind == "uniform":
             return rng.randint(self.lo, self.hi)
         # geometric: count Bernoulli(p) failures, p = 1/mean_extra.
+        # Degenerate mean (zero extra tokens) collapses to ``lo``
+        # without consuming a draw that log(1 - 1) would reject.
+        if self.mean_extra == 0:
+            return min(self.lo, self.hi)
         extra = int(math.log(max(rng.random(), 1e-12))
                     / math.log(1.0 - 1.0 / (self.mean_extra + 1.0)))
         return min(self.lo + extra, self.hi)
@@ -164,6 +179,38 @@ def attach_generation_lengths(
             rid=req.rid, t_ms=req.t_ms, model=req.model,
             prompt_tokens=p, output_tokens=o))
     return out
+
+
+def attach_priorities(
+    requests: Sequence["GenerationRequest"],
+    high_fraction: float,
+    seed: int = 0,
+    high: int = 1,
+) -> List["GenerationRequest"]:
+    """Mark a seeded random ``high_fraction`` of requests as priority.
+
+    Deterministic given ``seed`` and the request order (one draw per
+    request).  The stream is derived as ``Random(f"{seed}/priority")``
+    — the :mod:`repro.sim.rng` naming scheme — so passing the same
+    seed here and to :func:`attach_generation_lengths` keeps the two
+    draws independent: marking must never correlate with sampled
+    lengths, or priority-class comparisons would be confounded.  The
+    kernel engine admits priority ``high`` requests first and lets
+    them preempt in-flight priority-0 sequences at step boundaries.
+    """
+    if not 0 <= high_fraction <= 1:
+        raise ValueError("high_fraction must be in [0, 1]")
+    if high < 1:
+        raise ValueError("high priority must be >= 1")
+    rng = random.Random(f"{seed}/priority")
+    return [
+        GenerationRequest(
+            rid=req.rid, t_ms=req.t_ms, model=req.model,
+            prompt_tokens=req.prompt_tokens,
+            output_tokens=req.output_tokens,
+            priority=high if rng.random() < high_fraction else 0)
+        for req in requests
+    ]
 
 
 class ModelMix:
@@ -258,6 +305,10 @@ class BurstyArrivals(ArrivalProcess):
         if qps <= 0 or burst_factor < 1 or not (0 < burst_fraction < 1):
             raise ValueError("need qps > 0, burst_factor >= 1, "
                              "0 < burst_fraction < 1")
+        if dwell_ms <= 0:
+            # A zero dwell would divide by zero inside expovariate;
+            # reject it with a named error instead.
+            raise ValueError("dwell_ms must be positive")
         self.qps = qps
         self.mix = mix
         self.seed = seed

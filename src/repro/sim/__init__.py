@@ -1,0 +1,39 @@
+"""Unified event-driven simulation kernel and its scenario layer.
+
+Every discrete-event simulator in the repo runs on this package:
+
+* :mod:`.kernel` — the deterministic event heap (:class:`EventQueue`),
+  clock, and driver loop;
+* :mod:`.rng` — named per-component RNG streams derived from one root
+  seed, so adding a stochastic component never perturbs another;
+* :mod:`.fleet` — heterogeneous fleet specs (per-instance speed,
+  capability sets, switch penalties, slots, pricing targets) and the
+  capability/health-aware :class:`Dispatcher`;
+* :mod:`.failures` — MTBF/MTTR failure plans and the per-instance
+  fault/repair draws;
+* :mod:`.serve` / :mod:`.generate` — the engines behind
+  :class:`~repro.serving.cluster.ClusterSimulator` and
+  :class:`~repro.serving.generation.GenerationClusterSimulator`,
+  verified bit-identical to the legacy closure loops by the
+  trace-identity goldens in ``tests/goldens/``.
+
+The determinism contract is documented in :mod:`.kernel`: equal inputs
+produce byte-identical traces, records, and rendered reports.
+"""
+
+from .failures import FailureInjector, FailurePlan
+from .fleet import Dispatcher, FleetSpec, InstanceSpec
+from .kernel import EventQueue, SimClock, Simulation
+from .rng import RngStreams
+
+__all__ = [
+    "EventQueue",
+    "SimClock",
+    "Simulation",
+    "RngStreams",
+    "Dispatcher",
+    "FleetSpec",
+    "InstanceSpec",
+    "FailurePlan",
+    "FailureInjector",
+]

@@ -1,0 +1,138 @@
+"""The event-driven simulation kernel every simulator runs on.
+
+Before this module existed, :mod:`repro.serving.cluster` and
+:mod:`repro.serving.generation` each hand-rolled their own heap loop,
+so every new scenario (failures, heterogeneity, preemption) had to be
+implemented twice and proven deterministic twice.  The kernel factors
+the shared mechanics into one place:
+
+* :class:`EventQueue` — a binary heap of ``(t_ms, priority, seq,
+  payload)`` tuples.  Ties at equal timestamps break on ``(priority,
+  insertion sequence)``, so a run is a *pure function* of its inputs —
+  the property behind the trace-identity golden tests.
+* :class:`SimClock` — monotone simulated time in milliseconds.
+* :class:`Simulation` — the driver: pops events in deterministic order
+  and dispatches them to handlers registered per event kind.  Entities
+  are plain mutable objects carried by reference inside payloads — no
+  registry, no base class.
+
+Determinism contract
+--------------------
+The kernel never reads wall-clock time or global RNG state.  All
+randomness flows through :class:`~repro.sim.rng.RngStreams`, which
+derives one independent ``random.Random`` per named component from the
+root seed — adding a new consumer (e.g. failure injection) cannot
+perturb the draws of an existing one.  Two runs with equal inputs
+therefore produce byte-identical traces, records, and reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .rng import RngStreams
+
+__all__ = ["Event", "EventQueue", "SimClock", "Simulation"]
+
+#: One scheduled event: ``(t_ms, priority, seq, payload)``.  ``payload``
+#: is a tuple whose first element names the event kind.
+Event = Tuple[float, int, int, tuple]
+
+
+class EventQueue:
+    """Deterministic binary-heap event queue.
+
+    Events at equal ``t_ms`` pop in ``(priority, seq)`` order; ``seq``
+    comes from the shared insertion ``counter``, so two pushes at the
+    same time and priority pop in push order.  That total order is what
+    makes replays of a seeded scenario bit-identical.
+
+    Hot-path contract: ``heap`` and ``counter`` are public precisely so
+    performance-critical engines may inline ``heappush(queue.heap,
+    (t, prio, next(queue.counter), payload))`` and drain the heap with
+    ``heappop`` directly — the tuple layout and the shared counter ARE
+    the kernel's determinism guarantee, whichever path pushes.
+    """
+
+    __slots__ = ("heap", "counter")
+
+    def __init__(self) -> None:
+        self.heap: List[Event] = []
+        self.counter = count()
+
+    def push(self, t_ms: float, priority: int, payload: tuple) -> None:
+        """Schedule ``payload`` at ``t_ms`` (stable within a priority)."""
+        heapq.heappush(self.heap, (t_ms, priority, next(self.counter),
+                                   payload))
+
+    def pop(self) -> Event:
+        """Remove and return the next event in deterministic order."""
+        return heapq.heappop(self.heap)
+
+    def peek_ms(self) -> Optional[float]:
+        """Timestamp of the next event (``None`` when empty)."""
+        return self.heap[0][0] if self.heap else None
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def __bool__(self) -> bool:
+        return bool(self.heap)
+
+
+class SimClock:
+    """Monotone simulated time in milliseconds."""
+
+    __slots__ = ("now_ms",)
+
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+
+    def advance(self, t_ms: float) -> float:
+        """Move time forward (the kernel never rewinds the clock)."""
+        if t_ms < self.now_ms:
+            raise ValueError(
+                f"clock cannot rewind: {t_ms} < {self.now_ms}")
+        self.now_ms = t_ms
+        return t_ms
+
+
+class Simulation:
+    """Deterministic event loop over an :class:`EventQueue`.
+
+    Subclasses register one handler per event kind (the first element
+    of every payload tuple) and call :meth:`run_events`.  The loop is
+    deliberately minimal — pop, advance the clock, dispatch — because
+    the hot simulators bind their own bookkeeping around it; what they
+    share is the queue discipline, the clock, the trace buffer, and the
+    per-component RNG streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.queue = EventQueue()
+        self.clock = SimClock()
+        self.rng = RngStreams(seed)
+        #: Flat event log ``(kind, t_ms, ...)`` — the replayable trace.
+        self.trace: List[tuple] = []
+        self._handlers: Dict[str, Callable[[tuple, float], None]] = {}
+
+    def on(self, kind: str,
+           handler: Callable[[tuple, float], None]) -> None:
+        """Register ``handler`` for payloads whose head is ``kind``."""
+        self._handlers[kind] = handler
+
+    def schedule(self, t_ms: float, priority: int, payload: tuple) -> None:
+        self.queue.push(t_ms, priority, payload)
+
+    def run_events(self) -> None:
+        """Drain the queue, dispatching each event to its handler."""
+        heap = self.queue.heap
+        pop = heapq.heappop
+        clock = self.clock
+        handlers = self._handlers
+        while heap:
+            now, _prio, _seq, payload = pop(heap)
+            clock.now_ms = now  # monotone by heap order; skip the check
+            handlers[payload[0]](payload, now)

@@ -168,3 +168,33 @@ class TestCapacityPlanning:
         plan = plan_capacity(default_accel, reqs, target_p99_ms=5.0)
         text = render_capacity_plan(plan)
         assert "Capacity plan" in text and str(plan.instances) in text
+
+
+class TestCapacityPlanningErrorPaths:
+    def test_empty_fleet_rejected(self, default_accel):
+        """max_instances=0 is an empty search space: named error, not
+        a probe loop that silently returns a 1-instance plan."""
+        reqs = PoissonArrivals(100, MIX, seed=0).generate(200)
+        with pytest.raises(ValueError, match="empty fleet"):
+            plan_capacity(default_accel, reqs, target_p99_ms=50.0,
+                          max_instances=0)
+
+    def test_zero_instance_cluster_rejected(self, default_accel):
+        from repro.serving import ClusterSimulator
+
+        with pytest.raises(ValueError, match="at least one instance"):
+            ClusterSimulator(default_accel, 0)
+
+    def test_zero_capacity_instance_rejected(self):
+        """An instance that can serve nothing (empty capability set)
+        is a configuration error, not a silent dead instance."""
+        from repro.sim import InstanceSpec
+
+        with pytest.raises(ValueError, match="at least one model"):
+            InstanceSpec(models=())
+
+    def test_zero_slot_generation_cluster_rejected(self, default_accel):
+        from repro.serving import GenerationClusterSimulator
+
+        with pytest.raises(ValueError, match="sequence slot"):
+            GenerationClusterSimulator(default_accel, 1, slots=0)

@@ -125,3 +125,87 @@ class TestTraceReplay:
     def test_negative_time_rejected(self):
         with pytest.raises(ValueError):
             TraceReplay([(-1.0, "a")])
+
+
+class TestDegenerateDistributions:
+    """Regression: degenerate (zero-variance / single-token) parameters
+    must sample cleanly, never ZeroDivisionError (or worse)."""
+
+    def test_zero_variance_uniform(self):
+        import random
+
+        from repro.serving import LengthSampler
+
+        sampler = LengthSampler("uniform", 5, 5)
+        rng = random.Random(0)
+        assert all(sampler.sample(rng) == 5 for _ in range(50))
+
+    def test_single_token_fixed(self):
+        import random
+
+        from repro.serving import LengthSampler
+
+        sampler = LengthSampler("fixed", 1)
+        assert sampler.sample(random.Random(0)) == 1
+
+    def test_geometric_zero_mean_collapses_to_fixed(self):
+        import random
+
+        from repro.serving import LengthSampler
+
+        sampler = LengthSampler("geometric", 4, 64, mean_extra=0.0)
+        rng = random.Random(3)
+        assert all(sampler.sample(rng) == 4 for _ in range(50))
+
+    def test_geometric_zero_mean_parses(self):
+        from repro.serving import LengthSampler
+
+        sampler = LengthSampler.parse("geo:7:0")
+        import random
+
+        assert sampler.sample(random.Random(1)) == 7
+
+    def test_geometric_single_token_bounds(self):
+        import random
+
+        from repro.serving import LengthSampler
+
+        sampler = LengthSampler("geometric", 1, 1, mean_extra=8.0)
+        rng = random.Random(9)
+        assert all(sampler.sample(rng) == 1 for _ in range(50))
+
+    def test_negative_mean_still_rejected(self):
+        from repro.serving import LengthSampler
+
+        with pytest.raises(ValueError, match="mean_extra"):
+            LengthSampler("geometric", 4, mean_extra=-1.0)
+
+    def test_bursty_zero_dwell_named_error(self):
+        """A zero dwell used to die with ZeroDivisionError inside
+        expovariate at generate() time; now it's a named ValueError
+        at construction."""
+        with pytest.raises(ValueError, match="dwell_ms"):
+            BurstyArrivals(100, MIX, dwell_ms=0.0)
+
+    def test_bursty_unit_burst_factor_is_degenerate_but_fine(self):
+        reqs = BurstyArrivals(200, MIX, seed=1,
+                              burst_factor=1.0).generate(500)
+        assert reqs
+        times = [r.t_ms for r in reqs]
+        assert times == sorted(times)
+
+    def test_diurnal_zero_floor(self):
+        reqs = DiurnalArrivals(300, MIX, seed=2, floor=0.0).generate(1000)
+        assert reqs
+
+    def test_attach_lengths_with_degenerate_samplers(self):
+        from repro.serving import (LengthSampler,
+                                   attach_generation_lengths)
+
+        arrivals = PoissonArrivals(100, TWO, seed=4).generate(200)
+        reqs = attach_generation_lengths(
+            arrivals,
+            LengthSampler("uniform", 3, 3),
+            LengthSampler("geometric", 1, 1, mean_extra=0.0))
+        assert all(r.prompt_tokens == 3 and r.output_tokens == 1
+                   for r in reqs)

@@ -417,3 +417,65 @@ class TestGenerate:
     def test_bad_length_spec_rejected(self):
         with pytest.raises(SystemExit, match="length spec"):
             main(["generate", "--prompt-tokens", "nope"])
+
+
+class TestScenarioFlags:
+    """The kernel scenario layer's CLI surface: --heterogeneous,
+    --failures, --priority, and their eager validation."""
+
+    def test_serve_failures_json(self, capsys):
+        assert main(["serve", "--qps", "300", "--duration-ms", "300",
+                     "--instances", "2", "--failures", "150:20",
+                     "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert "failures" in out
+        assert 0 < out["failures"]["availability"] <= 1
+
+    def test_serve_heterogeneous_json(self, capsys):
+        assert main(["serve", "--qps", "200", "--duration-ms", "300",
+                     "--heterogeneous", "1.0,0.5", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["fleet"] == "1,0.5"
+        assert out["instances"] == 2
+
+    def test_generate_priority_and_failures(self, capsys):
+        assert main(["generate", "--qps", "40", "--duration-ms", "250",
+                     "--instances", "1", "--slots", "2",
+                     "--priority", "0.3", "--failures", "200:20",
+                     "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["priority_fraction"] == 0.3
+        assert "failures" in out
+
+    def test_serve_rejects_bad_fleet_spec(self):
+        with pytest.raises(SystemExit, match="invalid fleet entry"):
+            main(["serve", "--heterogeneous", "nope"])
+
+    def test_serve_rejects_slots_spec(self):
+        with pytest.raises(SystemExit, match="generate-mode"):
+            main(["serve", "--heterogeneous", "1.0/4"])
+
+    def test_serve_rejects_uncovered_workload(self):
+        """Capability sets that leave the mix unservable exit before
+        the simulation starts, not mid-run with a traceback."""
+        with pytest.raises(SystemExit, match="unservable"):
+            main(["serve", "--heterogeneous",
+                  "1.0@model1-peng-isqed21"])
+
+    def test_serve_rejects_unknown_pinned_model(self):
+        with pytest.raises(SystemExit, match="unknown models"):
+            main(["serve", "--heterogeneous", "1.0@no-such-model"])
+
+    def test_serve_rejects_bad_failure_spec(self):
+        with pytest.raises(SystemExit, match="invalid failure spec"):
+            main(["serve", "--failures", "150"])
+
+    def test_generate_rejects_bad_priority(self):
+        with pytest.raises(SystemExit, match="high_fraction"):
+            main(["generate", "--priority", "2.0",
+                  "--duration-ms", "100"])
+
+    def test_plan_conflicts_with_heterogeneous(self):
+        with pytest.raises(SystemExit, match="--plan"):
+            main(["serve", "--plan", "--slo-ms", "5",
+                  "--heterogeneous", "1.0x2"])

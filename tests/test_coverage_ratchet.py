@@ -1,0 +1,80 @@
+"""The coverage ratchet must itself stay correct and parseable.
+
+CI runs ``pytest --cov=repro`` and feeds the JSON report to
+``tools/coverage_ratchet.py``; these tests pin the comparison logic
+and the committed baseline file without needing coverage tooling in
+the tier-1 environment.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import coverage_ratchet  # noqa: E402
+
+BASELINE = REPO / "tests" / "coverage_baseline.json"
+
+
+class TestCheck:
+    def test_holding_the_baseline_passes(self):
+        ok, msg = coverage_ratchet.check(86.0, 86.0)
+        assert ok and "holds" in msg
+
+    def test_small_drop_within_allowance_passes(self):
+        ok, _ = coverage_ratchet.check(85.6, 86.0, max_drop=0.5)
+        assert ok
+
+    def test_drop_beyond_allowance_fails(self):
+        ok, msg = coverage_ratchet.check(85.4, 86.0, max_drop=0.5)
+        assert not ok
+        assert "fell below" in msg
+
+    def test_improvement_hints_ratchet_up(self):
+        ok, msg = coverage_ratchet.check(90.0, 86.0)
+        assert ok and "ratchet up" in msg
+
+    def test_boundary_is_inclusive(self):
+        ok, _ = coverage_ratchet.check(85.5, 86.0, max_drop=0.5)
+        assert ok
+
+
+class TestBaselineFile:
+    def test_committed_baseline_parses(self):
+        percent, max_drop = coverage_ratchet.read_baseline(BASELINE)
+        assert 0.0 < percent <= 100.0
+        assert max_drop == 0.5
+
+    def test_report_reader_matches_coveragepy_schema(self, tmp_path):
+        report = tmp_path / "coverage.json"
+        report.write_text(json.dumps(
+            {"totals": {"percent_covered": 87.125}}))
+        assert coverage_ratchet.read_measured(report) == 87.125
+
+    def test_main_exit_codes(self, tmp_path):
+        report = tmp_path / "coverage.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"percent": 80.0,
+                                        "max_drop": 0.5}))
+        report.write_text(json.dumps(
+            {"totals": {"percent_covered": 81.0}}))
+        assert coverage_ratchet.main(
+            ["prog", str(report), str(baseline)]) == 0
+        report.write_text(json.dumps(
+            {"totals": {"percent_covered": 70.0}}))
+        assert coverage_ratchet.main(
+            ["prog", str(report), str(baseline)]) == 1
+        assert coverage_ratchet.main(["prog"]) == 2
+
+
+@pytest.mark.skipif(
+    __import__("importlib").util.find_spec("pytest_cov") is None,
+    reason="pytest-cov not installed (the CI coverage job installs it)")
+def test_cov_plugin_available_marker():
+    """Runs only where pytest-cov exists, so the CI coverage job
+    exercises at least one test through the plugin."""
+    assert True

@@ -55,6 +55,26 @@ class TestCliReference:
                      "--objectives", "--cache-dir"):
             assert flag in text, f"docs/cli.md missing {flag}"
 
+    def test_every_serving_flag_documented(self):
+        """Every serve/generate parser flag has a cli.md mention —
+        the scenario flags (--heterogeneous/--failures/--priority)
+        must not drift out of the reference."""
+        text = (DOCS / "cli.md").read_text()
+        parser = build_parser()
+        action = next(a for a in parser._actions
+                      if isinstance(a, argparse._SubParsersAction))
+        for sub in ("serve", "generate"):
+            for act in action.choices[sub]._actions:
+                for opt in act.option_strings:
+                    if opt.startswith("--"):
+                        assert opt in text, (
+                            f"docs/cli.md missing {sub} flag {opt}")
+
+    def test_failure_objectives_documented(self):
+        text = (DOCS / "cli.md").read_text()
+        for name in ("availability", "p99_degraded_ms"):
+            assert name in text, f"docs/cli.md missing objective {name}"
+
 
 class TestArchitecture:
     def test_every_package_described(self):

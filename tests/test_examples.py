@@ -26,6 +26,7 @@ def _run(name: str) -> None:
     "multi_fpga_pipeline.py",
     "design_space_exploration.py",
     "generation_serving.py",
+    "sim_scenarios.py",
 ])
 def test_example_runs(name):
     _run(name)
@@ -45,6 +46,7 @@ def test_examples_directory_complete():
         "serving_simulation.py",
         "multi_fpga_pipeline.py",
         "generation_serving.py",
+        "sim_scenarios.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

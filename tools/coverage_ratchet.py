@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Coverage ratchet: fail CI when line coverage drops below baseline.
+
+Usage::
+
+    python tools/coverage_ratchet.py coverage.json [tests/coverage_baseline.json]
+
+``coverage.json`` is the JSON report pytest-cov writes
+(``--cov-report=json``); the baseline file is committed in-repo and
+holds the last accepted coverage percent plus the allowed drop::
+
+    {"percent": 86.0, "max_drop": 0.5}
+
+The check fails (exit 1) when measured < percent - max_drop.  When the
+measured value exceeds the committed baseline by more than ``max_drop``
+the script prints a ratchet-up hint — commit the new number so the
+floor follows the suite upward.
+
+The comparison logic lives in :func:`check` so the tier-1 suite can
+unit-test the ratchet without installing coverage tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Tuple
+
+DEFAULT_BASELINE = Path(__file__).parent.parent / "tests" / \
+    "coverage_baseline.json"
+
+
+def check(measured_percent: float, baseline_percent: float,
+          max_drop: float = 0.5) -> Tuple[bool, str]:
+    """(ok, message) for a measured coverage vs. the committed floor."""
+    floor = baseline_percent - max_drop
+    if measured_percent < floor:
+        return False, (
+            f"coverage {measured_percent:.2f}% fell below the ratchet "
+            f"floor {floor:.2f}% (baseline {baseline_percent:.2f}% - "
+            f"{max_drop:.2f}% allowance) — add tests or, if the drop "
+            "is justified, lower tests/coverage_baseline.json in the "
+            "same PR with a rationale")
+    if measured_percent > baseline_percent + max_drop:
+        return True, (
+            f"coverage {measured_percent:.2f}% beats the baseline "
+            f"{baseline_percent:.2f}% — ratchet up: set \"percent\": "
+            f"{measured_percent:.2f} in tests/coverage_baseline.json")
+    return True, (
+        f"coverage {measured_percent:.2f}% holds the baseline "
+        f"{baseline_percent:.2f}% (floor {floor:.2f}%)")
+
+
+def read_measured(report_path: Path) -> float:
+    """Total line-coverage percent from a coverage.py JSON report."""
+    data = json.loads(report_path.read_text())
+    return float(data["totals"]["percent_covered"])
+
+
+def read_baseline(baseline_path: Path) -> Tuple[float, float]:
+    data = json.loads(baseline_path.read_text())
+    return float(data["percent"]), float(data.get("max_drop", 0.5))
+
+
+def main(argv) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    report = Path(argv[1])
+    baseline = Path(argv[2]) if len(argv) == 3 else DEFAULT_BASELINE
+    measured = read_measured(report)
+    percent, max_drop = read_baseline(baseline)
+    ok, message = check(measured, percent, max_drop)
+    print(message)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -42,9 +42,10 @@ def _validate_record(record: dict) -> None:
     silently corrupting the shared history file.
     """
     expected = {"run", "suite", "metric", "value", "units"}
-    if set(record) != expected:
+    if set(record) - {"context"} != expected:
         raise ValueError(
-            f"perf record fields {sorted(record)} != {sorted(expected)}")
+            f"perf record fields {sorted(record)} != {sorted(expected)} "
+            "(plus optional 'context')")
     for key in ("run", "suite", "metric", "units"):
         if not isinstance(record[key], str) or not record[key]:
             raise ValueError(f"perf record {key!r} must be a non-empty "
@@ -54,9 +55,29 @@ def _validate_record(record: dict) -> None:
         raise ValueError(
             f"perf record value must be a finite number, "
             f"got {record['value']!r}")
+    if "context" in record:
+        context = record["context"]
+        if not isinstance(context, dict) or not context:
+            raise ValueError(
+                f"perf record context must be a non-empty dict, "
+                f"got {context!r}")
+        for key, value in context.items():
+            if not isinstance(key, str) or not key:
+                raise ValueError(
+                    f"perf record context key must be a non-empty "
+                    f"string, got {key!r}")
+            ok = (isinstance(value, bool)
+                  or (isinstance(value, str) and value)
+                  or (isinstance(value, (int, float))
+                      and math.isfinite(value)))
+            if not ok:
+                raise ValueError(
+                    f"perf record context[{key!r}] must be a finite "
+                    f"number, non-empty string, or bool, got {value!r}")
 
 
-def _append(suite: str, metric: str, value: float, units: str) -> None:
+def _append(suite: str, metric: str, value: float, units: str,
+            context: dict = None) -> None:
     record = {
         "run": _run_stamp,
         "suite": suite,
@@ -64,6 +85,8 @@ def _append(suite: str, metric: str, value: float, units: str) -> None:
         "value": float(value),
         "units": units,
     }
+    if context is not None:
+        record["context"] = dict(context)
     _validate_record(record)
     _records.append(record)
 

@@ -24,7 +24,9 @@ multi-objective design-space exploration with Pareto-frontier
 extraction and an on-disk evaluation cache), ``repro.sim`` (the
 unified event-driven simulation kernel every simulator runs on:
 deterministic event heap, per-component RNG streams, heterogeneous
-fleets, MTBF/MTTR failure injection).  The full layer stack is
+fleets, MTBF/MTTR failure injection), ``repro.obs`` (observability:
+Chrome-trace recording, grid-sampled metrics, kernel and DSE
+profiling — all zero-cost when detached).  The full layer stack is
 documented in ``docs/architecture.md``.
 
 Serving quickstart::
@@ -53,6 +55,16 @@ DSE quickstart::
                      objectives=get_objectives(), jobs=4,
                      cache=EvalCache(".dse_cache"))
     print([p.point for p in result.frontier])
+
+Observability quickstart::
+
+    from repro import MetricsSampler, TraceRecorder, simulate_cluster
+    tracer, sampler = TraceRecorder(), MetricsSampler(grid_ms=10.0)
+    from repro.obs import compose
+    result = simulate_cluster(accel, reqs, n_instances=4,
+                              observer=compose(tracer, sampler))
+    tracer.dump("run.trace.json")          # chrome://tracing / Perfetto
+    print(sampler.registry.as_dict()["counters"])
 """
 
 from .core import (
@@ -101,14 +113,21 @@ from .serving import (
     summarize,
     summarize_generation,
 )
+from .obs import (
+    DseProfile,
+    KernelProfiler,
+    MetricsRegistry,
+    MetricsSampler,
+    TraceRecorder,
+)
 from .serving import simulate as simulate_cluster
 from .sim import FailurePlan, FleetSpec, InstanceSpec
 
-# 1.2.0: unified event-driven simulation kernel (repro.sim) with
-# heterogeneous fleets, MTBF/MTTR failure injection, and priority
-# preemption.  The version keys the DSE evaluation cache, so records
-# gain the availability metrics via clean misses instead of stale hits.
-__version__ = "1.2.0"
+# 1.3.0: observability layer (repro.obs) — trace recording, grid-
+# sampled metrics, kernel/DSE profiling — plus observer hooks on the
+# sim kernel and a run_config block in CLI JSON output.  The version
+# keys the DSE evaluation cache; bumping it re-keys records cleanly.
+__version__ = "1.3.0"
 
 __all__ = [
     "ProTEA",
@@ -159,5 +178,10 @@ __all__ = [
     "evaluate_point",
     "standard_space",
     "pareto_front",
+    "TraceRecorder",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "KernelProfiler",
+    "DseProfile",
     "__version__",
 ]

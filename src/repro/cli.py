@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "instead of simulating --instances")
     srv.add_argument("--trace-file", default=None,
                      help="JSON [[t_ms, model], ...] for --scenario trace")
+    srv.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome-trace-event JSON of the run "
+                          "(open in chrome://tracing or Perfetto)")
+    srv.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write grid-sampled metrics (JSON, or CSV for "
+                          "*.csv paths)")
+    srv.add_argument("--metrics-grid-ms", type=float, default=10.0,
+                     help="simulated-time sampling grid for --metrics")
+    srv.add_argument("--profile", action="store_true",
+                     help="report kernel wall time per event kind")
     srv.add_argument("--json", action="store_true", dest="as_json")
 
     gen = sub.add_parser(
@@ -138,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="time-to-first-token SLO for goodput")
     gen.add_argument("--tpot-slo-ms", type=float, default=None,
                      help="time-per-output-token SLO for goodput")
+    gen.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome-trace-event JSON of the run "
+                          "(open in chrome://tracing or Perfetto)")
+    gen.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write grid-sampled metrics (JSON, or CSV for "
+                          "*.csv paths)")
+    gen.add_argument("--metrics-grid-ms", type=float, default=10.0,
+                     help="simulated-time sampling grid for --metrics")
+    gen.add_argument("--profile", action="store_true",
+                     help="report kernel wall time per event kind")
     gen.add_argument("--json", action="store_true", dest="as_json")
 
     par = sub.add_parser(
@@ -208,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="evaluation-cache directory "
                           "(default .dse_cache; implies --resume)")
+    dse.add_argument("--profile", action="store_true",
+                     help="report cache hit/miss counts, per-point eval "
+                          "wall time, and per-worker dispatch/idle time")
     dse.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
@@ -392,6 +415,68 @@ def _parse_fleet(args, requests, generation: bool):
     return fleet, failures
 
 
+def _make_observer(args):
+    """Build (observer, tracer, sampler, profiler) from serve/generate
+    observability flags; everything is None when the flags are off."""
+    from .obs import KernelProfiler, MetricsSampler, TraceRecorder, compose
+
+    tracer = TraceRecorder() if args.trace else None
+    sampler = None
+    if args.metrics:
+        try:
+            sampler = MetricsSampler(grid_ms=args.metrics_grid_ms)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    profiler = KernelProfiler() if args.profile else None
+    return compose(tracer, sampler), tracer, sampler, profiler
+
+
+def _dump_obs(args, tracer, sampler, run_config) -> None:
+    """Write --trace / --metrics exports, owning the exit message."""
+    try:
+        if tracer is not None:
+            tracer.dump(args.trace, run_config)
+        if sampler is not None:
+            sampler.registry.dump(args.metrics, run_config)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot write observability output: {exc}") from None
+
+
+def _run_config(args, command: str, fleet) -> dict:
+    """The knobs that reproduce this run (embedded in --json output,
+    trace metadata, and metrics exports so they stay correlatable)."""
+    from . import __version__
+
+    rc = {
+        "command": command,
+        "repro_version": __version__,
+        "scenario": args.scenario,
+        "qps": args.qps,
+        "duration_ms": args.duration_ms,
+        "seed": args.seed,
+        "policy": args.policy,
+        "models": list(args.models) if args.models else None,
+        "reprogram_ms": args.reprogram_ms,
+        "failures": args.failures,
+    }
+    if fleet is not None:
+        rc["fleet"] = fleet.describe()
+    else:
+        rc["instances"] = args.instances
+    if command == "serve":
+        rc.update(batch=args.batch, batch_size=args.batch_size,
+                  batch_timeout_ms=args.batch_timeout_ms,
+                  slo_ms=args.slo_ms)
+    else:
+        rc.update(slots=args.slots, prompt_tokens=args.prompt_tokens,
+                  output_tokens=args.output_tokens,
+                  priority_fraction=args.priority,
+                  ttft_slo_ms=args.ttft_slo_ms,
+                  tpot_slo_ms=args.tpot_slo_ms)
+    return rc
+
+
 def _cmd_serve(args) -> None:
     from .experiments.common import default_accelerator
     from .serving import (get_batching, plan_capacity, render_capacity_plan,
@@ -411,6 +496,10 @@ def _cmd_serve(args) -> None:
                 "--heterogeneous spec")
         if args.slo_ms is None:
             raise SystemExit("--plan requires --slo-ms")
+        if args.trace or args.metrics or args.profile:
+            raise SystemExit(
+                "--trace/--metrics/--profile instrument a single run "
+                "and cannot observe a --plan search (many runs)")
         # Gate throughput on the *realized* offered load: for diurnal
         # (where --qps is the peak) and bursty seeds the generated rate
         # sits below nominal, and the nominal gate could never be met.
@@ -433,26 +522,38 @@ def _cmd_serve(args) -> None:
             print(render_capacity_plan(plan))
         return
 
+    observer, tracer, sampler, profiler = _make_observer(args)
+    run_cfg = _run_config(args, "serve", fleet)
     result = simulate(
         accel, requests, None if fleet else args.instances,
         scheduler=args.policy, batching=batching,
         reprogram_latency_ms=args.reprogram_ms,
-        fleet=fleet, failures=failures)
+        fleet=fleet, failures=failures,
+        observer=observer, profiler=profiler)
     report = summarize(result, slo_ms=args.slo_ms)
+    _dump_obs(args, tracer, sampler, run_cfg)
     n_inst = fleet.n if fleet else args.instances
     if args.as_json:
         out = {"scenario": args.scenario, "qps": args.qps,
                "duration_ms": args.duration_ms, "seed": args.seed,
-               "reprogram_ms": args.reprogram_ms}
+               "reprogram_ms": args.reprogram_ms,
+               "run_config": run_cfg}
         if fleet is not None:
             out["fleet"] = fleet.describe()
         out.update(report.as_dict())
+        if profiler is not None:
+            out["profile"] = profiler.as_dict()
         print(json.dumps(out, indent=2))
     else:
         print(render_serving_report(
             report,
             title=(f"Serving: {args.scenario} @ {args.qps:g} qps, "
                    f"{n_inst} instance(s), {args.policy}")))
+        if profiler is not None:
+            from .obs import render_kernel_profile
+
+            print()
+            print(render_kernel_profile(profiler))
 
 
 def _cmd_generate(args) -> None:
@@ -479,25 +580,32 @@ def _cmd_generate(args) -> None:
                                          seed=args.seed)
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    observer, tracer, sampler, profiler = _make_observer(args)
+    run_cfg = _run_config(args, "generate", fleet)
     result = simulate_generation(
         accel, requests, None if fleet else args.instances,
         slots=args.slots, scheduler=args.policy,
         reprogram_latency_ms=args.reprogram_ms,
-        fleet=fleet, failures=failures)
+        fleet=fleet, failures=failures,
+        observer=observer, profiler=profiler)
     report = summarize_generation(result, ttft_slo_ms=args.ttft_slo_ms,
                                   tpot_slo_ms=args.tpot_slo_ms)
+    _dump_obs(args, tracer, sampler, run_cfg)
     n_inst = fleet.n if fleet else args.instances
     if args.as_json:
         out = {"scenario": args.scenario, "qps": args.qps,
                "duration_ms": args.duration_ms, "seed": args.seed,
                "prompt_tokens": args.prompt_tokens,
                "output_tokens": args.output_tokens,
-               "reprogram_ms": args.reprogram_ms}
+               "reprogram_ms": args.reprogram_ms,
+               "run_config": run_cfg}
         if fleet is not None:
             out["fleet"] = fleet.describe()
         if args.priority is not None:
             out["priority_fraction"] = args.priority
         out.update(report.as_dict())
+        if profiler is not None:
+            out["profile"] = profiler.as_dict()
         print(json.dumps(out, indent=2))
     else:
         print(render_generation_report(
@@ -505,6 +613,11 @@ def _cmd_generate(args) -> None:
             title=(f"Generation: {args.scenario} @ {args.qps:g} qps, "
                    f"{n_inst} instance(s) x {args.slots} slot(s), "
                    f"{args.policy}")))
+        if profiler is not None:
+            from .obs import render_kernel_profile
+
+            print()
+            print(render_kernel_profile(profiler))
 
 
 def _cmd_partition(args) -> None:
@@ -628,6 +741,7 @@ def _cmd_dse(args) -> None:
         settings=settings,
         jobs=args.jobs,
         cache=cache,
+        profile=args.profile,
     )
     if args.as_json:
         out = result.as_dict()

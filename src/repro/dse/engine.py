@@ -23,6 +23,7 @@ bit-identical to fresh ones.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
@@ -78,6 +79,10 @@ class ExplorationResult:
     cache_misses: int
     elapsed_s: float
     settings: Dict[str, Any] = field(default_factory=dict)
+    #: :class:`repro.obs.DseProfile` when the sweep ran with
+    #: ``profile=True`` (cache split, per-point wall time, per-worker
+    #: dispatch/idle breakdown); ``None`` otherwise.
+    profile: Optional[Any] = None
 
     @property
     def ok_results(self) -> List[EvalResult]:
@@ -97,6 +102,8 @@ class ExplorationResult:
             "elapsed_s": self.elapsed_s,
             "results": [r.as_dict() for r in self.results],
             "frontier": [r.as_dict() for r in self.frontier],
+            **({"profile": _json_safe(self.profile.as_dict())}
+               if self.profile is not None else {}),
         }
 
 
@@ -120,15 +127,22 @@ def _eval_task(task: Tuple[Evaluator, Dict[str, Any], Dict[str, Any], bool]):
     """Pool worker: score one point, capturing tolerated failures.
 
     Module-level so it pickles; the evaluator travels inside the task.
-    Returns ``(point, metrics, error)``.
+    Returns ``(point, metrics, error, (worker_name, wall_s))`` — the
+    trailing element is worker-side profiling data (who evaluated the
+    point, and how long the evaluator itself ran); it never feeds the
+    scores, so profiled and unprofiled sweeps stay bit-identical.
     """
     evaluator, point, settings, continue_on_error = task
+    t0 = time.perf_counter()
     try:
-        return point, dict(evaluator(point, settings)), ""
+        metrics, error = dict(evaluator(point, settings)), ""
     except Exception as exc:  # noqa: BLE001 - DSE tolerates corners
         if not continue_on_error:
             raise
-        return point, {}, _error_text(exc)
+        metrics, error = {}, _error_text(exc)
+    return point, metrics, error, (
+        multiprocessing.current_process().name,
+        time.perf_counter() - t0)
 
 
 def _split_metrics(metrics: Mapping[str, Any],
@@ -164,6 +178,7 @@ def explore(
     chunk_size: Optional[int] = None,
     cache: Optional[EvalCache] = None,
     continue_on_error: bool = True,
+    profile: bool = False,
 ) -> ExplorationResult:
     """Explore ``space``, scoring points with ``evaluator``.
 
@@ -176,9 +191,19 @@ def explore(
 
     With ``continue_on_error`` (the default) evaluator exceptions become
     per-point error records; otherwise the first failure propagates.
+
+    ``profile=True`` attaches a :class:`repro.obs.DseProfile` to the
+    result: eval-cache hits/misses, per-point evaluation wall time, and
+    a per-worker dispatch/idle breakdown.  Profiling reads wall clocks
+    around evaluations only — scores are bit-identical either way.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    profile_rec = None
+    if profile:
+        from ..obs.profile import DseProfile
+
+        profile_rec = DseProfile()
     objectives = tuple(objectives)
     settings_dict = dict(settings or {})
     # Different evaluators may share one cache directory; fold the
@@ -233,10 +258,9 @@ def explore(
             if todo:
                 tasks = [(evaluator, point, settings_dict, continue_on_error)
                          for _, point in todo]
+                t_dispatch = time.perf_counter()
                 if jobs > 1 and len(tasks) > 1:
                     if pool is None:
-                        import multiprocessing
-
                         pool = multiprocessing.Pool(processes=jobs)
                     chunk = chunk_size or max(
                         1, -(-len(tasks) // (4 * jobs)))
@@ -244,11 +268,15 @@ def explore(
                                                    chunksize=chunk))
                 else:
                     raw = [_eval_task(t) for t in tasks]
+                if profile_rec is not None:
+                    profile_rec.add_batch(time.perf_counter() - t_dispatch)
                 n_evaluated += len(raw)
-                scored = {point_id(point): (point, metrics, error)
-                          for point, metrics, error in raw}
+                scored = {point_id(point): (point, metrics, error, prof)
+                          for point, metrics, error, prof in raw}
                 for pid, _ in todo:
-                    point, metrics, error = scored[pid]
+                    point, metrics, error, prof = scored[pid]
+                    if profile_rec is not None:
+                        profile_rec.add_point(point, prof[0], prof[1], error)
                     result = _result_from_metrics(point, metrics, error,
                                                   objectives)
                     by_id[pid] = result
@@ -293,6 +321,9 @@ def explore(
     frontier = (pareto_front(unique_ok, objectives,
                              key=lambda r: r.objectives)
                 if objectives else [])
+    if profile_rec is not None:
+        profile_rec.cache_hits = cache_hits
+        profile_rec.cache_misses = cache_misses
     return ExplorationResult(
         results=ordered,
         frontier=frontier,
@@ -304,4 +335,5 @@ def explore(
         cache_misses=cache_misses,
         elapsed_s=time.perf_counter() - started,
         settings=settings_dict,
+        profile=profile_rec,
     )

@@ -59,4 +59,9 @@ def render_exploration(result: ExplorationResult,
             sum(1 for r in result.results if r.ok),
             ", ".join(f"{o.name} {o.goal}" for o in result.objectives)),
     ]
+    if result.profile is not None:
+        from ..obs.profile import render_dse_profile
+
+        lines.append("")
+        lines.append(render_dse_profile(result.profile))
     return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""repro.obs — tracing, metrics, and profiling for the simulation stack.
+
+Three pillars, all opt-in and all zero-cost when left detached:
+
+* **tracing** (:mod:`repro.obs.trace`) — :class:`TraceRecorder` turns the
+  engines' flat event tuples into Chrome-trace-event JSON viewable in
+  ``chrome://tracing`` / Perfetto; attach via
+  :meth:`repro.sim.kernel.Simulation.attach_observer` or the
+  ``serve --trace`` / ``generate --trace`` CLI flags.
+* **metrics** (:mod:`repro.obs.metrics`) — :class:`MetricsRegistry` of
+  counters, gauges, and histograms; :class:`MetricsSampler` observes a
+  run and samples fleet state on a configurable sim-time grid,
+  exportable to JSON or CSV (``--metrics``).
+* **profiling** (:mod:`repro.obs.profile`) — :class:`KernelProfiler`
+  attributes kernel wall time per event kind;
+  :class:`DseProfile` instruments :func:`repro.dse.engine.explore`
+  with cache hit/miss counts and a per-worker dispatch/idle breakdown
+  (``--profile``).
+
+Observers are read-only consumers of engine events: a run with
+observability attached is byte-identical to a bare run (enforced by the
+trace-identity golden tests).  Multiple observers compose with
+:func:`compose`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSampler
+from .profile import (
+    DseProfile,
+    KernelProfiler,
+    render_dse_profile,
+    render_kernel_profile,
+)
+from .trace import TraceRecorder
+
+__all__ = [
+    "TraceRecorder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "KernelProfiler",
+    "DseProfile",
+    "render_kernel_profile",
+    "render_dse_profile",
+    "compose",
+]
+
+
+class _Composite:
+    """Fan one engine event stream out to several observers."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: tuple) -> None:
+        self._parts = parts
+
+    def __call__(self, event: tuple) -> None:
+        for part in self._parts:
+            part(event)
+
+    def finish(self, t_ms: float) -> None:
+        for part in self._parts:
+            fin = getattr(part, "finish", None)
+            if fin is not None:
+                fin(t_ms)
+
+
+def compose(*observers: Callable[[tuple], None]) -> Callable[[tuple], None]:
+    """Combine observers into one (``None`` entries are dropped).
+
+    Returns ``None`` when nothing is left, a single observer unchanged,
+    or a composite that forwards every event — and ``finish()`` — to
+    each part in order.
+    """
+    parts = tuple(o for o in observers if o is not None)
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return _Composite(parts)

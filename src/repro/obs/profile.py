@@ -1,0 +1,188 @@
+"""Hotspot profiling: kernel event attribution and DSE instrumentation.
+
+The profiling pillar of :mod:`repro.obs`, two instruments for the two
+performance questions the ROADMAP is currently debugging blind:
+
+* :class:`KernelProfiler` — where does the sim kernel's *wall time* go,
+  by event kind?  Attach via
+  :meth:`repro.sim.kernel.Simulation.attach_profiler`; the engine then
+  times every handler dispatch.  The bare (detached) path is untouched
+  — the engines select the timing loop once per run, so a run without a
+  profiler costs what it always did.
+* :class:`DseProfile` — why is the parallel DSE slow?  Passed through
+  :func:`repro.dse.engine.explore` (``profile=True``), it records the
+  eval-cache hit/miss split, per-point evaluation wall time (worker-side,
+  so pool overhead is *excluded* and shows up as idle), and a
+  per-worker dispatch/idle breakdown over the pool's busy window —
+  exactly the measurement needed to attribute the recorded
+  ``dse_parallel_speedup_x < 1`` to spawn/pickle overhead vs. load
+  imbalance vs. evaluation cost.
+
+Neither instrument perturbs simulated results: wall clocks feed only
+the profile, never the simulation's event order or floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from ..analysis.tables import render_table
+
+__all__ = ["KernelProfiler", "DseProfile", "render_kernel_profile",
+           "render_dse_profile"]
+
+
+class KernelProfiler:
+    """Per-event-kind counts and wall-time attribution for one run."""
+
+    __slots__ = ("counts", "wall_s")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.wall_s: Dict[str, float] = {}
+
+    def record(self, kind: str, elapsed_s: float) -> None:
+        """Attribute one handler dispatch (hot: called per event)."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.wall_s[kind] = self.wall_s.get(kind, 0.0) + elapsed_s
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(self.wall_s.values())
+
+    def as_dict(self) -> dict:
+        total = self.total_wall_s
+        return {
+            "events": self.total_events,
+            "wall_s": total,
+            "by_kind": {
+                kind: {
+                    "count": self.counts[kind],
+                    "wall_s": self.wall_s[kind],
+                    "share": (self.wall_s[kind] / total) if total else 0.0,
+                }
+                for kind in sorted(self.counts)
+            },
+        }
+
+
+def render_kernel_profile(profiler: KernelProfiler,
+                          title: str = "Kernel profile") -> str:
+    """Per-event-kind hotspot table, heaviest first."""
+    total = profiler.total_wall_s
+    rows = [
+        (kind,
+         profiler.counts[kind],
+         round(profiler.wall_s[kind] * 1e3, 3),
+         f"{(profiler.wall_s[kind] / total if total else 0.0):.1%}",
+         round(profiler.wall_s[kind] / profiler.counts[kind] * 1e6, 2))
+        for kind in sorted(profiler.counts,
+                           key=lambda k: -profiler.wall_s[k])
+    ]
+    table = render_table(
+        ("event kind", "count", "wall ms", "share", "us/event"), rows,
+        title=title)
+    return (f"{table}\n{profiler.total_events} event(s), "
+            f"{total * 1e3:.3f} ms attributed")
+
+
+class DseProfile:
+    """Instrumentation for one :func:`~repro.dse.engine.explore` run."""
+
+    def __init__(self) -> None:
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: One entry per fresh evaluation:
+        #: {"point", "worker", "wall_s", "error"}.
+        self.points: List[Dict[str, Any]] = []
+        #: Wall time the engine spent inside dispatch (pool or serial),
+        #: summed over batches — the window workers could have been busy.
+        self.dispatch_wall_s = 0.0
+
+    # -- recording (engine-facing) ----------------------------------------
+    def add_batch(self, window_s: float) -> None:
+        self.dispatch_wall_s += window_s
+
+    def add_point(self, point: Mapping[str, Any], worker: str,
+                  wall_s: float, error: str = "") -> None:
+        self.points.append({"point": dict(point), "worker": worker,
+                            "wall_s": wall_s, "error": error})
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def eval_wall_s(self) -> float:
+        """Total worker-side evaluation time (sum over points)."""
+        return sum(p["wall_s"] for p in self.points)
+
+    def workers(self) -> Dict[str, Dict[str, float]]:
+        """Per-worker breakdown: tasks, busy, and idle wall time.
+
+        Idle is the dispatch window minus the worker's busy time — the
+        spawn/pickle/queueing overhead the ROADMAP suspects.  Serial
+        runs show one ``main`` worker with idle ≈ engine bookkeeping.
+        """
+        table: Dict[str, Dict[str, float]] = {}
+        for p in self.points:
+            entry = table.setdefault(
+                p["worker"], {"tasks": 0, "busy_s": 0.0, "idle_s": 0.0})
+            entry["tasks"] += 1
+            entry["busy_s"] += p["wall_s"]
+        for entry in table.values():
+            entry["idle_s"] = max(0.0, self.dispatch_wall_s
+                                  - entry["busy_s"])
+        return table
+
+    def slowest(self, n: int = 5) -> List[Dict[str, Any]]:
+        return sorted(self.points, key=lambda p: -p["wall_s"])[:n]
+
+    def as_dict(self) -> dict:
+        return {
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses},
+            "evaluations": len(self.points),
+            "eval_wall_s": self.eval_wall_s,
+            "dispatch_wall_s": self.dispatch_wall_s,
+            "workers": self.workers(),
+            "slowest": [
+                {"point": p["point"], "worker": p["worker"],
+                 "wall_s": p["wall_s"], "error": p["error"]}
+                for p in self.slowest()
+            ],
+        }
+
+
+def render_dse_profile(profile: DseProfile,
+                       title: str = "DSE profile") -> str:
+    """Cache split, per-worker dispatch/idle table, slowest points."""
+    workers = profile.workers()
+    lines = [
+        f"{title}: {profile.cache_hits} cache hit(s), "
+        f"{profile.cache_misses} miss(es), "
+        f"{len(profile.points)} fresh evaluation(s) in "
+        f"{profile.eval_wall_s:.3f} s of worker time "
+        f"({profile.dispatch_wall_s:.3f} s dispatch wall)",
+    ]
+    if workers:
+        lines.append(render_table(
+            ("worker", "tasks", "busy s", "idle s", "busy share"),
+            [(name, int(w["tasks"]), round(w["busy_s"], 4),
+              round(w["idle_s"], 4),
+              f"{(w['busy_s'] / profile.dispatch_wall_s):.1%}"
+              if profile.dispatch_wall_s else "-")
+             for name, w in sorted(workers.items())],
+            title="Per-worker",
+        ))
+    slowest = profile.slowest()
+    if slowest:
+        lines.append(render_table(
+            ("wall s", "worker", "point"),
+            [(round(p["wall_s"], 4), p["worker"],
+              ",".join(f"{k}={v}" for k, v in sorted(p["point"].items())))
+             for p in slowest],
+            title="Slowest evaluations",
+        ))
+    return "\n\n".join(lines)

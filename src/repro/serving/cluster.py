@@ -220,13 +220,19 @@ class ClusterSimulator:
         return get_scheduler(spec) if isinstance(spec, str) else spec
 
     # ------------------------------------------------------------------
-    def run(self, requests: Sequence[Request]) -> SimulationResult:
+    def run(self, requests: Sequence[Request], observer=None,
+            profiler=None) -> SimulationResult:
         """Simulate the full stream on the unified kernel.
 
         Bit-identical to :meth:`run_legacy` on homogeneous, no-failure
         scenarios (the trace-identity goldens hold the two loops to
         byte-equal rendered reports) and the only path that understands
         heterogeneous fleets and failure injection.
+
+        ``observer``/``profiler`` are forwarded to the engine's
+        observability hooks (see :mod:`repro.obs`); observers are
+        read-only, so the result is byte-identical with or without
+        them.
         """
         from ..sim.serve import ServeEngine
 
@@ -240,6 +246,10 @@ class ClusterSimulator:
             check_jitter_ms=self.check_jitter_ms,
             failures=self.failures,
         )
+        if observer is not None:
+            engine.attach_observer(observer)
+        if profiler is not None:
+            engine.attach_profiler(profiler)
         return engine.run(requests)
 
     # ------------------------------------------------------------------
@@ -381,10 +391,12 @@ def simulate(
     reprogram_latency_ms: float = 0.0,
     fleet: Optional[FleetSpec] = None,
     failures: Optional[FailurePlan] = None,
+    observer=None,
+    profiler=None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`ClusterSimulator`."""
     sim = ClusterSimulator(
         accel, n_instances, scheduler=scheduler, batching=batching,
         models=models, reprogram_latency_ms=reprogram_latency_ms,
         fleet=fleet, failures=failures)
-    return sim.run(requests)
+    return sim.run(requests, observer=observer, profiler=profiler)

@@ -355,14 +355,19 @@ class GenerationClusterSimulator:
             self.service.validate(req)
 
     # ------------------------------------------------------------------
-    def run(self, requests: Sequence[GenerationRequest]
-            ) -> GenerationSimulationResult:
+    def run(self, requests: Sequence[GenerationRequest], observer=None,
+            profiler=None) -> GenerationSimulationResult:
         """Simulate the stream to completion on the unified kernel.
 
         Bit-identical to :meth:`run_legacy` on homogeneous, no-failure,
         no-priority scenarios (pinned by the trace-identity goldens)
         and the only path that understands heterogeneous fleets,
         failure injection, and priority admission with preemption.
+
+        ``observer``/``profiler`` are forwarded to the engine's
+        observability hooks (see :mod:`repro.obs`); observers are
+        read-only, so the result is byte-identical with or without
+        them.
         """
         from ..sim.generate import GenerationEngine
 
@@ -376,6 +381,10 @@ class GenerationClusterSimulator:
             failures=self.failures,
             preemption=self.preemption,
         )
+        if observer is not None:
+            engine.attach_observer(observer)
+        if profiler is not None:
+            engine.attach_profiler(profiler)
         return engine.run(requests)
 
     # ------------------------------------------------------------------
@@ -538,10 +547,12 @@ def simulate_generation(
     fleet: Optional[FleetSpec] = None,
     failures: Optional[FailurePlan] = None,
     preemption: Optional[bool] = None,
+    observer=None,
+    profiler=None,
 ) -> GenerationSimulationResult:
     """One-call wrapper around :class:`GenerationClusterSimulator`."""
     sim = GenerationClusterSimulator(
         accel, n_instances, slots=slots, scheduler=scheduler, models=models,
         reprogram_latency_ms=reprogram_latency_ms, fleet=fleet,
         failures=failures, preemption=preemption)
-    return sim.run(requests)
+    return sim.run(requests, observer=observer, profiler=profiler)

@@ -213,6 +213,17 @@ class GenerationEngine(Simulation):
         queue = self.queue
         push = queue.push
         trace = self.trace
+        # Observer wiring (same contract as ServeEngine.run): detached
+        # runs bind ``emit`` straight to ``trace.append``; ``note``
+        # carries observer-only requeue events that never enter the
+        # trace, keeping trace bytes identical either way.
+        note = self.observer
+        if note is None:
+            emit = trace.append
+        else:
+            def emit(event, _append=trace.append, _obs=note):
+                _append(event)
+                _obs(event)
         instances = self.instances
         dispatcher = self.dispatcher
         service = self.service
@@ -297,7 +308,7 @@ class GenerationEngine(Simulation):
                 inst.preemptions += 1
                 preempt_counts[victim.req.rid] = (
                     preempt_counts.get(victim.req.rid, 0) + 1)
-                trace.append(("preempt", now, inst.idx, victim.req.rid))
+                emit(("preempt", now, inst.idx, victim.req.rid))
                 iq.append(_Resume(victim))
 
         def start_step(inst: _Inst, now: float) -> None:
@@ -340,8 +351,8 @@ class GenerationEngine(Simulation):
                     duration += prefill_ms(model, seq.cached) / speed
                     inst.active.append(seq)
                     inst.prefills += 1
-                    trace.append(("resume", now, inst.idx, seq.req.rid,
-                                  seq.cached, seq.remaining))
+                    emit(("resume", now, inst.idx, seq.req.rid,
+                          seq.cached, seq.remaining))
                 else:
                     duration += prefill_ms(model, entry.prompt_tokens) / speed
                     seq = _Seq(entry, t_admit=now, t_first=now + duration)
@@ -349,8 +360,8 @@ class GenerationEngine(Simulation):
                     inst.prefills += 1
                     inst.requests += 1
                     inst.tokens += 1  # the prefill's first token
-                    trace.append(("admit", now, inst.idx, entry.rid,
-                                  entry.prompt_tokens, entry.output_tokens))
+                    emit(("admit", now, inst.idx, entry.rid,
+                          entry.prompt_tokens, entry.output_tokens))
             if decoding:
                 duration += decode_step_ms(
                     model, [s.cached + 1 for s in decoding]) / speed
@@ -360,8 +371,8 @@ class GenerationEngine(Simulation):
             inst.steps += 1
             inst.step_done = [(s, True) for s in decoding]
             inst.tokens += len(decoding)
-            trace.append(("step", now, inst.idx, model, len(admitted),
-                          len(decoding), duration))
+            emit(("step", now, inst.idx, model, len(admitted),
+                  len(decoding), duration))
             push(end, _P_STEP, ("step", inst, inst.epoch))
             sample(now)
 
@@ -387,7 +398,7 @@ class GenerationEngine(Simulation):
                         retries=retries.get(req.rid, 0),
                         preemptions=preempt_counts.get(req.rid, 0),
                         degraded=degraded.get(req.rid, False)))
-                    trace.append(("finish", now, inst.idx, req.rid))
+                    emit(("finish", now, inst.idx, req.rid))
                 else:
                     still.append(seq)
             inst.active = still
@@ -395,14 +406,23 @@ class GenerationEngine(Simulation):
             start_step(inst, now)
 
         def route(entry, now: float) -> None:
-            """Queue a request/resume like a fresh arrival (requeue)."""
+            """Queue a request/resume like a fresh arrival (requeue).
+
+            Emits an observer-only ``requeue`` event — never appended
+            to the trace — so metrics observers see displaced work
+            re-enter a queue without perturbing the golden traces.
+            """
             inst = dispatcher.pick(entry, now)
             if inst is None:
                 pending.append(entry)
+                if note is not None:
+                    note(("requeue", now, entry.rid, -1))
                 return
             inst.queue.append(entry)
             if inst.last_model is None:
                 inst.last_model = entry.model
+            if note is not None:
+                note(("requeue", now, entry.rid, inst.idx))
             start_step(inst, now)
 
         def on_arrival(payload: tuple, now: float) -> None:
@@ -412,13 +432,13 @@ class GenerationEngine(Simulation):
             inst = dispatcher.pick(req, now)
             if inst is None:
                 pending.append(req)
-                trace.append(("arrive", now, req.rid, req.model, -1))
+                emit(("arrive", now, req.rid, req.model, -1))
                 sample(now)
                 return
             inst.queue.append(req)
             if inst.last_model is None:
                 inst.last_model = req.model
-            trace.append(("arrive", now, req.rid, req.model, inst.idx))
+            emit(("arrive", now, req.rid, req.model, inst.idx))
             sample(now)
             start_step(inst, now)
 
@@ -434,7 +454,7 @@ class GenerationEngine(Simulation):
             inst.down_since = now
             inst.failures += 1
             dispatcher.down_count += 1
-            trace.append(("fail", now, inst.idx))
+            emit(("fail", now, inst.idx))
             displaced: List[Union[GenerationRequest, _Resume]] = []
             aborted_step = inst.busy_until > now + _EPS
             decoding_ids = set()
@@ -490,7 +510,7 @@ class GenerationEngine(Simulation):
             inst.down = False
             inst.downtime_ms += now - inst.down_since
             dispatcher.down_count -= 1
-            trace.append(("recover", now, inst.idx))
+            emit(("recover", now, inst.idx))
             assert injector is not None
             t_fail = injector.next_failure_ms(inst.idx, now)
             if t_fail is not None:

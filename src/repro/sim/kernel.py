@@ -24,12 +24,26 @@ derives one independent ``random.Random`` per named component from the
 root seed — adding a new consumer (e.g. failure injection) cannot
 perturb the draws of an existing one.  Two runs with equal inputs
 therefore produce byte-identical traces, records, and reports.
+
+Observability hooks
+-------------------
+:meth:`Simulation.attach_observer` registers a read-only callable (for
+example :class:`repro.obs.TraceRecorder` or
+:class:`repro.obs.MetricsSampler`) that receives every trace tuple as
+it is emitted; :meth:`Simulation.attach_profiler` registers a
+:class:`repro.obs.KernelProfiler` that attributes wall time per event
+kind.  Both are strictly optional: when nothing is attached the engines
+run the exact pre-hook fast path, and because observers only *read*
+event tuples, an instrumented run stays byte-identical to a bare one.
+Hooks must be attached before the run starts — attaching mid-run would
+make the observed stream a lie, so it raises ``RuntimeError``.
 """
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .rng import RngStreams
@@ -117,22 +131,93 @@ class Simulation:
         #: Flat event log ``(kind, t_ms, ...)`` — the replayable trace.
         self.trace: List[tuple] = []
         self._handlers: Dict[str, Callable[[tuple, float], None]] = {}
+        #: Optional read-only consumer of every emitted trace tuple.
+        self.observer: Optional[Callable[[tuple], None]] = None
+        #: Optional per-event-kind wall-time profiler.
+        self.profiler = None
+        self._started = False
 
     def on(self, kind: str,
            handler: Callable[[tuple, float], None]) -> None:
         """Register ``handler`` for payloads whose head is ``kind``."""
         self._handlers[kind] = handler
 
+    def attach_observer(self, observer: Callable[[tuple], None]) -> None:
+        """Attach a trace-tuple consumer (before the run starts).
+
+        The observer is called with every tuple the engine emits — the
+        ones appended to :attr:`trace` plus observer-only bookkeeping
+        events such as ``("requeue", ...)`` — and, if it defines a
+        ``finish(t_ms)`` method, that is called once the run drains.
+        Attaching after the run has started raises ``RuntimeError``:
+        the stream would be missing its prefix.
+        """
+        if self._started:
+            raise RuntimeError(
+                "cannot attach an observer mid-run: the event stream "
+                "already started; attach before run()")
+        self.observer = (observer if self.observer is None
+                         else _compose2(self.observer, observer))
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a kernel hotspot profiler (before the run starts).
+
+        ``profiler.record(kind, elapsed_s)`` is called for every
+        dispatched event with the handler's wall time.  Mid-run
+        attachment raises ``RuntimeError`` like observers do.
+        """
+        if self._started:
+            raise RuntimeError(
+                "cannot attach a profiler mid-run: events were already "
+                "dispatched unprofiled; attach before run()")
+        self.profiler = profiler
+
+    def _finish_observer(self) -> None:
+        """Flush an attached observer once simulated time stops."""
+        if self.observer is not None:
+            fin = getattr(self.observer, "finish", None)
+            if fin is not None:
+                fin(self.clock.now_ms)
+
     def schedule(self, t_ms: float, priority: int, payload: tuple) -> None:
         self.queue.push(t_ms, priority, payload)
 
     def run_events(self) -> None:
         """Drain the queue, dispatching each event to its handler."""
+        self._started = True
         heap = self.queue.heap
         pop = heapq.heappop
         clock = self.clock
         handlers = self._handlers
+        if self.profiler is not None:
+            record = self.profiler.record
+            while heap:
+                now, _prio, _seq, payload = pop(heap)
+                clock.now_ms = now
+                t0 = perf_counter()
+                handlers[payload[0]](payload, now)
+                record(payload[0], perf_counter() - t0)
+            self._finish_observer()
+            return
         while heap:
             now, _prio, _seq, payload = pop(heap)
             clock.now_ms = now  # monotone by heap order; skip the check
             handlers[payload[0]](payload, now)
+        self._finish_observer()
+
+
+def _compose2(first: Callable[[tuple], None],
+              second: Callable[[tuple], None]) -> Callable[[tuple], None]:
+    """Chain two observers (kept local to avoid importing repro.obs)."""
+    def both(event: tuple) -> None:
+        first(event)
+        second(event)
+
+    def finish(t_ms: float) -> None:
+        for part in (first, second):
+            fin = getattr(part, "finish", None)
+            if fin is not None:
+                fin(t_ms)
+
+    both.finish = finish
+    return both

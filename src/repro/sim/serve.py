@@ -33,6 +33,7 @@ benchmark pins the speedup).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..serving.batching import BatchingPolicy, ServiceTimeModel
@@ -216,10 +217,23 @@ class ServeEngine(Simulation):
 
         from heapq import heappush
 
+        self._started = True
         queue = self.queue
         heap = queue.heap
         counter = queue.counter
         trace = self.trace
+        # Observer wiring: with nothing attached, ``emit`` *is*
+        # ``trace.append`` (the pre-hook fast path, unchanged); with an
+        # observer, every trace tuple is forwarded after being logged.
+        # ``note`` carries observer-only bookkeeping events (requeues)
+        # that never enter the trace — trace bytes stay identical.
+        note = self.observer
+        if note is None:
+            emit = trace.append
+        else:
+            def emit(event, _append=trace.append, _obs=note):
+                _append(event)
+                _obs(event)
         instances = self.instances
         dispatcher = self.dispatcher
         batching = self.batching
@@ -323,21 +337,30 @@ class ServeEngine(Simulation):
             inst.busy_until = complete
             inst.busy_ms += total_ms
             inst.in_flight = (model, size, now, complete, batch)
-            trace.append(("dispatch", now, inst.idx, model, size, switch_ms))
+            emit(("dispatch", now, inst.idx, model, size, switch_ms))
             heappush(heap, (complete, _P_FREE, next(counter),
                             ("free", inst, inst.epoch)))
             sample_append((now, queued_total + len(pending)))
 
         def route(req: Request, now: float) -> None:
-            """Queue ``req`` like a fresh arrival (requeue path)."""
+            """Queue ``req`` like a fresh arrival (requeue path).
+
+            Emits an observer-only ``requeue`` event — never appended
+            to the trace, so trace bytes match the legacy loop, but
+            metrics observers see displaced work re-enter a queue.
+            """
             nonlocal queued_total
             inst = pick(req, now)
             if inst is None:
                 pending.append(req)
+                if note is not None:
+                    note(("requeue", now, req.rid, -1))
                 return
             inst.queue.append(req)
             queued_total += 1
             inst.last_model = req.model
+            if note is not None:
+                note(("requeue", now, req.rid, inst.idx))
             try_dispatch(inst, now)
 
         def on_arrival(payload: tuple, now: float) -> None:
@@ -348,13 +371,13 @@ class ServeEngine(Simulation):
             inst = pick(req, now)
             if inst is None:
                 pending.append(req)
-                trace.append(("arrive", now, req.rid, req.model, -1))
+                emit(("arrive", now, req.rid, req.model, -1))
                 sample_append((now, queued_total + len(pending)))
                 return
             inst.queue.append(req)
             queued_total += 1
             inst.last_model = req.model
-            trace.append(("arrive", now, req.rid, req.model, inst.idx))
+            emit(("arrive", now, req.rid, req.model, inst.idx))
             sample_append((now, queued_total + len(pending)))
             try_dispatch(inst, now)
 
@@ -367,7 +390,7 @@ class ServeEngine(Simulation):
             inst.batches += 1
             inst.requests += size
             done.append((model, inst.idx, size, t_disp, t_done, batch))
-            trace.append(("free", now, inst.idx))
+            emit(("free", now, inst.idx))
             try_dispatch(inst, now)
 
         def on_check(payload: tuple, now: float) -> None:
@@ -386,7 +409,7 @@ class ServeEngine(Simulation):
             inst.down_since = now
             inst.failures += 1
             dispatcher.down_count += 1
-            trace.append(("fail", now, inst.idx))
+            emit(("fail", now, inst.idx))
             lost: List[Request] = []
             if inst.in_flight is not None and inst.busy_until > now + _EPS:
                 # Abort the in-flight batch: refund the unserved tail of
@@ -417,7 +440,7 @@ class ServeEngine(Simulation):
             inst.down = False
             inst.downtime_ms += now - inst.down_since
             dispatcher.down_count -= 1
-            trace.append(("recover", now, inst.idx))
+            emit(("recover", now, inst.idx))
             assert injector is not None
             t_fail = injector.next_failure_ms(inst.idx, now)
             if t_fail is not None:
@@ -429,24 +452,45 @@ class ServeEngine(Simulation):
 
         # Inlined drain loop (see EventQueue's hot-path contract): same
         # pop discipline as Simulation.run_events, minus the per-event
-        # handler-table indirection.
+        # handler-table indirection.  The profiled variant is a
+        # separate loop so the bare path never pays for the timing.
         from heapq import heappop
 
         clock = self.clock
-        while heap:
-            now, _prio, _seq, payload = heappop(heap)
-            clock.now_ms = now
-            kind = payload[0]
-            if kind == "arrival":
-                on_arrival(payload, now)
-            elif kind == "free":
-                on_free(payload, now)
-            elif kind == "check":
-                on_check(payload, now)
-            elif kind == "fail":
-                on_fail(payload, now)
-            else:
-                on_recover(payload, now)
+        if self.profiler is not None:
+            record = self.profiler.record
+            while heap:
+                now, _prio, _seq, payload = heappop(heap)
+                clock.now_ms = now
+                kind = payload[0]
+                t0 = perf_counter()
+                if kind == "arrival":
+                    on_arrival(payload, now)
+                elif kind == "free":
+                    on_free(payload, now)
+                elif kind == "check":
+                    on_check(payload, now)
+                elif kind == "fail":
+                    on_fail(payload, now)
+                else:
+                    on_recover(payload, now)
+                record(kind, perf_counter() - t0)
+        else:
+            while heap:
+                now, _prio, _seq, payload = heappop(heap)
+                clock.now_ms = now
+                kind = payload[0]
+                if kind == "arrival":
+                    on_arrival(payload, now)
+                elif kind == "free":
+                    on_free(payload, now)
+                elif kind == "check":
+                    on_check(payload, now)
+                elif kind == "fail":
+                    on_fail(payload, now)
+                else:
+                    on_recover(payload, now)
+        self._finish_observer()
 
         records = [
             RequestRecord(

@@ -1,0 +1,86 @@
+"""Profilers: kernel hotspot attribution and DSE sweep instrumentation."""
+
+from repro.obs import (
+    DseProfile,
+    KernelProfiler,
+    render_dse_profile,
+    render_kernel_profile,
+)
+
+
+class TestKernelProfiler:
+    def test_record_accumulates_per_kind(self):
+        p = KernelProfiler()
+        p.record("arrival", 0.25)
+        p.record("arrival", 0.25)
+        p.record("free", 0.5)
+        assert p.counts == {"arrival": 2, "free": 1}
+        assert p.total_events == 3
+        assert p.total_wall_s == 1.0
+
+    def test_as_dict_shares_sum_to_one(self):
+        p = KernelProfiler()
+        p.record("a", 0.75)
+        p.record("b", 0.25)
+        d = p.as_dict()
+        assert d["events"] == 2 and d["wall_s"] == 1.0
+        assert d["by_kind"]["a"]["share"] == 0.75
+        assert sum(v["share"] for v in d["by_kind"].values()) == 1.0
+
+    def test_empty_profile_renders_without_division(self):
+        p = KernelProfiler()
+        assert p.as_dict()["by_kind"] == {}
+        assert "0 event(s)" in render_kernel_profile(p)
+
+    def test_render_orders_heaviest_first(self):
+        p = KernelProfiler()
+        p.record("light", 0.001)
+        p.record("heavy", 0.9)
+        out = render_kernel_profile(p)
+        assert out.index("heavy") < out.index("light")
+        assert "us/event" in out
+
+
+class TestDseProfile:
+    def _profile(self):
+        p = DseProfile()
+        p.cache_hits, p.cache_misses = 3, 2
+        p.add_batch(2.0)
+        p.add_point({"a": 1}, "w1", 0.5)
+        p.add_point({"a": 2}, "w1", 0.3)
+        p.add_point({"a": 3}, "w2", 1.2, error="boom")
+        return p
+
+    def test_worker_breakdown_idle_is_window_minus_busy(self):
+        workers = self._profile().workers()
+        assert workers["w1"] == {"tasks": 2, "busy_s": 0.8, "idle_s": 1.2}
+        assert workers["w2"]["tasks"] == 1
+        assert workers["w2"]["idle_s"] == 0.8
+
+    def test_idle_clamped_non_negative(self):
+        p = DseProfile()
+        p.add_batch(0.1)
+        p.add_point({"a": 1}, "w", 5.0)  # busy > window (clock skew)
+        assert p.workers()["w"]["idle_s"] == 0.0
+
+    def test_slowest_sorted_descending(self):
+        slowest = self._profile().slowest(2)
+        assert [p["wall_s"] for p in slowest] == [1.2, 0.5]
+
+    def test_as_dict_shape(self):
+        d = self._profile().as_dict()
+        assert d["cache"] == {"hits": 3, "misses": 2}
+        assert d["evaluations"] == 3
+        assert d["eval_wall_s"] == 2.0 and d["dispatch_wall_s"] == 2.0
+        assert set(d["workers"]) == {"w1", "w2"}
+        assert d["slowest"][0]["error"] == "boom"
+
+    def test_render_reports_cache_split_and_workers(self):
+        out = render_dse_profile(self._profile())
+        assert "3 cache hit(s), 2 miss(es)" in out
+        assert "w1" in out and "w2" in out
+        assert "Slowest evaluations" in out
+
+    def test_render_empty_profile(self):
+        out = render_dse_profile(DseProfile())
+        assert "0 cache hit(s)" in out

@@ -7,6 +7,11 @@ must be byte-identical between the two engines *and* equal to the
 committed golden under ``tests/goldens/`` — so neither engine can
 drift, and a diff in either shows up as a readable report diff.
 
+Each scenario also runs a third time with the full observability stack
+attached (trace recorder + metrics sampler + kernel profiler): the
+observed run must be byte-identical to the bare kernel run, pinning
+the ``repro.obs`` contract that observation never perturbs.
+
 Regenerate after an intentional behavior change with::
 
     REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/sim/test_trace_identity.py
@@ -17,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import KernelProfiler, MetricsSampler, TraceRecorder, compose
 from repro.serving import (
     BurstyArrivals,
     DiurnalArrivals,
@@ -85,12 +91,23 @@ def test_serve_trace_identity(default_accel, scenario):
     assert legacy.records == kernel.records
     assert legacy.queue_samples == kernel.queue_samples
     assert legacy.instances == kernel.instances
+    tracer, sampler = TraceRecorder(), MetricsSampler(grid_ms=25.0)
+    observed = sim.run(requests, observer=compose(tracer, sampler),
+                       profiler=KernelProfiler())
+    assert observed.trace == kernel.trace
+    assert observed.records == kernel.records
+    assert observed.queue_samples == kernel.queue_samples
+    assert observed.instances == kernel.instances
+    assert tracer.events and sampler.registry.series
     title = f"Golden: serve/{scenario}"
     rep_legacy = render_serving_report(summarize(legacy, slo_ms=50.0),
                                        title=title)
     rep_kernel = render_serving_report(summarize(kernel, slo_ms=50.0),
                                        title=title)
+    rep_observed = render_serving_report(summarize(observed, slo_ms=50.0),
+                                         title=title)
     assert rep_legacy == rep_kernel
+    assert rep_observed == rep_kernel
     _check_golden(f"serve_{scenario}.txt", rep_kernel + "\n")
 
 
@@ -113,6 +130,14 @@ def test_generate_trace_identity(default_accel, scenario):
     assert legacy.records == kernel.records
     assert legacy.queue_samples == kernel.queue_samples
     assert legacy.instances == kernel.instances
+    tracer, sampler = TraceRecorder(), MetricsSampler(grid_ms=25.0)
+    observed = sim.run(requests, observer=compose(tracer, sampler),
+                       profiler=KernelProfiler())
+    assert observed.trace == kernel.trace
+    assert observed.records == kernel.records
+    assert observed.queue_samples == kernel.queue_samples
+    assert observed.instances == kernel.instances
+    assert tracer.events and sampler.registry.series
     title = f"Golden: generate/{scenario}"
     rep_legacy = render_generation_report(
         summarize_generation(legacy, ttft_slo_ms=40.0, tpot_slo_ms=2.0),
@@ -120,7 +145,11 @@ def test_generate_trace_identity(default_accel, scenario):
     rep_kernel = render_generation_report(
         summarize_generation(kernel, ttft_slo_ms=40.0, tpot_slo_ms=2.0),
         title=title)
+    rep_observed = render_generation_report(
+        summarize_generation(observed, ttft_slo_ms=40.0, tpot_slo_ms=2.0),
+        title=title)
     assert rep_legacy == rep_kernel
+    assert rep_observed == rep_kernel
     _check_golden(f"generate_{scenario}.txt", rep_kernel + "\n")
 
 

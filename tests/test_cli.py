@@ -479,3 +479,123 @@ class TestScenarioFlags:
         with pytest.raises(SystemExit, match="--plan"):
             main(["serve", "--plan", "--slo-ms", "5",
                   "--heterogeneous", "1.0x2"])
+
+
+class TestObservabilityFlags:
+    """The repro.obs CLI surface: --trace / --metrics / --profile."""
+
+    SERVE = ["serve", "--qps", "300", "--duration-ms", "300",
+             "--instances", "2", "--seed", "4"]
+    GEN = ["generate", "--qps", "30", "--duration-ms", "250",
+           "--instances", "1", "--slots", "3", "--seed", "4"]
+
+    def test_serve_json_carries_run_config(self, capsys):
+        assert main(self.SERVE + ["--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        rc = out["run_config"]
+        assert rc["command"] == "serve"
+        assert rc["seed"] == 4 and rc["qps"] == 300
+        assert rc["instances"] == 2 and rc["batch"] == "none"
+        from repro import __version__
+        assert rc["repro_version"] == __version__
+
+    def test_generate_json_carries_run_config(self, capsys):
+        assert main(self.GEN + ["--json"]) == 0
+        rc = json.loads(capsys.readouterr().out)["run_config"]
+        assert rc["command"] == "generate"
+        assert rc["slots"] == 3 and rc["prompt_tokens"] == "16"
+
+    def test_serve_trace_is_chrome_format(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        assert main(self.SERVE + ["--trace", str(trace), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        doc = json.loads(trace.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata"}
+        assert doc["metadata"]["run_config"]["seed"] == 4
+        events = doc["traceEvents"]
+        assert events, "trace exported no events"
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        names = {e["name"] for e in events}
+        assert {"arrive", "batch", "thread_name"} <= names
+        # One batch span per dispatch; sizes sum to the served requests.
+        served = sum(e["args"]["size"] for e in events
+                     if e["name"] == "batch")
+        assert served == report["total_requests"]
+
+    def test_generate_trace_has_sequence_and_step_spans(self, tmp_path):
+        trace = tmp_path / "gen.trace.json"
+        assert main(self.GEN + ["--trace", str(trace)]) == 0
+        names = {e["name"] for e in
+                 json.loads(trace.read_text())["traceEvents"]}
+        assert {"arrive", "step", "sequence"} <= names
+
+    def test_trace_does_not_change_results(self, tmp_path, capsys):
+        assert main(self.SERVE + ["--json"]) == 0
+        bare = capsys.readouterr().out
+        assert main(self.SERVE + ["--trace", str(tmp_path / "t.json"),
+                                  "--metrics", str(tmp_path / "m.json"),
+                                  "--profile", "--json"]) == 0
+        observed = json.loads(capsys.readouterr().out)
+        profile = observed.pop("profile")
+        assert observed == json.loads(bare)
+        assert profile["events"] > 0
+
+    def test_metrics_json_and_csv_by_suffix(self, tmp_path):
+        mj, mc = tmp_path / "m.json", tmp_path / "m.csv"
+        assert main(self.SERVE + ["--metrics", str(mj)]) == 0
+        assert main(self.SERVE + ["--metrics", str(mc),
+                                  "--metrics-grid-ms", "25"]) == 0
+        blob = json.loads(mj.read_text())
+        assert blob["run_config"]["command"] == "serve"
+        assert blob["counters"]["arrivals"] > 0
+        assert blob["counters"]["arrivals"] == blob["counters"]["completions"]
+        header = mc.read_text().splitlines()[0].split(",")
+        assert header[0] == "t_ms" and "queued" in header
+
+    def test_serve_profile_text_report(self, capsys):
+        assert main(self.SERVE + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel profile" in out and "us/event" in out
+
+    def test_unwritable_trace_path_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit,
+                           match="cannot write observability output"):
+            main(self.SERVE + ["--trace",
+                               str(tmp_path / "missing" / "t.json")])
+
+    def test_bad_metrics_grid_rejected(self):
+        with pytest.raises(SystemExit, match="grid_ms"):
+            main(self.SERVE + ["--metrics", "m.json",
+                               "--metrics-grid-ms", "0"])
+
+    def test_plan_rejects_observability_flags(self):
+        with pytest.raises(SystemExit, match="--plan"):
+            main(["serve", "--plan", "--slo-ms", "5", "--profile"])
+
+    def test_dse_profile_json(self, capsys):
+        assert main(["dse", "--tiles-mha", "8", "--tiles-ffn", "3",
+                     "--formats", "fix8", "--model", "bert-variant",
+                     "--duration-ms", "120", "--profile", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        profile = out["profile"]
+        assert profile["cache"] == {"hits": 0, "misses": 0} \
+            or profile["cache"]["misses"] >= 0
+        assert profile["evaluations"] == len(out["results"])
+        assert profile["workers"], "no per-worker breakdown"
+
+    def test_dse_profile_text_reports_cache_and_workers(
+            self, tmp_path, capsys):
+        argv = ["dse", "--tiles-mha", "8", "--tiles-ffn", "3",
+                "--formats", "fix8", "--model", "bert-variant",
+                "--duration-ms", "120", "--cache-dir",
+                str(tmp_path / "cache"), "--profile"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "DSE profile" in cold and "miss(es)" in cold
+        assert "Per-worker" in cold
+        assert main(argv) == 0  # warm resume: everything a cache hit
+        warm = capsys.readouterr().out
+        assert "1 cache hit(s)" in warm

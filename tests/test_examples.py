@@ -27,6 +27,7 @@ def _run(name: str) -> None:
     "design_space_exploration.py",
     "generation_serving.py",
     "sim_scenarios.py",
+    "observability_tour.py",
 ])
 def test_example_runs(name):
     _run(name)
@@ -47,6 +48,7 @@ def test_examples_directory_complete():
         "multi_fpga_pipeline.py",
         "generation_serving.py",
         "sim_scenarios.py",
+        "observability_tour.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present

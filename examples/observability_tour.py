@@ -1,15 +1,18 @@
-"""Observability tour: trace, metrics, and profiling on one run.
+"""Observability tour: trace, metrics, watchdogs, and profiling.
 
 ``repro.obs`` attaches to the simulation kernel's observer/profiler
 hooks, so any kernel-driven run can be watched without being changed.
-This example drives one failure-injected serving run three ways:
+This example drives one failure-injected serving run four ways:
 
 1. **bare** — the reference result;
 2. **fully observed** — a Chrome-trace recorder, a grid-sampled metrics
    registry, and a kernel hotspot profiler, all composed onto one hook;
    the result must be byte-identical to the bare run (that is the
    contract the trace-identity goldens pin);
-3. **a profiled DSE sweep** — cache hit/miss split and per-worker
+3. **watched** — an SLO watchdog evaluating burn-rate/fleet-down alert
+   rules online, annotating the trace, and feeding ``obs diff``-style
+   run-to-run regression analytics;
+4. **a profiled DSE sweep** — cache hit/miss split and per-worker
    busy/idle over a tiny design space, cold then warm.
 
 Run:  python examples/observability_tour.py
@@ -22,10 +25,14 @@ from pathlib import Path
 from repro import FailurePlan, ProTEA, SynthParams
 from repro.dse import Axis, Objective, SearchSpace, explore
 from repro.obs import (
+    AnomalyDetector,
     KernelProfiler,
     MetricsSampler,
     TraceRecorder,
+    Watchdog,
     compose,
+    diff_runs,
+    render_diff,
     render_kernel_profile,
 )
 from repro.serving import (
@@ -84,7 +91,51 @@ print(render_kernel_profile(profiler))
 assert profiler.total_events > len(reqs)  # arrivals + frees + faults
 
 # ------------------------------------------------------------------ #
-# 3. A profiled DSE sweep: cold misses, then a warm all-hit resume.
+# 3. The same run again under an SLO watchdog: burn-rate paging and
+#    anomaly onsets computed online, in simulated time — and still
+#    byte-identical to the bare run.
+# ------------------------------------------------------------------ #
+watchdog = Watchdog(slo_ms=50.0, target=0.99, fast_window_ms=100.0,
+                    slow_window_ms=400.0,
+                    detector=AnomalyDetector(min_samples=16, debounce=3))
+watched = simulate(accel, reqs, 3, observer=watchdog, **knobs)
+assert watched.records == bare.records  # watching never perturbs
+
+summary = watchdog.summary()
+print(f"\nwatchdog: {summary['violations']} SLO violation(s) across "
+      f"{summary['completions']} completions "
+      f"(attainment {summary['attainment']:.4f}), "
+      f"{summary['alerts']} alert(s), "
+      f"max burn {summary['max_burn_rate']:.3g}x budget")
+assert summary["completions"] == len(reqs)
+assert summary["rules"]["fleet_down"]["alerts"] > 0   # faults paged
+assert summary["rules"]["burn_rate"]["alerts"] > 0    # budget burned
+report = summarize(watched, slo_ms=50.0, watch=summary)
+assert report.watch == summary  # rides into the report / --json block
+
+watchdog.annotate(tracer)  # alert spans land on the alerts row
+assert any(e.get("tid") == 10_000 for e in tracer.events)
+
+# Run-to-run analytics, same engine as `repro obs diff`: a clean fleet
+# vs the failure-injected one flags real regressions; a run diffed
+# against itself never does.
+clean = simulate(accel, reqs, 3, scheduler="model-affinity",
+                 batching=fixed_size(4), reprogram_latency_ms=5.0)
+self_diff = diff_runs(report.as_dict(), report.as_dict())
+assert self_diff.ok and not self_diff.regressions
+
+vs_clean = diff_runs(summarize(clean, slo_ms=50.0).as_dict(),
+                     report.as_dict())
+assert not vs_clean.ok  # failures must register as regressions
+regressed = {e.key for e in vs_clean.regressions}
+assert "availability" in regressed or "slo_attainment" in regressed \
+    or any("p99" in k for k in regressed)
+print(f"obs diff vs clean fleet: {len(vs_clean.regressions)} "
+      f"regression(s), e.g. {sorted(regressed)[0]}")
+print(render_diff(self_diff, name_a="run.json", name_b="rerun.json"))
+
+# ------------------------------------------------------------------ #
+# 4. A profiled DSE sweep: cold misses, then a warm all-hit resume.
 # ------------------------------------------------------------------ #
 
 
@@ -117,4 +168,4 @@ assert ([r.objectives for r in cold.results]
         == [r.objectives for r in warm.results])
 
 print("\nOK: observation changed nothing, and every pillar — trace, "
-      "metrics, profile — saw the run")
+      "metrics, watchdog, profile — saw the run")

@@ -26,8 +26,10 @@ unified event-driven simulation kernel every simulator runs on:
 deterministic event heap, per-component RNG streams, heterogeneous
 fleets, MTBF/MTTR failure injection), ``repro.obs`` (observability:
 Chrome-trace recording, grid-sampled metrics, kernel and DSE
-profiling — all zero-cost when detached).  The full layer stack is
-documented in ``docs/architecture.md``.
+profiling, streaming SLO watchdogs with burn-rate alerting and
+anomaly detection, and run-to-run regression analytics — all
+zero-cost when detached).  The full layer stack is documented in
+``docs/architecture.md``.
 
 Serving quickstart::
 
@@ -65,6 +67,13 @@ Observability quickstart::
                               observer=compose(tracer, sampler))
     tracer.dump("run.trace.json")          # chrome://tracing / Perfetto
     print(sampler.registry.as_dict()["counters"])
+
+Watchdog quickstart::
+
+    from repro import Watchdog
+    wd = Watchdog(slo_ms=20.0, target=0.99)   # 1% error budget
+    simulate_cluster(accel, reqs, n_instances=4, observer=wd)
+    print(wd.summary()["alerts"], wd.summary()["budget_burn"])
 """
 
 from .core import (
@@ -114,20 +123,28 @@ from .serving import (
     summarize_generation,
 )
 from .obs import (
+    AnomalyDetector,
+    BurnRateRule,
     DseProfile,
     KernelProfiler,
     MetricsRegistry,
     MetricsSampler,
     TraceRecorder,
+    Watchdog,
+    diff_runs,
 )
 from .serving import simulate as simulate_cluster
 from .sim import FailurePlan, FleetSpec, InstanceSpec
 
+# 1.4.0: streaming SLO watchdogs (repro.obs.watch) — windowed
+# aggregation, burn-rate alerting, anomaly detection — plus the
+# `repro obs` analytics CLI and alert_minutes/budget_burn DSE
+# objectives.  The version keys the DSE evaluation cache; bumping it
+# re-keys records cleanly (evaluate_point now returns new keys).
 # 1.3.0: observability layer (repro.obs) — trace recording, grid-
 # sampled metrics, kernel/DSE profiling — plus observer hooks on the
-# sim kernel and a run_config block in CLI JSON output.  The version
-# keys the DSE evaluation cache; bumping it re-keys records cleanly.
-__version__ = "1.3.0"
+# sim kernel and a run_config block in CLI JSON output.
+__version__ = "1.4.0"
 
 __all__ = [
     "ProTEA",
@@ -183,5 +200,9 @@ __all__ = [
     "MetricsSampler",
     "KernelProfiler",
     "DseProfile",
+    "Watchdog",
+    "BurnRateRule",
+    "AnomalyDetector",
+    "diff_runs",
     "__version__",
 ]

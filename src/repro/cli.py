@@ -29,6 +29,16 @@ Commands:
   distributions, TTFT/TPOT/goodput metrics (``--json``); also takes
   ``--heterogeneous``/``--failures``, plus ``--priority`` for
   priority admission with step-boundary preemption.
+* ``obs`` — observability analytics over exported artifacts:
+  ``obs diff`` compares two ``--json`` run exports and flags
+  significant regressions, ``obs bench`` trends the benchmark
+  history (``BENCH_results.json``) against rolling medians with
+  optional ``--gate`` expressions, ``obs trace-summary`` aggregates
+  a Chrome-trace export (top spans + alert timeline).
+
+``serve`` and ``generate`` also take ``--watch``: an online SLO
+watchdog (multi-window burn-rate alerting + anomaly detection) rides
+the run as a read-only observer and lands in the report.
 """
 
 from __future__ import annotations
@@ -103,6 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "*.csv paths)")
     srv.add_argument("--metrics-grid-ms", type=float, default=10.0,
                      help="simulated-time sampling grid for --metrics")
+    srv.add_argument("--watch", action="store_true",
+                     help="attach an SLO watchdog (burn-rate alerting + "
+                          "anomaly detection; requires --slo-ms)")
+    srv.add_argument("--watch-window-ms", type=float, default=100.0,
+                     help="fast burn-rate window for --watch")
+    srv.add_argument("--watch-slow-window-ms", type=float, default=500.0,
+                     help="slow burn-rate window for --watch")
+    srv.add_argument("--watch-target", type=float, default=0.99,
+                     help="SLO attainment target for the --watch error "
+                          "budget (fraction in (0, 1))")
     srv.add_argument("--profile", action="store_true",
                      help="report kernel wall time per event kind")
     srv.add_argument("--json", action="store_true", dest="as_json")
@@ -156,6 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "*.csv paths)")
     gen.add_argument("--metrics-grid-ms", type=float, default=10.0,
                      help="simulated-time sampling grid for --metrics")
+    gen.add_argument("--watch", action="store_true",
+                     help="attach an SLO watchdog on TTFT (burn-rate "
+                          "alerting + anomaly detection; requires "
+                          "--ttft-slo-ms)")
+    gen.add_argument("--watch-window-ms", type=float, default=100.0,
+                     help="fast burn-rate window for --watch")
+    gen.add_argument("--watch-slow-window-ms", type=float, default=500.0,
+                     help="slow burn-rate window for --watch")
+    gen.add_argument("--watch-target", type=float, default=0.99,
+                     help="SLO attainment target for the --watch error "
+                          "budget (fraction in (0, 1))")
     gen.add_argument("--profile", action="store_true",
                      help="report kernel wall time per event kind")
     gen.add_argument("--json", action="store_true", dest="as_json")
@@ -203,7 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="LIST",
                      help="frontier dimensions (also: util_pct, "
                           "ttft_p99_ms, tokens_per_s, availability, "
-                          "p99_degraded_ms)")
+                          "p99_degraded_ms, alert_minutes, budget_burn)")
     dse.add_argument("--qps", type=float, default=200.0,
                      help="offered load for the p99 objective")
     dse.add_argument("--duration-ms", type=float, default=300.0)
@@ -232,6 +263,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="report cache hit/miss counts, per-point eval "
                           "wall time, and per-worker dispatch/idle time")
     dse.add_argument("--json", action="store_true", dest="as_json")
+
+    obs = sub.add_parser(
+        "obs", help="observability analytics over exported artifacts")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    od = obs_sub.add_parser(
+        "diff", help="compare two --json run exports for regressions")
+    od.add_argument("run_a", help="baseline --json export")
+    od.add_argument("run_b", help="candidate --json export")
+    od.add_argument("--rtol", type=float, default=0.05,
+                    help="relative tolerance band (default 0.05)")
+    od.add_argument("--atol", type=float, default=1e-9,
+                    help="absolute tolerance floor (default 1e-9)")
+    od.add_argument("--json", action="store_true", dest="as_json")
+    ob = obs_sub.add_parser(
+        "bench", help="trend the benchmark history vs rolling medians")
+    ob.add_argument("--results",
+                    default="benchmarks/output/BENCH_results.json",
+                    metavar="PATH", help="BENCH results file")
+    ob.add_argument("--window", type=int, default=8,
+                    help="rolling-median baseline size (default 8)")
+    ob.add_argument("--rtol", type=float, default=0.10,
+                    help="steady band around the median (default 0.10)")
+    ob.add_argument("--gate", action="append", dest="gates",
+                    metavar="METRIC<=VALUE",
+                    help="fail (exit 1) when a metric's latest value "
+                         "violates the bound (repeatable; also >=)")
+    ob.add_argument("--json", action="store_true", dest="as_json")
+    ot = obs_sub.add_parser(
+        "trace-summary",
+        help="aggregate a Chrome-trace export (top spans, alerts)")
+    ot.add_argument("trace", help="trace JSON written by --trace")
+    ot.add_argument("--top", type=int, default=10,
+                    help="span rows to show (default 10)")
+    ot.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -415,20 +480,52 @@ def _parse_fleet(args, requests, generation: bool):
     return fleet, failures
 
 
-def _make_observer(args):
-    """Build (observer, tracer, sampler, profiler) from serve/generate
-    observability flags; everything is None when the flags are off."""
-    from .obs import KernelProfiler, MetricsSampler, TraceRecorder, compose
+def _make_observer(args, watch_slo_ms=None, watch_slo_flag="--slo-ms"):
+    """Build (observer, tracer, sampler, watchdog, profiler) from
+    serve/generate observability flags; everything is None when the
+    flags are off.
 
+    Knob values are validated eagerly — a bad grid or window width
+    exits with a message even when the flag that would consume it
+    (``--metrics``/``--watch``) is off, instead of silently riding
+    along until someone turns it on.
+    """
+    from .obs import (KernelProfiler, MetricsSampler, TraceRecorder,
+                      Watchdog, compose)
+
+    if args.metrics_grid_ms <= 0:
+        raise SystemExit(
+            f"invalid --metrics-grid-ms {args.metrics_grid_ms:g}: "
+            "grid_ms must be positive")
+    for flag, value in (("--watch-window-ms", args.watch_window_ms),
+                        ("--watch-slow-window-ms",
+                         args.watch_slow_window_ms)):
+        if value <= 0:
+            raise SystemExit(
+                f"invalid {flag} {value:g}: window widths must be "
+                "positive")
+    if args.watch_slow_window_ms < args.watch_window_ms:
+        raise SystemExit(
+            f"--watch-slow-window-ms ({args.watch_slow_window_ms:g}) "
+            f"must be >= --watch-window-ms ({args.watch_window_ms:g})")
+    if not 0.0 < args.watch_target < 1.0:
+        raise SystemExit(
+            f"invalid --watch-target {args.watch_target:g}: expected "
+            "an attainment fraction in (0, 1)")
     tracer = TraceRecorder() if args.trace else None
-    sampler = None
-    if args.metrics:
-        try:
-            sampler = MetricsSampler(grid_ms=args.metrics_grid_ms)
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from None
+    sampler = (MetricsSampler(grid_ms=args.metrics_grid_ms)
+               if args.metrics else None)
+    watchdog = None
+    if args.watch:
+        if watch_slo_ms is None:
+            raise SystemExit(f"--watch requires {watch_slo_flag} "
+                             "(the SLO the watchdog guards)")
+        watchdog = Watchdog(slo_ms=watch_slo_ms, target=args.watch_target,
+                            fast_window_ms=args.watch_window_ms,
+                            slow_window_ms=args.watch_slow_window_ms)
     profiler = KernelProfiler() if args.profile else None
-    return compose(tracer, sampler), tracer, sampler, profiler
+    return (compose(tracer, sampler, watchdog), tracer, sampler, watchdog,
+            profiler)
 
 
 def _dump_obs(args, tracer, sampler, run_config) -> None:
@@ -474,6 +571,10 @@ def _run_config(args, command: str, fleet) -> dict:
                   priority_fraction=args.priority,
                   ttft_slo_ms=args.ttft_slo_ms,
                   tpot_slo_ms=args.tpot_slo_ms)
+    if args.watch:
+        rc["watch"] = {"target": args.watch_target,
+                       "fast_window_ms": args.watch_window_ms,
+                       "slow_window_ms": args.watch_slow_window_ms}
     return rc
 
 
@@ -496,10 +597,11 @@ def _cmd_serve(args) -> None:
                 "--heterogeneous spec")
         if args.slo_ms is None:
             raise SystemExit("--plan requires --slo-ms")
-        if args.trace or args.metrics or args.profile:
+        if args.trace or args.metrics or args.profile or args.watch:
             raise SystemExit(
-                "--trace/--metrics/--profile instrument a single run "
-                "and cannot observe a --plan search (many runs)")
+                "--trace/--metrics/--profile/--watch instrument a "
+                "single run and cannot observe a --plan search "
+                "(many runs)")
         # Gate throughput on the *realized* offered load: for diurnal
         # (where --qps is the peak) and bursty seeds the generated rate
         # sits below nominal, and the nominal gate could never be met.
@@ -522,7 +624,8 @@ def _cmd_serve(args) -> None:
             print(render_capacity_plan(plan))
         return
 
-    observer, tracer, sampler, profiler = _make_observer(args)
+    observer, tracer, sampler, watchdog, profiler = _make_observer(
+        args, watch_slo_ms=args.slo_ms, watch_slo_flag="--slo-ms")
     run_cfg = _run_config(args, "serve", fleet)
     result = simulate(
         accel, requests, None if fleet else args.instances,
@@ -530,7 +633,11 @@ def _cmd_serve(args) -> None:
         reprogram_latency_ms=args.reprogram_ms,
         fleet=fleet, failures=failures,
         observer=observer, profiler=profiler)
-    report = summarize(result, slo_ms=args.slo_ms)
+    report = summarize(
+        result, slo_ms=args.slo_ms,
+        watch=watchdog.summary() if watchdog is not None else None)
+    if watchdog is not None and tracer is not None:
+        watchdog.annotate(tracer)
     _dump_obs(args, tracer, sampler, run_cfg)
     n_inst = fleet.n if fleet else args.instances
     if args.as_json:
@@ -580,7 +687,8 @@ def _cmd_generate(args) -> None:
                                          seed=args.seed)
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
-    observer, tracer, sampler, profiler = _make_observer(args)
+    observer, tracer, sampler, watchdog, profiler = _make_observer(
+        args, watch_slo_ms=args.ttft_slo_ms, watch_slo_flag="--ttft-slo-ms")
     run_cfg = _run_config(args, "generate", fleet)
     result = simulate_generation(
         accel, requests, None if fleet else args.instances,
@@ -588,8 +696,12 @@ def _cmd_generate(args) -> None:
         reprogram_latency_ms=args.reprogram_ms,
         fleet=fleet, failures=failures,
         observer=observer, profiler=profiler)
-    report = summarize_generation(result, ttft_slo_ms=args.ttft_slo_ms,
-                                  tpot_slo_ms=args.tpot_slo_ms)
+    report = summarize_generation(
+        result, ttft_slo_ms=args.ttft_slo_ms,
+        tpot_slo_ms=args.tpot_slo_ms,
+        watch=watchdog.summary() if watchdog is not None else None)
+    if watchdog is not None and tracer is not None:
+        watchdog.annotate(tracer)
     _dump_obs(args, tracer, sampler, run_cfg)
     n_inst = fleet.n if fleet else args.instances
     if args.as_json:
@@ -700,7 +812,8 @@ def _cmd_dse(args) -> None:
     from .dse import (EvalCache, evaluate_point, explore, get_objectives,
                       render_exploration, standard_space)
     from .dse.objectives import (FAILURE_OBJECTIVE_NAMES,
-                                 GENERATION_OBJECTIVE_NAMES)
+                                 GENERATION_OBJECTIVE_NAMES,
+                                 WATCH_OBJECTIVE_NAMES)
 
     if args.jobs < 1:
         raise SystemExit(f"invalid --jobs {args.jobs} (expected >= 1)")
@@ -727,10 +840,12 @@ def _cmd_dse(args) -> None:
     selected = {o.name for o in objectives}
     needs_gen = bool(set(GENERATION_OBJECTIVE_NAMES) & selected)
     needs_fail = bool(set(FAILURE_OBJECTIVE_NAMES) & selected)
+    needs_watch = bool(set(WATCH_OBJECTIVE_NAMES) & selected)
     settings = {"qps": args.qps, "duration_ms": args.duration_ms,
                 "seed": args.seed, "link": args.link,
                 "gen_objectives": needs_gen,
-                "fail_objectives": needs_fail}
+                "fail_objectives": needs_fail,
+                "watch_objectives": needs_watch}
     result = explore(
         space, evaluate_point,
         objectives=objectives,
@@ -752,6 +867,87 @@ def _cmd_dse(args) -> None:
         print(render_exploration(
             result, pareto_only=args.pareto,
             title=f"DSE: {args.strategy} over {space.size} grid point(s)"))
+
+
+def _cmd_obs(args) -> int:
+    """``obs diff`` / ``obs bench`` / ``obs trace-summary``.
+
+    Returns the process exit code: 1 when a diff finds regressions or
+    a bench gate is violated, 0 otherwise — so CI can gate on it.
+    """
+    if args.obs_command == "diff":
+        from .obs.diff import diff_runs, load_run, render_diff
+
+        try:
+            run_a = load_run(args.run_a)
+            run_b = load_run(args.run_b)
+        except (OSError, ValueError) as exc:
+            # ValueError also covers json.JSONDecodeError
+            raise SystemExit(f"cannot read run export: {exc}") from None
+        try:
+            report = diff_runs(run_a, run_b, rtol=args.rtol,
+                               atol=args.atol)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        if args.as_json:
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            print(render_diff(report, name_a=args.run_a,
+                              name_b=args.run_b))
+        return 0 if report.ok else 1
+
+    if args.obs_command == "bench":
+        from .obs.bench_history import (bench_trend, check_gates,
+                                        load_history, parse_gate,
+                                        render_bench_trend)
+
+        try:
+            gates = [parse_gate(g) for g in (args.gates or [])]
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        try:
+            history = load_history(args.results)
+        except (OSError, ValueError) as exc:
+            # ValueError also covers json.JSONDecodeError
+            raise SystemExit(
+                f"cannot read benchmark history: {exc}") from None
+        try:
+            rows = bench_trend(history, window=args.window,
+                               rtol=args.rtol)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        violations = check_gates(rows, gates)
+        if args.as_json:
+            print(json.dumps(
+                {"rows": [r.as_dict() for r in rows],
+                 "gates": [f"{m}{op}{v:g}" for m, op, v in gates],
+                 "violations": violations,
+                 "ok": not violations}, indent=2))
+        else:
+            print(render_bench_trend(rows))
+            for violation in violations:
+                print(f"GATE VIOLATION: {violation}")
+        return 1 if violations else 0
+
+    # trace-summary
+    from .obs import render_trace_summary, summarize_trace
+
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"invalid trace JSON: {exc}") from None
+    try:
+        summary = summarize_trace(doc)
+    except ValueError as exc:
+        raise SystemExit(f"{args.trace}: {exc}") from None
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_trace_summary(summary, top=args.top))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -776,6 +972,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_partition(args)
     elif args.command == "dse":
         _cmd_dse(args)
+    elif args.command == "obs":
+        return _cmd_obs(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

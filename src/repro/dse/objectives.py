@@ -43,6 +43,7 @@ from .space import Axis, SearchSpace
 
 __all__ = ["OBJECTIVES", "DEFAULT_SETTINGS", "DEFAULT_OBJECTIVE_NAMES",
            "GENERATION_OBJECTIVE_NAMES", "FAILURE_OBJECTIVE_NAMES",
+           "WATCH_OBJECTIVE_NAMES",
            "get_objectives", "standard_space", "evaluate_point"]
 
 #: Every objective the standard evaluator can score.
@@ -62,6 +63,12 @@ OBJECTIVES: Tuple[Objective, ...] = (
     # arrived degraded or were retried.
     Objective("availability", "max", ""),
     Objective("p99_degraded_ms", "min", "ms"),
+    # Watchdog objectives (an SLO watchdog attached to the same
+    # failure-injected run): total minutes under open alerts, and the
+    # error budget burned (violations / allowed violations) — how
+    # *operable* a design is, not just how fast.
+    Objective("alert_minutes", "min", "min"),
+    Objective("budget_burn", "min", "x"),
 )
 
 #: The CLI/engine default frontier dimensions (>= 3 objectives).
@@ -92,6 +99,16 @@ DEFAULT_SETTINGS: Dict[str, Any] = {
     "fail_objectives": True,
     "fail_mtbf_ms": 150.0,  # mean instance up-time
     "fail_mttr_ms": 25.0,   # mean repair duration
+    # Watchdog-objective knobs (alert_minutes / budget_burn).
+    # "watch_objectives" attaches an SLO watchdog to the failure run
+    # above (forcing that run even when neither failure objective is
+    # selected); callers that select neither watch objective skip it.
+    "watch_objectives": True,
+    "watch_slo_ms": 5.0,     # latency SLO the watchdog guards
+    "watch_target": 0.99,    # attainment target (error budget = 1%)
+    "watch_fast_ms": 50.0,   # fast burn-rate window
+    "watch_slow_ms": 200.0,  # slow burn-rate window
+    "watch_burn_threshold": 2.0,
 }
 
 #: Objectives that require the generation workload simulation.
@@ -101,6 +118,9 @@ GENERATION_OBJECTIVE_NAMES: Tuple[str, ...] = ("ttft_p99_ms",
 #: Objectives that require the failure-injected serving simulation.
 FAILURE_OBJECTIVE_NAMES: Tuple[str, ...] = ("availability",
                                             "p99_degraded_ms")
+
+#: Objectives that require a watchdog on the failure-injected run.
+WATCH_OBJECTIVE_NAMES: Tuple[str, ...] = ("alert_minutes", "budget_burn")
 
 
 def get_objectives(names: Optional[Tuple[str, ...]] = None
@@ -290,20 +310,40 @@ def evaluate_point(point: Mapping[str, Any],
                    if opts["gen_objectives"] else {})
 
     fail_metrics: Dict[str, float] = {}
-    if opts["fail_objectives"]:
+    watch_metrics: Dict[str, float] = {}
+    if opts["fail_objectives"] or opts["watch_objectives"]:
         # Re-run the serving workload with MTBF/MTTR injection (the
         # kernel engine's scenario layer); seeded per instance index,
-        # so every point sees the same fault history per replica.
+        # so every point sees the same fault history per replica.  The
+        # watch objectives attach an SLO watchdog to this same run —
+        # observers are read-only, so sharing it costs nothing and the
+        # failure metrics are identical either way.
         from ..sim import FailurePlan
 
         plan = FailurePlan(
             mtbf_ms=float(opts["fail_mtbf_ms"]),
             mttr_ms=float(opts["fail_mttr_ms"]),
             seed=int(opts["seed"]))
+        watchdog = None
+        if opts["watch_objectives"]:
+            from ..obs import Watchdog
+
+            watchdog = Watchdog(
+                slo_ms=float(opts["watch_slo_ms"]),
+                target=float(opts["watch_target"]),
+                fast_window_ms=float(opts["watch_fast_ms"]),
+                slow_window_ms=float(opts["watch_slow_ms"]),
+                burn_threshold=float(opts["watch_burn_threshold"]))
         degraded = summarize(simulate(target, requests, fleet,
-                                      scheduler=scheduler, failures=plan))
-        fail_metrics = {"availability": degraded.availability,
-                        "p99_degraded_ms": degraded.p99_degraded_ms}
+                                      scheduler=scheduler, failures=plan,
+                                      observer=watchdog))
+        if opts["fail_objectives"]:
+            fail_metrics = {"availability": degraded.availability,
+                            "p99_degraded_ms": degraded.p99_degraded_ms}
+        if watchdog is not None:
+            watch = watchdog.summary()
+            watch_metrics = {"alert_minutes": watch["alert_minutes"],
+                             "budget_burn": watch["budget_burn"]}
 
     workload_gops = gops(cfg, latency_ms / 1e3)
     try:
@@ -326,6 +366,7 @@ def evaluate_point(point: Mapping[str, Any],
         "util_pct": util_pct,
         **gen_metrics,
         **fail_metrics,
+        **watch_metrics,
         # supporting metrics
         "clock_mhz": accel.clock_mhz,
         "ts_mha": accel.synth.ts_mha,

@@ -1,6 +1,6 @@
-"""repro.obs — tracing, metrics, and profiling for the simulation stack.
+"""repro.obs — tracing, metrics, profiling, and watchdogs for the stack.
 
-Three pillars, all opt-in and all zero-cost when left detached:
+Observability pillars, all opt-in and all zero-cost when left detached:
 
 * **tracing** (:mod:`repro.obs.trace`) — :class:`TraceRecorder` turns the
   engines' flat event tuples into Chrome-trace-event JSON viewable in
@@ -16,6 +16,17 @@ Three pillars, all opt-in and all zero-cost when left detached:
   :class:`DseProfile` instruments :func:`repro.dse.engine.explore`
   with cache hit/miss counts and a per-worker dispatch/idle breakdown
   (``--profile``).
+* **watching** (:mod:`repro.obs.windows` / :mod:`repro.obs.alerts` /
+  :mod:`repro.obs.anomaly`) — windowed time-series aggregation in
+  sim-time, alert rules (static thresholds, sustained levels, and
+  multi-window error-budget :class:`BurnRateRule` burn rates), and a
+  rolling-median + MAD :class:`AnomalyDetector`, all glued to a live
+  run by the :class:`Watchdog` observer (``--watch``).
+* **analytics** (:mod:`repro.obs.diff` / :mod:`repro.obs.
+  bench_history`) — run-to-run regression detection between two
+  ``--json`` exports (:func:`diff_runs`) and trend/gate analytics over
+  the benchmark history (:func:`bench_trend`); both back the ``repro
+  obs`` CLI family alongside :func:`summarize_trace`.
 
 Observers are read-only consumers of engine events: a run with
 observability attached is byte-identical to a bare run (enforced by the
@@ -27,6 +38,18 @@ from __future__ import annotations
 
 from typing import Callable
 
+from .alerts import (
+    Alert,
+    AlertRule,
+    BurnRateRule,
+    SustainedRule,
+    ThresholdRule,
+    Watchdog,
+)
+from .anomaly import AnomalyDetector
+from .bench_history import TrendRow, bench_trend, check_gates, parse_gate
+from .bench_history import render_bench_trend
+from .diff import DiffReport, diff_runs, render_diff
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSampler
 from .profile import (
     DseProfile,
@@ -34,10 +57,14 @@ from .profile import (
     render_dse_profile,
     render_kernel_profile,
 )
-from .trace import TraceRecorder
+from .trace import TraceRecorder, render_trace_summary, summarize_trace
+from .windows import GaugeWindow, SlidingWindow, TumblingWindow
+from .windows import windowed_series
 
 __all__ = [
     "TraceRecorder",
+    "summarize_trace",
+    "render_trace_summary",
     "Counter",
     "Gauge",
     "Histogram",
@@ -47,6 +74,25 @@ __all__ = [
     "DseProfile",
     "render_kernel_profile",
     "render_dse_profile",
+    "SlidingWindow",
+    "TumblingWindow",
+    "GaugeWindow",
+    "windowed_series",
+    "Alert",
+    "AlertRule",
+    "ThresholdRule",
+    "SustainedRule",
+    "BurnRateRule",
+    "Watchdog",
+    "AnomalyDetector",
+    "DiffReport",
+    "diff_runs",
+    "render_diff",
+    "TrendRow",
+    "bench_trend",
+    "render_bench_trend",
+    "parse_gate",
+    "check_gates",
     "compose",
 ]
 

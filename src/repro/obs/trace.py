@@ -34,12 +34,14 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["TraceRecorder"]
+__all__ = ["TraceRecorder", "summarize_trace", "render_trace_summary"]
 
 #: The run's single trace process id.
 _PID = 0
 #: Thread row for request arrivals (instances use 1 + index).
 _TID_REQUESTS = 0
+#: Thread row for watchdog alert spans (far above any instance row).
+_TID_ALERTS = 10_000
 
 
 def _tid(instance: int) -> int:
@@ -100,6 +102,19 @@ class TraceRecorder:
             "name": name, "ph": "C", "ts": t_ms,
             "pid": _PID, "tid": _TID_REQUESTS, "args": {name: value},
         })
+
+    # -- watchdog annotation ---------------------------------------------
+    def alert_span(self, rule: str, t_ms: float, dur_ms: float,
+                   **args: Any) -> None:
+        """One alert episode on the dedicated alerts row (named
+        ``alert:<rule>`` so alert spans sort together in viewers)."""
+        self._name_row(_TID_ALERTS, "alerts")
+        self.complete(f"alert:{rule}", t_ms, dur_ms, _TID_ALERTS, **args)
+
+    def alert_instant(self, name: str, t_ms: float, **args: Any) -> None:
+        """One alert-row instant (e.g. an anomaly-detector onset)."""
+        self._name_row(_TID_ALERTS, "alerts")
+        self.instant(name, t_ms, _TID_ALERTS, **args)
 
     # -- the observer hook ----------------------------------------------
     def on_event(self, event: tuple) -> None:
@@ -222,3 +237,89 @@ class TraceRecorder:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+def summarize_trace(doc: Dict[str, Any]) -> dict:
+    """Aggregate one exported Chrome-trace document.
+
+    ``doc`` is the parsed JSON a :meth:`TraceRecorder.dump` wrote (any
+    trace-event document with a ``traceEvents`` list works).  Returns
+    per-span-name totals, instant counts, the thread-row names, and
+    the alert timeline (spans/instants on the alerts row), ready for
+    ``repro obs trace-summary``.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(
+            "not a Chrome trace-event document: missing 'traceEvents' "
+            "list")
+    spans: Dict[str, Dict[str, float]] = {}
+    instants: Dict[str, int] = {}
+    threads: Dict[int, str] = {}
+    alerts: List[Dict[str, Any]] = []
+    for event in events:
+        ph = event.get("ph")
+        name = str(event.get("name", ""))
+        tid = event.get("tid", 0)
+        if ph == "M":
+            if name == "thread_name":
+                threads[tid] = event.get("args", {}).get("name", "")
+            continue
+        on_alert_row = tid == _TID_ALERTS
+        if ph == "X":
+            dur = float(event.get("dur", 0.0))
+            agg = spans.setdefault(
+                name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
+            agg["count"] += 1
+            agg["total_ms"] += dur
+            agg["max_ms"] = max(agg["max_ms"], dur)
+            if on_alert_row:
+                alerts.append({"name": name, "t_ms": float(event["ts"]),
+                               "dur_ms": dur})
+        elif ph == "i":
+            instants[name] = instants.get(name, 0) + 1
+            if on_alert_row:
+                alerts.append({"name": name, "t_ms": float(event["ts"]),
+                               "dur_ms": 0.0})
+    alerts.sort(key=lambda a: (a["t_ms"], a["name"]))
+    return {
+        "events": len(events),
+        "threads": {tid: threads[tid] for tid in sorted(threads)},
+        "spans": {name: spans[name] for name in sorted(spans)},
+        "instants": {name: instants[name] for name in sorted(instants)},
+        "alerts": alerts,
+        "metadata": doc.get("metadata", {}),
+    }
+
+
+def render_trace_summary(summary: dict, top: int = 10) -> str:
+    """Text tables for a :func:`summarize_trace` result: the top spans
+    by total simulated time, instant counts, and the alert timeline."""
+    from ..analysis.tables import render_table
+
+    parts: List[str] = [
+        f"{summary['events']} trace event(s) across "
+        f"{len(summary['threads'])} row(s)"]
+    spans = sorted(summary["spans"].items(),
+                   key=lambda kv: (-kv[1]["total_ms"], kv[0]))[:top]
+    if spans:
+        parts.append(render_table(
+            ("span", "count", "total ms", "mean ms", "max ms"),
+            [(name, int(agg["count"]), agg["total_ms"],
+              agg["total_ms"] / agg["count"], agg["max_ms"])
+             for name, agg in spans],
+            title=f"Top {len(spans)} span(s) by total simulated time"))
+    if summary["instants"]:
+        parts.append(render_table(
+            ("instant", "count"),
+            sorted(summary["instants"].items()),
+            title="Instants"))
+    if summary["alerts"]:
+        parts.append(render_table(
+            ("t_ms", "event", "duration ms"),
+            [(a["t_ms"], a["name"], a["dur_ms"])
+             for a in summary["alerts"]],
+            title="Alert timeline"))
+    else:
+        parts.append("no alert annotations on this trace")
+    return "\n\n".join(parts)

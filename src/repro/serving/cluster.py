@@ -27,6 +27,14 @@ old loop could not express: heterogeneous fleets
 (:class:`~repro.sim.failures.FailurePlan`).  The legacy loop survives
 as :meth:`ClusterSimulator.run_legacy`, the reference implementation
 the goldens and the kernel-speedup benchmark compare against.
+
+``simulate(..., observer=...)`` attaches any read-only consumer of the
+engine's event stream — a :class:`repro.obs.TraceRecorder`,
+:class:`repro.obs.MetricsSampler`, or streaming SLO
+:class:`repro.obs.Watchdog` (burn-rate alerting over per-request
+latency, derived online from the same events); compose several with
+:func:`repro.obs.compose`.  Attached or not, the run's trace and
+records are byte-identical.
 """
 
 from __future__ import annotations

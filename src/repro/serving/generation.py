@@ -22,6 +22,13 @@ everything else: prefill is
 decode steps decompose
 :meth:`~repro.core.latency.LatencyModel.decode_layer_cycles` into the
 shared weight-stream term plus per-sequence compute.
+
+``simulate_generation(..., observer=...)`` attaches any read-only
+consumer of the engine's event stream (see
+:mod:`repro.sim.generate` for the event vocabulary) — a trace
+recorder, metrics sampler, or a streaming TTFT
+:class:`repro.obs.Watchdog`; attached or not, the run is
+byte-identical.
 """
 
 from __future__ import annotations

@@ -14,6 +14,36 @@ __all__ = ["render_serving_report", "render_capacity_plan",
            "render_generation_report"]
 
 
+def _watch_table(watch: dict) -> str:
+    """SLO-watchdog table (watched runs only; goldens stay byte-stable).
+
+    ``watch`` is the :meth:`repro.obs.Watchdog.summary` dict carried on
+    the report.
+    """
+    def fmt(value, spec=".4g"):
+        return format(value, spec) if value is not None else "-"
+
+    rows = [
+        ("SLO (ms) / target",
+         f"{watch['slo_ms']:g} / {watch['target']:g}"),
+        ("completions / violations",
+         f"{watch['completions']} / {watch['violations']}"),
+        ("attainment", fmt(watch["attainment"])),
+        ("error budget burned (x)", fmt(watch["budget_burn"])),
+        ("max burn rate", fmt(watch["max_burn_rate"])),
+        ("alerts / alert minutes",
+         f"{watch['alerts']} / {watch['alert_minutes']:.4g}"),
+        ("time to first alert (ms)",
+         fmt(watch["time_to_first_alert_ms"])),
+        ("anomaly onsets", len(watch["anomaly_onsets"])),
+    ]
+    for name, stats in watch["rules"].items():
+        rows.append((f"rule {name}",
+                     f"{stats['alerts']} alert(s) / "
+                     f"{stats['alert_ms']:.4g} ms"))
+    return render_table(("metric", "value"), rows, title="SLO watchdog")
+
+
 def render_generation_report(report: GenerationServingReport,
                              title: str = "Generation summary") -> str:
     """Aggregate + per-instance tables for a continuous-batching run."""
@@ -55,6 +85,8 @@ def render_generation_report(report: GenerationServingReport,
     if report.total_preemptions:
         agg_rows.append(("preemptions", report.total_preemptions))
     parts = [render_table(("metric", "value"), agg_rows, title=title)]
+    if report.watch is not None:
+        parts.append(_watch_table(report.watch))
     parts.append(render_table(
         ("inst", "requests", "steps", "prefills", "tokens", "busy ms",
          "switches"),
@@ -99,6 +131,8 @@ def render_serving_report(report: ServingReport,
         agg_rows.append(("degraded arrivals", report.degraded_count))
         agg_rows.append(("p99 degraded (ms)", report.p99_degraded_ms))
     parts = [render_table(("metric", "value"), agg_rows, title=title)]
+    if report.watch is not None:
+        parts.append(_watch_table(report.watch))
 
     if report.per_model:
         parts.append(render_table(

@@ -104,6 +104,9 @@ class ServingReport:
     #: Tail latency of the degraded-arrival subset (falls back to the
     #: overall p99 when no request saw a degraded fleet).
     p99_degraded_ms: Optional[float] = None
+    #: :meth:`repro.obs.Watchdog.summary` of the attached watchdog
+    #: (None unless the run was watched; reports omit it then).
+    watch: Optional[dict] = None
 
     def as_dict(self) -> dict:
         """JSON-friendly flattening (CLI ``--json`` output).
@@ -169,6 +172,8 @@ class ServingReport:
                 "degraded_requests": self.degraded_count,
                 "p99_degraded_ms": num(self.p99_degraded_ms),
             }
+        if self.watch is not None:
+            out["watch"] = self.watch
         return out
 
 
@@ -185,8 +190,14 @@ def _time_weighted_mean(samples: Sequence[tuple], horizon_ms: float) -> float:
 
 
 def summarize(result: SimulationResult,
-              slo_ms: Optional[float] = None) -> ServingReport:
-    """Reduce a simulation to its serving metrics."""
+              slo_ms: Optional[float] = None,
+              watch: Optional[dict] = None) -> ServingReport:
+    """Reduce a simulation to its serving metrics.
+
+    ``watch`` is the :meth:`repro.obs.Watchdog.summary` dict of a
+    watchdog that observed this run; it rides along into the report
+    (and its ``--json``/text renders) untouched.
+    """
     recs = result.records
     horizon = result.makespan_ms
     horizon_s = horizon / 1e3 if horizon > 0 else math.nan
@@ -253,6 +264,7 @@ def summarize(result: SimulationResult,
         total_retries=result.total_retries,
         degraded_count=degraded_count,
         p99_degraded_ms=p99_degraded,
+        watch=watch,
     )
 
 
@@ -297,6 +309,9 @@ class GenerationServingReport:
     total_failures: int = 0
     total_retries: int = 0
     total_preemptions: int = 0
+    #: :meth:`repro.obs.Watchdog.summary` of the attached watchdog
+    #: (None unless the run was watched; reports omit it then).
+    watch: Optional[dict] = None
 
     def as_dict(self) -> dict:
         """JSON-friendly flattening (NaN → null for strict parsers)."""
@@ -346,6 +361,8 @@ class GenerationServingReport:
                                "retries": self.total_retries}
         if self.total_preemptions:
             out["preemptions"] = self.total_preemptions
+        if self.watch is not None:
+            out["watch"] = self.watch
         return out
 
 
@@ -353,8 +370,13 @@ def summarize_generation(
     result: GenerationSimulationResult,
     ttft_slo_ms: Optional[float] = None,
     tpot_slo_ms: Optional[float] = None,
+    watch: Optional[dict] = None,
 ) -> GenerationServingReport:
-    """Reduce a generation simulation to its TTFT/TPOT/goodput metrics."""
+    """Reduce a generation simulation to its TTFT/TPOT/goodput metrics.
+
+    ``watch`` is the :meth:`repro.obs.Watchdog.summary` dict of a
+    watchdog that observed this run (see :func:`summarize`).
+    """
     recs = result.records
     horizon = result.makespan_ms
     horizon_s = horizon / 1e3 if horizon > 0 else math.nan
@@ -409,6 +431,7 @@ def summarize_generation(
         total_failures=result.total_failures,
         total_retries=result.total_retries,
         total_preemptions=result.total_preemptions,
+        watch=watch,
     )
 
 

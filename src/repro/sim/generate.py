@@ -23,6 +23,20 @@ scenario layer the legacy loop could not express:
   token requeue as resumes, ones still in prefill requeue as fresh
   requests, and both count a retry.  Queued work re-routes through the
   dispatcher; downtime accrues until repair.
+
+Observer contract: attached observers receive every trace tuple —
+``("arrive", t, rid, model, inst)``, ``("admit", t, inst, rid, prompt,
+output)``, ``("resume", t, inst, rid, cached, remaining)``, ``("step",
+t, inst, model, admitted, decoding, duration)``, ``("finish", t, inst,
+rid)``, ``("preempt", t, inst, rid)``, ``("fail"/"recover", t, inst)``
+— plus the observer-only ``("requeue", t, rid, inst)``.  Admits at
+time ``t`` precede their step event, and that step's first tokens land
+at ``t + duration``; ``preempt`` returns the victim to its instance's
+queue *without* a requeue event; a ``fail`` before a step completes
+aborts it (no first tokens were produced).  The
+:class:`repro.obs.alerts.Watchdog` derives online TTFT from exactly
+these rules.  Observers are read-only: the bare-run trace stays
+byte-identical with any observer attached.
 """
 
 from __future__ import annotations

@@ -29,6 +29,18 @@ resident-model names instead of re-programming the accelerator every
 batch, and the built-in schedulers run as inlined scans.  Same math,
 same floats, same order — just less work per event (the serving
 benchmark pins the speedup).
+
+Observer contract: an attached observer sees every trace tuple —
+``("arrive", t, rid, model, inst)`` (``inst == -1`` while parked),
+``("dispatch", t, inst, model, size, switch_ms)``, ``("free", t,
+inst)``, ``("fail", t, inst)``, ``("recover", t, inst)`` — plus the
+observer-only ``("requeue", t, rid, inst)`` for displaced work, in
+nondecreasing time order.  ``dispatch`` pops exactly a head prefix of
+the instance's queue, so consumers like
+:class:`repro.obs.alerts.Watchdog` recover batch membership (and thus
+per-request latency, online) by mirroring the queues from
+arrive/requeue.  Observers are read-only: the bare-run trace stays
+byte-identical with any observer attached.
 """
 
 from __future__ import annotations

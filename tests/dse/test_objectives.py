@@ -52,7 +52,12 @@ class TestEvaluatePoint:
     def test_feasible_point_scores_all_objectives(self):
         metrics = evaluate_point(_point(), FAST)
         for obj in OBJECTIVES:
-            assert metrics[obj.name] > 0, obj.name
+            assert obj.name in metrics, obj.name
+            if obj.name in ("alert_minutes", "budget_burn"):
+                # A healthy run legitimately scores zero alert time.
+                assert metrics[obj.name] >= 0, obj.name
+            else:
+                assert metrics[obj.name] > 0, obj.name
         assert metrics["util_pct"] <= 100.0
         assert metrics["clock_mhz"] == pytest.approx(200.0)
         assert metrics["n_fpgas"] == 1
@@ -176,3 +181,41 @@ class TestGenerationObjectives:
                                 opts=dict(FAST, link="aurora",
                                           gen_prompt=8, gen_output=8,
                                           gen_slots=2, gen_qps=20.0))
+
+
+class TestWatchObjectives:
+    def test_watch_metrics_present_and_nonnegative(self):
+        metrics = evaluate_point(_point(), FAST)
+        assert metrics["alert_minutes"] >= 0
+        assert metrics["budget_burn"] >= 0
+
+    def test_watch_objectives_selectable(self):
+        objs = get_objectives(("alert_minutes", "budget_burn"))
+        assert [o.goal for o in objs] == ["min", "min"]
+
+    def test_watch_gate_skips_watchdog(self):
+        metrics = evaluate_point(_point(), dict(FAST,
+                                                watch_objectives=False))
+        assert "alert_minutes" not in metrics
+        assert "budget_burn" not in metrics
+        assert metrics["availability"] > 0  # failure run still scored
+
+    def test_watch_without_fail_objectives_still_scores(self):
+        """The watchdog rides the failure-injected rerun, so selecting
+        only watch objectives must still trigger that run."""
+        metrics = evaluate_point(_point(), dict(FAST,
+                                                fail_objectives=False))
+        assert "availability" not in metrics
+        assert metrics["budget_burn"] >= 0
+
+    def test_tighter_slo_burns_more_budget(self):
+        loose = evaluate_point(_point(), dict(FAST, watch_slo_ms=50.0))
+        tight = evaluate_point(_point(), dict(FAST, watch_slo_ms=0.01))
+        assert tight["budget_burn"] >= loose["budget_burn"]
+        assert tight["budget_burn"] > 0
+
+    def test_watch_metrics_deterministic(self):
+        a = evaluate_point(_point(), FAST)
+        b = evaluate_point(_point(), FAST)
+        assert a["alert_minutes"] == b["alert_minutes"]
+        assert a["budget_burn"] == b["budget_burn"]

@@ -1,0 +1,109 @@
+"""Tests for the rolling-median + MAD changepoint detector."""
+
+import pytest
+
+from repro.obs import AnomalyDetector
+
+
+def warmed(**kwargs):
+    """Detector with a flat healthy baseline already established."""
+    det = AnomalyDetector(**kwargs)
+    for i in range(det.min_samples):
+        det.observe(float(i), 10.0 + 0.1 * (i % 3))
+    return det
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"window": 0}, "window"),
+        ({"min_samples": 0}, "min_samples"),
+        ({"window": 8, "min_samples": 9}, "min_samples"),
+        ({"threshold": 0.0}, "threshold"),
+        ({"debounce": 0}, "debounce"),
+        ({"rel_floor": -0.1}, "floors"),
+        ({"abs_floor": 0.0}, "floors"),
+    ])
+    def test_bad_params_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AnomalyDetector(**kwargs)
+
+
+class TestScoring:
+    def test_zero_score_while_warming_up(self):
+        det = AnomalyDetector(min_samples=12)
+        for i in range(11):
+            assert det.score(1000.0) == 0.0
+            det.observe(float(i), 5.0)
+
+    def test_one_sided(self):
+        det = warmed()
+        assert det.score(100.0) > 0
+        # Latency improving is never an anomaly.
+        assert det.score(0.001) <= 0
+        assert not det.observe(99.0, 0.001)
+
+    def test_scale_floor_prevents_infinite_scores(self):
+        det = AnomalyDetector(min_samples=4, rel_floor=0.05)
+        for i in range(8):
+            det.observe(float(i), 10.0)  # MAD is exactly zero
+        # Score is finite and floored at rel_floor * median.
+        assert det.score(10.5) == pytest.approx(1.0)
+
+
+class TestOnsets:
+    def test_debounce_requires_consecutive_anomalies(self):
+        det = warmed(debounce=3)
+        det.observe(100.0, 500.0)
+        det.observe(101.0, 500.0)
+        assert det.onsets == []  # only 2 in a row
+        det.observe(102.0, 10.0)  # streak broken
+        det.observe(103.0, 500.0)
+        det.observe(104.0, 500.0)
+        det.observe(105.0, 500.0)
+        assert len(det.onsets) == 1
+        # Onset is stamped at the *start* of the winning streak.
+        assert det.onsets[0]["t_ms"] == 103.0
+        assert det.onsets[0]["value"] == 500.0
+        assert det.onset_times == [103.0]
+
+    def test_recovery_and_second_episode(self):
+        det = warmed(debounce=2)
+        for t in (50.0, 51.0):
+            det.observe(t, 800.0)
+        assert det.triggered
+        det.observe(60.0, 10.0)
+        assert not det.triggered
+        assert det.recoveries == [60.0]
+        for t in (70.0, 71.0):
+            det.observe(t, 900.0)
+        assert det.onset_times == [50.0, 70.0]
+
+    def test_anomalous_samples_excluded_from_baseline(self):
+        det = warmed(debounce=1)
+        baseline_before = list(det._baseline)
+        for t in range(100, 150):
+            det.observe(float(t), 10_000.0)
+        # A sustained outage must not drag the median up and mask itself.
+        assert list(det._baseline) == baseline_before
+        assert len(det.onsets) == 1
+
+    def test_determinism(self):
+        runs = []
+        for _ in range(2):
+            det = AnomalyDetector(min_samples=6, debounce=2)
+            for t in range(40):
+                value = 5.0 if t < 25 else 400.0
+                det.observe(float(t), value)
+            runs.append(det.onset_times)
+        assert runs[0] == runs[1] == [25.0]
+
+    def test_summary(self):
+        det = warmed(debounce=1)
+        det.observe(200.0, 5000.0)
+        s = det.summary()
+        assert s["triggered"] is True
+        assert s["onsets"][0]["t_ms"] == 200.0
+        assert s["recoveries"] == []
+        # summary copies, it does not alias internal state
+        s["onsets"][0]["t_ms"] = -1
+        assert det.onsets[0]["t_ms"] == 200.0

@@ -154,3 +154,96 @@ class TestExport:
         tr = TraceRecorder()
         with pytest.raises(OSError):
             tr.dump(tmp_path / "no-such-dir" / "run.json")
+
+
+class TestHeterogeneousFleetFailures:
+    """Satellite coverage: down spans overlapping preemption/requeue
+    on a mixed-speed fleet under failure injection."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, default_accel):
+        from repro.obs import MetricsSampler, compose
+        from repro.serving import (
+            LengthSampler,
+            ModelMix,
+            PoissonArrivals,
+            attach_generation_lengths,
+            attach_priorities,
+        )
+        from repro.serving.generation import GenerationClusterSimulator
+        from repro.sim import FailurePlan, FleetSpec
+
+        mix = ModelMix({"model2-lhc-trigger": 2.0,
+                        "model1-peng-isqed21": 1.0})
+        arrivals = PoissonArrivals(300, mix, seed=21).generate(500.0)
+        requests = attach_generation_lengths(
+            arrivals, LengthSampler("uniform", 8, 24),
+            LengthSampler("geometric", 4, mean_extra=16.0), seed=9,
+            max_total=default_accel.synth.max_seq_len)
+        requests = attach_priorities(requests, 0.3, seed=4)
+        fleet = FleetSpec.parse("1.0/4,0.5/4,1.5/2")  # mixed speeds+slots
+        sim = GenerationClusterSimulator(
+            default_accel, scheduler="least-loaded", fleet=fleet,
+            failures=FailurePlan(mtbf_ms=120.0, mttr_ms=40.0, seed=3))
+        bare = sim.run(requests)
+        tracer, sampler = TraceRecorder(), MetricsSampler(grid_ms=25.0)
+        observed = sim.run(requests, observer=compose(tracer, sampler))
+        return bare, observed, tracer, sampler
+
+    def test_observed_run_identical(self, traced_run):
+        bare, observed, _, _ = traced_run
+        assert observed.trace == bare.trace
+        assert observed.records == bare.records
+        assert observed.instances == bare.instances
+
+    def test_scenario_exercises_all_disruptions(self, traced_run):
+        bare, _, _, sampler = traced_run
+        kinds = {e[0] for e in bare.trace}
+        assert {"fail", "recover", "preempt"} <= kinds
+        assert sampler.registry.counters["requeues"].value > 0
+
+    def test_down_spans_match_fail_recover_pairs(self, traced_run):
+        bare, _, tracer, _ = traced_run
+        downs = [e for e in tracer.events if e["name"] == "down"]
+        fails = [e for e in bare.trace if e[0] == "fail"]
+        assert len(downs) == len(fails)
+        # Every down span starts at a fail and ends at the matching
+        # recover (or the horizon, flagged unfinished by finish()).
+        fail_times = sorted(e[1] for e in fails)
+        assert sorted(d["ts"] for d in downs) == pytest.approx(fail_times)
+        for d in downs:
+            assert d["dur"] > 0
+
+    def test_disruptions_overlap_down_spans(self, traced_run):
+        bare, _, tracer, _ = traced_run
+        downs = [(d["tid"], d["ts"], d["ts"] + d["dur"])
+                 for d in tracer.events if d["name"] == "down"]
+        # While at least one instance is down, displaced and preempted
+        # work churns: some preempt/requeue activity must land inside
+        # a down interval (the point of the satellite scenario).
+        preempts = [e[1] for e in bare.trace if e[0] == "preempt"]
+        overlapping = [
+            t for t in preempts
+            if any(t0 - 1e-9 <= t <= t1 + 1e-9 for _, t0, t1 in downs)]
+        assert downs, "failure plan must take instances down"
+        assert overlapping, (
+            "scenario must preempt while an instance is down")
+
+    def test_displaced_sequences_flagged_and_recorder_drains(
+            self, traced_run):
+        _, _, tracer, _ = traced_run
+        failed_over = [e for e in tracer.events
+                       if e["name"] == "sequence (failed over)"]
+        preempted = [e for e in tracer.events
+                     if e["name"] == "sequence (preempted)"]
+        assert failed_over, "failures must displace in-flight sequences"
+        assert preempted, "priority mix must evict sequences"
+        assert not tracer._open_seqs and not tracer._open_batches
+        assert not tracer._down_since
+
+    def test_chrome_export_has_instance_rows(self, traced_run):
+        _, _, tracer, _ = traced_run
+        doc = tracer.to_chrome()
+        tids = {e["tid"] for e in doc["traceEvents"]
+                if e["name"] == "down"}
+        assert len(tids) >= 2  # failures hit more than one instance row

@@ -1,0 +1,175 @@
+"""Tests for the windowed time-series engine (repro.obs.windows)."""
+
+import pytest
+
+from repro.obs import GaugeWindow, MetricsSampler, SlidingWindow, TumblingWindow
+from repro.obs.windows import AGGREGATORS, windowed_series
+from repro.serving import ModelMix, PoissonArrivals
+from repro.serving.cluster import ClusterSimulator
+
+
+class TestSlidingWindow:
+    def test_width_must_be_positive(self):
+        for bad in (0.0, -5.0):
+            with pytest.raises(ValueError, match="must be > 0"):
+                SlidingWindow(bad)
+
+    def test_eviction_keeps_half_open_interval(self):
+        w = SlidingWindow(100.0)
+        w.push(0.0, 1.0)
+        w.push(50.0, 2.0)
+        w.push(100.0, 3.0)
+        # (t - width, t] = (0, 100]: the t=0 sample is evicted.
+        assert w.values() == [2.0, 3.0]
+        assert len(w) == 2
+
+    def test_advance_without_push_evicts(self):
+        w = SlidingWindow(10.0)
+        w.push(0.0, 1.0)
+        w.push(5.0, 2.0)
+        w.advance(20.0)
+        assert len(w) == 0
+
+    def test_aggregates(self):
+        w = SlidingWindow(1000.0)
+        for t, v in enumerate([4.0, 1.0, 3.0, 2.0]):
+            w.push(float(t), v)
+        assert w.count == 4
+        assert w.sum == pytest.approx(10.0)
+        assert w.mean() == pytest.approx(2.5)
+        assert w.min() == 1.0
+        assert w.max() == 4.0
+        assert w.percentile(50) in (2.0, 3.0)
+
+    def test_empty_aggregates_raise(self):
+        w = SlidingWindow(10.0)
+        for op in (w.mean, w.min, w.max):
+            with pytest.raises(ValueError):
+                op()
+        with pytest.raises(ValueError):
+            w.percentile(99)
+
+    def test_rate_per_s(self):
+        w = SlidingWindow(500.0)
+        for t in range(10):
+            w.push(float(t * 10), 1.0)
+        # 10 events in a 500 ms window -> 20 events/s.
+        assert w.rate_per_s() == pytest.approx(20.0)
+
+
+class TestTumblingWindow:
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            TumblingWindow(-1.0)
+
+    def test_mean_per_bucket(self):
+        w = TumblingWindow(10.0, agg="mean")
+        w.push(1.0, 2.0)
+        w.push(9.0, 4.0)
+        w.push(15.0, 10.0)  # closes bucket [0, 10)
+        w.flush(15.0)
+        assert w.rows == [(0.0, 3.0), (10.0, 10.0)]
+
+    def test_count_and_rate_emit_zero_for_gaps(self):
+        w = TumblingWindow(10.0, agg="count")
+        w.push(5.0, 1.0)
+        w.push(35.0, 1.0)  # skips buckets [10,20) and [20,30)
+        w.flush(35.0)
+        assert w.rows == [(0.0, 1.0), (10.0, 0.0), (20.0, 0.0), (30.0, 1.0)]
+
+    def test_value_aggs_skip_empty_buckets(self):
+        w = TumblingWindow(10.0, agg="max")
+        w.push(5.0, 7.0)
+        w.push(25.0, 9.0)
+        w.flush(25.0)
+        assert w.rows == [(0.0, 7.0), (20.0, 9.0)]
+
+    def test_backwards_time_rejected(self):
+        w = TumblingWindow(10.0)
+        w.push(25.0, 1.0)
+        with pytest.raises(ValueError, match="closed bucket"):
+            w.push(5.0, 1.0)
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            TumblingWindow(10.0, agg="median-of-medians")
+
+    def test_callable_agg(self):
+        w = TumblingWindow(10.0, agg=lambda vs: max(vs) - min(vs))
+        w.push(1.0, 3.0)
+        w.push(2.0, 8.0)
+        w.flush(2.0)
+        assert w.rows == [(0.0, 5.0)]
+
+    @pytest.mark.parametrize("agg", AGGREGATORS)
+    def test_every_documented_agg_accepted(self, agg):
+        w = TumblingWindow(10.0, agg=agg)
+        w.push(1.0, 2.0)
+        w.push(3.0, 4.0)
+        w.flush(3.0)
+        assert len(w.rows) == 1
+
+    def test_percentile_agg(self):
+        w = TumblingWindow(100.0, agg="p99")
+        for i in range(100):
+            w.push(float(i), float(i + 1))
+        w.flush(99.0)
+        assert w.rows == [(0.0, 99.0)]
+
+
+class TestGaugeWindow:
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            GaugeWindow(0.0)
+
+    def test_time_weighted_mean(self):
+        g = GaugeWindow(10.0, initial=0.0)
+        g.set(5.0, 2.0)  # 0 for 5 ms, then 2 for 5 ms -> mean 1.0
+        g.flush(10.0)
+        assert g.rows[0] == (0.0, pytest.approx(1.0))
+
+    def test_add_deltas(self):
+        g = GaugeWindow(10.0)
+        g.add(0.0, 3.0)
+        g.add(5.0, -1.0)
+        assert g.level == pytest.approx(2.0)
+        g.flush(10.0)
+        assert g.rows[0] == (0.0, pytest.approx(2.5))
+
+    def test_partial_final_bucket_weighted_by_elapsed(self):
+        g = GaugeWindow(10.0, initial=4.0)
+        g.flush(5.0)  # half a bucket at level 4
+        assert g.rows == [(0.0, pytest.approx(4.0))]
+
+    def test_backwards_time_rejected(self):
+        g = GaugeWindow(10.0)
+        g.set(8.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            g.set(3.0, 2.0)
+
+
+class TestWindowedSeries:
+    @pytest.fixture(scope="class")
+    def series(self, default_accel):
+        requests = PoissonArrivals(
+            300, ModelMix({"model2-lhc-trigger": 1.0}), seed=5,
+        ).generate(400.0)
+        sampler = MetricsSampler(grid_ms=20.0)
+        sim = ClusterSimulator(default_accel, 2)
+        sim.run(requests, observer=sampler)
+        return sampler.registry.series
+
+    def test_tumbles_a_metrics_series(self, series):
+        rows = windowed_series(series, "arrivals", 100.0, agg="sum")
+        assert rows
+        assert sum(v for _, v in rows) == sum(r["arrivals"] for r in series)
+        starts = [t for t, _ in rows]
+        assert starts == sorted(starts)
+
+    def test_count_rows_cover_run(self, series):
+        rows = windowed_series(series, "completions", 50.0, agg="count")
+        assert sum(v for _, v in rows) == len(series)
+
+    def test_missing_key_rows_skipped(self, series):
+        rows = windowed_series(series, "no_such_column", 100.0, agg="count")
+        assert all(v == 0.0 for _, v in rows)

@@ -8,9 +8,10 @@ committed golden under ``tests/goldens/`` — so neither engine can
 drift, and a diff in either shows up as a readable report diff.
 
 Each scenario also runs a third time with the full observability stack
-attached (trace recorder + metrics sampler + kernel profiler): the
-observed run must be byte-identical to the bare kernel run, pinning
-the ``repro.obs`` contract that observation never perturbs.
+attached (trace recorder + metrics sampler + SLO watchdog + kernel
+profiler): the observed run must be byte-identical to the bare kernel
+run, pinning the ``repro.obs`` contract that observation never
+perturbs.
 
 Regenerate after an intentional behavior change with::
 
@@ -22,7 +23,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import KernelProfiler, MetricsSampler, TraceRecorder, compose
+from repro.obs import (
+    KernelProfiler,
+    MetricsSampler,
+    TraceRecorder,
+    Watchdog,
+    compose,
+)
 from repro.serving import (
     BurstyArrivals,
     DiurnalArrivals,
@@ -92,13 +99,15 @@ def test_serve_trace_identity(default_accel, scenario):
     assert legacy.queue_samples == kernel.queue_samples
     assert legacy.instances == kernel.instances
     tracer, sampler = TraceRecorder(), MetricsSampler(grid_ms=25.0)
-    observed = sim.run(requests, observer=compose(tracer, sampler),
+    watchdog = Watchdog(slo_ms=50.0)
+    observed = sim.run(requests, observer=compose(tracer, sampler, watchdog),
                        profiler=KernelProfiler())
     assert observed.trace == kernel.trace
     assert observed.records == kernel.records
     assert observed.queue_samples == kernel.queue_samples
     assert observed.instances == kernel.instances
     assert tracer.events and sampler.registry.series
+    assert watchdog.completions == len(observed.records)
     title = f"Golden: serve/{scenario}"
     rep_legacy = render_serving_report(summarize(legacy, slo_ms=50.0),
                                        title=title)
@@ -131,13 +140,15 @@ def test_generate_trace_identity(default_accel, scenario):
     assert legacy.queue_samples == kernel.queue_samples
     assert legacy.instances == kernel.instances
     tracer, sampler = TraceRecorder(), MetricsSampler(grid_ms=25.0)
-    observed = sim.run(requests, observer=compose(tracer, sampler),
+    watchdog = Watchdog(slo_ms=40.0)
+    observed = sim.run(requests, observer=compose(tracer, sampler, watchdog),
                        profiler=KernelProfiler())
     assert observed.trace == kernel.trace
     assert observed.records == kernel.records
     assert observed.queue_samples == kernel.queue_samples
     assert observed.instances == kernel.instances
     assert tracer.events and sampler.registry.series
+    assert watchdog.completions == len(observed.records)
     title = f"Golden: generate/{scenario}"
     rep_legacy = render_generation_report(
         summarize_generation(legacy, ttft_slo_ms=40.0, tpot_slo_ms=2.0),

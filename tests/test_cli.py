@@ -599,3 +599,194 @@ class TestObservabilityFlags:
         assert main(argv) == 0  # warm resume: everything a cache hit
         warm = capsys.readouterr().out
         assert "1 cache hit(s)" in warm
+
+
+class TestWatchFlags:
+    """serve/generate --watch: the streaming SLO watchdog surface."""
+
+    SERVE = ["serve", "--qps", "200", "--duration-ms", "400",
+             "--instances", "2", "--seed", "4", "--slo-ms", "10",
+             "--failures", "150:25"]
+    GEN = ["generate", "--qps", "30", "--duration-ms", "250",
+           "--instances", "1", "--slots", "3", "--seed", "4",
+           "--ttft-slo-ms", "25"]
+
+    def test_serve_watch_report_table(self, capsys):
+        assert main(self.SERVE + ["--watch"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO watchdog" in out
+        assert "rule burn_rate" in out and "rule fleet_down" in out
+
+    def test_serve_watch_json_block(self, capsys):
+        assert main(self.SERVE + ["--watch", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        watch = doc["watch"]
+        assert watch["slo_ms"] == 10.0 and watch["target"] == 0.99
+        assert watch["completions"] == doc["total_requests"]
+        assert set(watch["rules"]) == {"burn_rate", "fleet_down"}
+        assert doc["run_config"]["watch"]["target"] == 0.99
+
+    def test_watch_does_not_change_results(self, capsys):
+        assert main(self.SERVE + ["--json"]) == 0
+        bare = json.loads(capsys.readouterr().out)
+        assert main(self.SERVE + ["--watch", "--json"]) == 0
+        watched = json.loads(capsys.readouterr().out)
+        watched.pop("watch")
+        rc = watched["run_config"].pop("watch")
+        assert rc["fast_window_ms"] == 100.0
+        assert watched == bare
+
+    def test_generate_watch_json_block(self, capsys):
+        assert main(self.GEN + ["--watch", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["watch"]["slo_ms"] == 25.0
+        assert doc["watch"]["completions"] == doc["total_requests"]
+
+    def test_watch_alerts_reach_trace(self, tmp_path):
+        trace = tmp_path / "w.trace.json"
+        assert main(self.SERVE + ["--watch", "--watch-target", "0.5",
+                                  "--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        alert_rows = [e for e in doc["traceEvents"]
+                      if e.get("tid") == 10_000]
+        assert alert_rows, "watch alerts must land on the alerts row"
+
+    def test_watch_requires_slo(self):
+        with pytest.raises(SystemExit, match="--watch requires --slo-ms"):
+            main(["serve", "--watch"])
+        with pytest.raises(SystemExit,
+                           match="--watch requires --ttft-slo-ms"):
+            main(["generate", "--watch"])
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--watch-window-ms", "0"),
+        ("--watch-window-ms", "-5"),
+        ("--watch-slow-window-ms", "0"),
+    ])
+    def test_watch_window_must_be_positive(self, flag, value):
+        with pytest.raises(SystemExit, match="window widths"):
+            main(self.SERVE + ["--watch", flag, value])
+
+    def test_watch_slow_window_must_dominate(self):
+        with pytest.raises(SystemExit, match="slow"):
+            main(self.SERVE + ["--watch", "--watch-window-ms", "200",
+                               "--watch-slow-window-ms", "100"])
+
+    @pytest.mark.parametrize("target", ["0", "1", "1.5", "-0.2"])
+    def test_watch_target_must_be_a_fraction(self, target):
+        with pytest.raises(SystemExit, match="target"):
+            main(self.SERVE + ["--watch", "--watch-target", target])
+
+    def test_plan_rejects_watch(self):
+        with pytest.raises(SystemExit, match="--plan"):
+            main(["serve", "--plan", "--slo-ms", "5", "--watch"])
+
+    @pytest.mark.parametrize("value", ["0", "-10"])
+    def test_metrics_grid_validated_eagerly(self, value):
+        # Rejected before the simulation runs, even with no --metrics
+        # sink (the sampler is the watch window source too).
+        with pytest.raises(SystemExit, match="grid_ms must be positive"):
+            main(self.SERVE + ["--metrics-grid-ms", value])
+
+
+class TestObsCommand:
+    """The obs subcommand family: diff / bench / trace-summary."""
+
+    SERVE = ["serve", "--qps", "200", "--duration-ms", "300",
+             "--instances", "2", "--seed", "4", "--slo-ms", "10"]
+
+    def _export(self, tmp_path, capsys, name, extra=()):
+        path = tmp_path / name
+        assert main(self.SERVE + list(extra) + ["--json"]) == 0
+        path.write_text(capsys.readouterr().out)
+        return path
+
+    def test_diff_identical_runs_ok(self, tmp_path, capsys):
+        a = self._export(tmp_path, capsys, "a.json")
+        b = self._export(tmp_path, capsys, "b.json")
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: no significant regressions" in out
+
+    def test_diff_flags_injected_regression(self, tmp_path, capsys):
+        a = self._export(tmp_path, capsys, "a.json")
+        b = self._export(tmp_path, capsys, "b.json",
+                         extra=["--failures", "100:40"])
+        assert main(["obs", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "significant regression(s)" in out
+        assert str(a) in out and str(b) in out
+
+    def test_diff_json_output(self, tmp_path, capsys):
+        a = self._export(tmp_path, capsys, "a.json")
+        b = self._export(tmp_path, capsys, "b.json",
+                         extra=["--failures", "100:40"])
+        assert main(["obs", "diff", str(a), str(b), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False and doc["regressions"]
+
+    def test_diff_missing_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read run export"):
+            main(["obs", "diff", str(tmp_path / "a.json"),
+                  str(tmp_path / "b.json")])
+
+    def test_diff_malformed_json_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(SystemExit, match="cannot read run export"):
+            main(["obs", "diff", str(bad), str(bad)])
+
+    def test_bench_trend_on_committed_history(self, capsys):
+        assert main(["obs", "bench"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH trend" in out and "metric(s) tracked" in out
+
+    def test_bench_gate_violation_exits_nonzero(self, tmp_path, capsys):
+        history = tmp_path / "hist.json"
+        history.write_text(json.dumps(
+            [{"suite": "s", "metric": "watch_overhead_x", "value": 2.0,
+              "units": "x"}]))
+        assert main(["obs", "bench", "--results", str(history),
+                     "--gate", "watch_overhead_x<=1.05"]) == 1
+        assert "GATE VIOLATION" in capsys.readouterr().out
+
+    def test_bench_gate_holds_exits_zero(self, tmp_path, capsys):
+        history = tmp_path / "hist.json"
+        history.write_text(json.dumps(
+            [{"suite": "s", "metric": "watch_overhead_x", "value": 1.01,
+              "units": "x"}]))
+        assert main(["obs", "bench", "--results", str(history),
+                     "--gate", "watch_overhead_x<=1.05", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and doc["violations"] == []
+
+    def test_bench_bad_gate_expression(self):
+        with pytest.raises(SystemExit, match="invalid gate"):
+            main(["obs", "bench", "--gate", "metric==1"])
+
+    def test_bench_missing_results_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["obs", "bench", "--results",
+                  str(tmp_path / "none.json")])
+
+    def test_trace_summary_text_and_json(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        assert main(self.SERVE + ["--watch", "--watch-target", "0.5",
+                                  "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "trace-summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out.lower()
+        assert main(["obs", "trace-summary", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spans"] and doc["threads"]
+
+    def test_trace_summary_rejects_non_trace(self, tmp_path):
+        not_trace = tmp_path / "x.json"
+        not_trace.write_text('{"hello": 1}')
+        with pytest.raises(SystemExit, match="traceEvents"):
+            main(["obs", "trace-summary", str(not_trace)])
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["obs"])

@@ -34,6 +34,23 @@ RESULTS_PATH = OUTPUT_DIR / "BENCH_results.json"
 _records: List[dict] = []
 _run_stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
 
+#: Units pinned per headline metric.  CI gates compare these metrics
+#: across runs by name (`obs bench --gate`), which is only meaningful
+#: if every run records them in the same units — a record that
+#: disagrees fails the bench that produced it.
+METRIC_UNITS = {
+    "dse_parallel_speedup_x": "x",
+    "dse_prescreen_reduction_x": "x",
+    "dse_warm_speedup_x": "x",
+    "dse_serial_s": "s",
+    "dse_parallel_s": "s",
+    "dse_pool_s": "s",
+    "dse_cold_s": "s",
+    "dse_warm_s": "s",
+    "dse_host_cpus": "cores",
+    "dse_grid_points": "points",
+}
+
 
 def _validate_record(record: dict) -> None:
     """Enforce the schema in benchmarks/README.md before appending.
@@ -55,6 +72,12 @@ def _validate_record(record: dict) -> None:
         raise ValueError(
             f"perf record value must be a finite number, "
             f"got {record['value']!r}")
+    pinned = METRIC_UNITS.get(record["metric"])
+    if pinned is not None and record["units"] != pinned:
+        raise ValueError(
+            f"metric {record['metric']!r} must be recorded in "
+            f"{pinned!r} (gated across runs by name), "
+            f"got {record['units']!r}")
     if "context" in record:
         context = record["context"]
         if not isinstance(context, dict) or not context:

@@ -136,6 +136,12 @@ from .obs import (
 from .serving import simulate as simulate_cluster
 from .sim import FailurePlan, FleetSpec, InstanceSpec
 
+# 1.5.0: persistent-worker parallel DSE (repro.dse.pool) with batched
+# dispatch and a single-writer shared cache index, plus the
+# closed-form surrogate prescreen (repro.dse.surrogate,
+# PrescreenStrategy).  The bump re-keys the DSE evaluation cache:
+# the evaluator stack moved under new dispatch machinery, so records
+# scored by earlier releases must miss rather than be reused.
 # 1.4.0: streaming SLO watchdogs (repro.obs.watch) — windowed
 # aggregation, burn-rate alerting, anomaly detection — plus the
 # `repro obs` analytics CLI and alert_minutes/budget_burn DSE
@@ -144,7 +150,7 @@ from .sim import FailurePlan, FleetSpec, InstanceSpec
 # 1.3.0: observability layer (repro.obs) — trace recording, grid-
 # sampled metrics, kernel/DSE profiling — plus observer hooks on the
 # sim kernel and a run_config block in CLI JSON output.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ProTEA",

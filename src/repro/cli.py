@@ -250,7 +250,20 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--generations", type=int, default=4,
                      help="generation count for --strategy evolutionary")
     dse.add_argument("--jobs", type=int, default=1,
-                     help="evaluation worker processes")
+                     help="persistent evaluation worker processes "
+                          "(forked once per exploration)")
+    dse.add_argument("--batch", type=int, default=None, metavar="N",
+                     help="points per worker dispatch (default: "
+                          "auto-sized from the batch and axis sizes)")
+    dse.add_argument("--prescreen", action="store_true",
+                     help="score candidates with the closed-form "
+                          "surrogate first and fully evaluate only "
+                          "the surviving fronts")
+    dse.add_argument("--prescreen-keep", type=float, default=None,
+                     metavar="FRACTION",
+                     help="fraction of each batch the prescreen "
+                          "forwards (default 0.35; whole Pareto fronts "
+                          "are kept, so survivors may exceed this)")
     dse.add_argument("--pareto", action="store_true",
                      help="report only the Pareto frontier")
     dse.add_argument("--resume", action="store_true",
@@ -817,6 +830,10 @@ def _cmd_dse(args) -> None:
 
     if args.jobs < 1:
         raise SystemExit(f"invalid --jobs {args.jobs} (expected >= 1)")
+    if args.batch is not None and args.batch < 1:
+        raise SystemExit(f"invalid --batch {args.batch} (expected >= 1)")
+    if args.prescreen_keep is not None and not args.prescreen:
+        raise SystemExit("--prescreen-keep requires --prescreen")
     try:
         space = standard_space(
             models=tuple(args.models or ("bert-variant",
@@ -846,15 +863,25 @@ def _cmd_dse(args) -> None:
                 "gen_objectives": needs_gen,
                 "fail_objectives": needs_fail,
                 "watch_objectives": needs_watch}
+    strategy = args.strategy
+    strategy_options = {"seed": args.seed, "samples": args.samples,
+                        "population": args.population,
+                        "generations": args.generations}
+    if args.prescreen:
+        # The chosen strategy becomes the inner proposal loop; the
+        # prescreen wrapper filters its batches through the surrogate.
+        strategy_options["inner"] = strategy
+        strategy = "prescreen"
+        if args.prescreen_keep is not None:
+            strategy_options["keep"] = args.prescreen_keep
     result = explore(
         space, evaluate_point,
         objectives=objectives,
-        strategy=args.strategy,
-        strategy_options={"seed": args.seed, "samples": args.samples,
-                          "population": args.population,
-                          "generations": args.generations},
+        strategy=strategy,
+        strategy_options=strategy_options,
         settings=settings,
         jobs=args.jobs,
+        batch_size=args.batch,
         cache=cache,
         profile=args.profile,
     )
@@ -866,7 +893,8 @@ def _cmd_dse(args) -> None:
     else:
         print(render_exploration(
             result, pareto_only=args.pareto,
-            title=f"DSE: {args.strategy} over {space.size} grid point(s)"))
+            title=f"DSE: {result.strategy} over {space.size} "
+                  "grid point(s)"))
 
 
 def _cmd_obs(args) -> int:

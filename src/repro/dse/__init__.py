@@ -11,11 +11,17 @@ the existing analytic stack:
 * :mod:`.space` — declarative search spaces (:class:`Axis`,
   :class:`SearchSpace`) with grids, seeded sampling, and mutation;
 * :mod:`.strategies` — grid / seeded-random / evolutionary proposal
-  loops behind one ask/tell interface;
+  loops behind one ask/tell interface, plus the
+  :class:`PrescreenStrategy` wrapper that scores candidates with a
+  closed-form surrogate and forwards only the survivors;
 * :mod:`.engine` — :func:`explore`: the driver, with a
-  ``multiprocessing`` evaluation pool (chunked dispatch) and an
+  :class:`~repro.dse.pool.PersistentPool` of evaluation workers
+  (forked once per exploration, fed compact point batches) and an
   optional content-keyed on-disk :class:`EvalCache` so repeated or
   resumed sweeps skip already-scored points;
+* :mod:`.surrogate` — the closed-form prescreen scorer
+  (:func:`surrogate_point`): analytic latency/throughput/power plus an
+  Erlang-C tail estimate, no simulation;
 * :mod:`.objectives` — the standard ProTEA evaluator
   (:func:`evaluate_point`) scoring latency, steady-state throughput,
   p99 under a seeded workload, power, and utilization;
@@ -49,16 +55,19 @@ from .objectives import (
     standard_space,
 )
 from .pareto import Objective, dominates, non_dominated_sort, pareto_front
+from .pool import PersistentPool
 from .report import render_exploration
 from .space import Axis, SearchSpace, point_id
 from .strategies import (
     STRATEGIES,
     EvolutionaryStrategy,
     GridStrategy,
+    PrescreenStrategy,
     RandomStrategy,
     Strategy,
     get_strategy,
 )
+from .surrogate import SURROGATE_OBJECTIVE_NAMES, erlang_c, surrogate_point
 
 __all__ = [
     # space
@@ -69,9 +78,11 @@ __all__ = [
     "EvalCache",
     # strategies
     "Strategy", "GridStrategy", "RandomStrategy", "EvolutionaryStrategy",
-    "STRATEGIES", "get_strategy",
-    # engine
-    "explore", "EvalResult", "ExplorationResult",
+    "PrescreenStrategy", "STRATEGIES", "get_strategy",
+    # surrogate
+    "SURROGATE_OBJECTIVE_NAMES", "erlang_c", "surrogate_point",
+    # engine / pool
+    "explore", "EvalResult", "ExplorationResult", "PersistentPool",
     # objectives
     "OBJECTIVES", "DEFAULT_OBJECTIVE_NAMES", "DEFAULT_SETTINGS",
     "get_objectives", "standard_space", "evaluate_point",

@@ -61,6 +61,20 @@ class EvalCache:
     def _entry(self, key: str) -> Path:
         return self.path / f"{key}.json"
 
+    def index(self) -> set:
+        """Every key currently on disk, from one directory scan.
+
+        The engine's single-writer discipline rides on this: the
+        parent process loads the index once per sweep, answers "is
+        this point cached?" from memory (a miss then costs zero disk
+        I/O, where :meth:`get` pays a failed read per probe), and adds
+        each key it writes.  Workers never see the cache at all — they
+        only receive points the parent already knows are uncached.
+        Probes answered from the index do not move the :attr:`stats`
+        counters; the engine reports its own hit/miss split.
+        """
+        return {entry.stem for entry in self.path.glob("*.json")}
+
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored record, or ``None`` (corrupt entries are misses)."""

@@ -190,6 +190,25 @@ def _synthesize(tiles_mha: int, tiles_ffn: int, fmt: str) -> ProTEA:
     return accel
 
 
+def _analytic_power_w(accel: ProTEA, cfg, latency_ms: float,
+                      n_fpgas: int):
+    """(total power, workload GOPS, per-board report) for one point.
+
+    Shared by the full evaluator and the closed-form surrogate so the
+    two can never disagree on the power axis.
+    """
+    workload_gops = gops(cfg, latency_ms / 1e3)
+    try:
+        achieved_gbps = analyze_traffic(accel, cfg).achieved_gbps
+    except ResynthesisRequiredError:
+        achieved_gbps = 0.0  # model only runs partitioned; skip the term
+    per_board = PowerReport.evaluate(
+        PowerModel(), accel.resources, accel.clock_mhz,
+        latency_s=latency_ms / 1e3, gops=workload_gops,
+        achieved_gbps=achieved_gbps)
+    return per_board.total_w * n_fpgas, workload_gops, per_board
+
+
 def _generation_lengths(accel: ProTEA,
                         opts: Mapping[str, Any]) -> Tuple[int, int]:
     """Prompt/output lengths clamped to the point's KV-cache capacity."""
@@ -345,17 +364,9 @@ def evaluate_point(point: Mapping[str, Any],
             watch_metrics = {"alert_minutes": watch["alert_minutes"],
                              "budget_burn": watch["budget_burn"]}
 
-    workload_gops = gops(cfg, latency_ms / 1e3)
-    try:
-        achieved_gbps = analyze_traffic(accel, cfg).achieved_gbps
-    except ResynthesisRequiredError:
-        achieved_gbps = 0.0  # model only runs partitioned; skip the term
-    per_board = PowerReport.evaluate(
-        PowerModel(), accel.resources, accel.clock_mhz,
-        latency_s=latency_ms / 1e3, gops=workload_gops,
-        achieved_gbps=achieved_gbps)
     n_fpgas = devices * fleet
-    power_w = per_board.total_w * n_fpgas
+    power_w, workload_gops, per_board = _analytic_power_w(
+        accel, cfg, latency_ms, n_fpgas)
 
     return {
         # objectives

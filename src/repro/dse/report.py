@@ -59,6 +59,14 @@ def render_exploration(result: ExplorationResult,
             sum(1 for r in result.results if r.ok),
             ", ".join(f"{o.name} {o.goal}" for o in result.objectives)),
     ]
+    if result.prescreen is not None:
+        p = result.prescreen
+        lines.append(
+            f"prescreen: {p['forwarded']} of {p['proposed']} proposed "
+            f"point(s) forwarded ({p['screened_out']} screened out, "
+            f"{p['surrogate_errors']} surrogate error(s); "
+            f"keep={p['keep']}, min_keep={p['min_keep']}, "
+            f"inner={p['inner']})")
     if result.profile is not None:
         from ..obs.profile import render_dse_profile
 

@@ -11,18 +11,31 @@ One-shot strategies (grid, random) propose everything in their first
 ``ask``.  All randomness is seeded — the same (space, seed) pair always
 proposes the same points in the same order, which is what makes cached
 re-runs hit on every single point.
+
+:class:`PrescreenStrategy` is a *wrapper*: it drives any inner
+strategy and, before each batch reaches the engine, scores the
+candidates with a closed-form surrogate
+(:func:`repro.dse.surrogate.surrogate_point` by default) and forwards
+only the surviving fraction for full evaluation.  Survivor selection
+keeps whole non-dominated fronts — never a slice of one — so a point
+the surrogate ranks on the first front always survives, whatever the
+keep fraction.  The selection is deterministic, so a prescreened
+sweep is byte-identical across ``jobs`` and batch sizes like any
+other strategy.
 """
 
 from __future__ import annotations
 
+import math
 from random import Random
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from .pareto import Objective, non_dominated_sort
 from .space import SearchSpace, point_id
 
 __all__ = ["Strategy", "GridStrategy", "RandomStrategy",
-           "EvolutionaryStrategy", "STRATEGIES", "get_strategy"]
+           "EvolutionaryStrategy", "PrescreenStrategy", "STRATEGIES",
+           "get_strategy"]
 
 
 class Strategy:
@@ -176,16 +189,153 @@ class EvolutionaryStrategy(Strategy):
         self._archive.extend(r for r in results if r.ok)
 
 
+class PrescreenStrategy(Strategy):
+    """Surrogate-assisted search: cheap prescreen, full eval survivors.
+
+    Wraps any inner strategy.  Each batch the inner strategy proposes
+    is scored with a closed-form surrogate (``surrogate(point,
+    settings) -> metrics``, defaulting to
+    :func:`repro.dse.surrogate.surrogate_point`); the candidates are
+    ranked by non-dominated sort over the objectives the surrogate can
+    estimate, and **whole fronts** are kept until at least
+    ``max(min_keep, ceil(keep * batch))`` points survive.  Only the
+    survivors reach the engine's full evaluator.
+
+    Conservatism rules (what the prescreen must never get wrong):
+
+    * fronts are never split — a point on the surrogate's first front
+      survives regardless of ``keep``;
+    * a point the surrogate cannot score (it raises) is forwarded to
+      the full evaluator unconditionally, so infeasible corners keep
+      their authoritative error records;
+    * batches of ``min_keep`` points or fewer skip the prescreen —
+      screening a handful of points saves nothing;
+    * if the surrogate estimates none of the ranked objectives (e.g. a
+      purely failure-objective sweep), everything is forwarded and the
+      prescreen degrades to a no-op.
+
+    ``tell`` forwards the scored survivors to the inner strategy, so
+    adaptive inners (evolutionary) breed from the surviving archive.
+    """
+
+    name = "prescreen"
+
+    def __init__(self, space: SearchSpace,
+                 objectives: Sequence[Objective] = (),
+                 settings: Optional[Mapping[str, Any]] = None,
+                 inner: Union[str, Strategy] = "grid",
+                 keep: float = 0.35, min_keep: int = 4,
+                 surrogate: Optional[Callable[..., Mapping[str, Any]]]
+                 = None,
+                 **inner_options: Any) -> None:
+        if not objectives:
+            raise ValueError(
+                "the prescreen strategy needs objectives to rank by")
+        if not 0.0 < keep <= 1.0:
+            raise ValueError(f"keep must be in (0, 1], got {keep}")
+        if min_keep < 1:
+            raise ValueError(f"min_keep must be >= 1, got {min_keep}")
+        if isinstance(inner, str):
+            inner = get_strategy(inner, space, objectives=objectives,
+                                 settings=settings, **inner_options)
+        if isinstance(inner, PrescreenStrategy):
+            raise ValueError("prescreen strategies do not nest")
+        if surrogate is None:
+            from .surrogate import surrogate_point
+
+            surrogate = surrogate_point
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.settings = dict(settings or {})
+        self.inner = inner
+        self.keep = keep
+        self.min_keep = min_keep
+        self.surrogate = surrogate
+        self.name = f"prescreen+{inner.name}"
+        #: Lifetime counters, strategy-side so they are identical for
+        #: every ``jobs``/batch-size combination of the same sweep.
+        self.stats: Dict[str, int] = {
+            "proposed": 0, "forwarded": 0, "screened_out": 0,
+            "surrogate_errors": 0}
+        self._memo: Dict[str, Optional[Dict[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def _estimate(self, point: Dict[str, Any]) -> Optional[Dict[str, float]]:
+        """Surrogate metrics, memoized by point id; ``None`` on error."""
+        pid = point_id(point)
+        if pid in self._memo:
+            return self._memo[pid]
+        try:
+            estimate = {str(k): float(v)
+                        for k, v in self.surrogate(point,
+                                                   self.settings).items()}
+        except Exception:  # noqa: BLE001 - forward unscoreable points
+            estimate = None
+        self._memo[pid] = estimate
+        return estimate
+
+    def ask(self) -> List[Dict[str, Any]]:
+        batch = self.inner.ask()
+        if not batch:
+            return batch
+        self.stats["proposed"] += len(batch)
+        if len(batch) <= self.min_keep:
+            self.stats["forwarded"] += len(batch)
+            return batch
+        scored: List[Any] = []
+        survivor_ids: set = set()
+        for point in batch:
+            estimate = self._estimate(point)
+            if estimate is None:
+                self.stats["surrogate_errors"] += 1
+                survivor_ids.add(point_id(point))  # conservative forward
+            else:
+                scored.append((point, estimate))
+        ranked = [o for o in self.objectives
+                  if all(o.name in est for _, est in scored)]
+        if not scored or not ranked:
+            self.stats["forwarded"] += len(batch)
+            return batch
+        target = max(self.min_keep, math.ceil(self.keep * len(batch)))
+        kept = 0
+        for front in non_dominated_sort(scored, ranked,
+                                        key=lambda item: item[1]):
+            survivor_ids.update(point_id(p) for p, _ in front)
+            kept += len(front)
+            if kept >= target:
+                break
+        survivors = [p for p in batch if point_id(p) in survivor_ids]
+        self.stats["forwarded"] += len(survivors)
+        self.stats["screened_out"] += len(batch) - len(survivors)
+        return survivors
+
+    def tell(self, results: Sequence[Any]) -> None:
+        self.inner.tell(results)
+
+    def summary(self) -> Dict[str, Any]:
+        """The prescreen block for reports: knobs plus counters."""
+        return {"keep": self.keep, "min_keep": self.min_keep,
+                "inner": self.inner.name, **self.stats}
+
+
 STRATEGIES = {
     cls.name: cls
-    for cls in (GridStrategy, RandomStrategy, EvolutionaryStrategy)
+    for cls in (GridStrategy, RandomStrategy, EvolutionaryStrategy,
+                PrescreenStrategy)
 }
 
 
 def get_strategy(name: str, space: SearchSpace,
                  objectives: Sequence[Objective] = (),
+                 settings: Optional[Mapping[str, Any]] = None,
                  **options: Any) -> Strategy:
-    """Instantiate a strategy by registry name."""
+    """Instantiate a strategy by registry name.
+
+    ``settings`` are the sweep's evaluation settings — only the
+    prescreen strategy consumes them (its surrogate must score under
+    the same workload the full evaluator will see); the others ignore
+    them.
+    """
     try:
         cls = STRATEGIES[name]
     except KeyError:
@@ -194,4 +344,7 @@ def get_strategy(name: str, space: SearchSpace,
             f"{sorted(STRATEGIES)}") from None
     if cls is EvolutionaryStrategy:
         return cls(space, objectives=objectives, **options)
+    if cls is PrescreenStrategy:
+        return cls(space, objectives=objectives, settings=settings,
+                   **options)
     return cls(space, **options)

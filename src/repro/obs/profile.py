@@ -9,14 +9,15 @@ performance questions the ROADMAP is currently debugging blind:
   times every handler dispatch.  The bare (detached) path is untouched
   — the engines select the timing loop once per run, so a run without a
   profiler costs what it always did.
-* :class:`DseProfile` — why is the parallel DSE slow?  Passed through
-  :func:`repro.dse.engine.explore` (``profile=True``), it records the
-  eval-cache hit/miss split, per-point evaluation wall time (worker-side,
-  so pool overhead is *excluded* and shows up as idle), and a
-  per-worker dispatch/idle breakdown over the pool's busy window —
-  exactly the measurement needed to attribute the recorded
-  ``dse_parallel_speedup_x < 1`` to spawn/pickle overhead vs. load
-  imbalance vs. evaluation cost.
+* :class:`DseProfile` — where does a DSE sweep's time go?  Passed
+  through :func:`repro.dse.engine.explore` (``profile=True``), it
+  records the eval-cache hit/miss split, per-point evaluation wall
+  time (worker-side, so pool overhead is *excluded* and shows up as
+  idle), per-worker batch dispatch counts, and a per-worker
+  dispatch/idle breakdown over the pool's busy window.  This is the
+  instrument that attributed the old per-sweep pool's
+  ``dse_parallel_speedup_x < 1`` to spawn/pickle overhead — and what
+  now verifies the persistent pool's dispatch accounting.
 
 Neither instrument perturbs simulated results: wall clocks feed only
 the profile, never the simulation's event order or floats.
@@ -102,10 +103,18 @@ class DseProfile:
         #: Wall time the engine spent inside dispatch (pool or serial),
         #: summed over batches — the window workers could have been busy.
         self.dispatch_wall_s = 0.0
+        #: One entry per dispatch the engine sent: {"worker", "points"}.
+        #: Under the persistent pool a dispatch is one point batch
+        #: handed to one worker; serially it is a whole ask-round.
+        self.dispatches: List[Dict[str, Any]] = []
 
     # -- recording (engine-facing) ----------------------------------------
     def add_batch(self, window_s: float) -> None:
         self.dispatch_wall_s += window_s
+
+    def add_dispatch(self, worker: str, points: int) -> None:
+        """Record one batch handed to ``worker`` (``points`` in it)."""
+        self.dispatches.append({"worker": worker, "points": points})
 
     def add_point(self, point: Mapping[str, Any], worker: str,
                   wall_s: float, error: str = "") -> None:
@@ -139,6 +148,16 @@ class DseProfile:
     def slowest(self, n: int = 5) -> List[Dict[str, Any]]:
         return sorted(self.points, key=lambda p: -p["wall_s"])[:n]
 
+    def dispatch_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-worker dispatch totals: batches received, points in them."""
+        table: Dict[str, Dict[str, int]] = {}
+        for d in self.dispatches:
+            entry = table.setdefault(d["worker"],
+                                     {"batches": 0, "points": 0})
+            entry["batches"] += 1
+            entry["points"] += d["points"]
+        return table
+
     def as_dict(self) -> dict:
         return {
             "cache": {"hits": self.cache_hits,
@@ -146,6 +165,7 @@ class DseProfile:
             "evaluations": len(self.points),
             "eval_wall_s": self.eval_wall_s,
             "dispatch_wall_s": self.dispatch_wall_s,
+            "dispatches": self.dispatch_counts(),
             "workers": self.workers(),
             "slowest": [
                 {"point": p["point"], "worker": p["worker"],

@@ -72,6 +72,71 @@ class TestStorage:
         assert reopened.get(EvalCache.key_for({"a": 1})) == {"v": 7}
 
 
+class TestIndex:
+    def test_index_lists_every_key(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        keys = {cache.key_for({"a": i}) for i in range(3)}
+        for key in keys:
+            cache.put(key, {"v": 1})
+        assert cache.index() == keys
+
+    def test_index_is_a_snapshot(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        assert cache.index() == set()
+        key = cache.key_for({"a": 1})
+        cache.put(key, {"v": 1})
+        assert cache.index() == {key}
+
+    def test_index_probes_do_not_move_counters(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        cache.put(cache.key_for({"a": 1}), {"v": 1})
+        cache.index()
+        assert cache.stats["hits"] == 0 and cache.stats["misses"] == 0
+
+
+class TestVersionRekeying:
+    def test_old_version_entries_are_not_reused(self, tmp_path,
+                                                monkeypatch):
+        """Entries written by an earlier package release must miss —
+        the analytic models behind the scores may have changed — so a
+        version bump silently re-keys the whole cache."""
+        import repro
+        from repro.dse import Axis, Objective, SearchSpace, explore
+
+        space = SearchSpace((Axis("x", (1, 2, 3)),))
+        objs = (Objective("a", "min"),)
+
+        def evaluator(point, settings):
+            return {"a": float(point["x"])}
+
+        monkeypatch.setattr(repro, "__version__", "1.4.0-old")
+        old = explore(space, evaluator, objectives=objs,
+                      cache=EvalCache(tmp_path))
+        assert old.cache_misses == 3
+        monkeypatch.undo()
+        rerun = explore(space, evaluator, objectives=objs,
+                        cache=EvalCache(tmp_path))
+        # All three old-version entries are still on disk, but none is
+        # served: every point re-scores under the current version.
+        assert rerun.cache_hits == 0
+        assert rerun.n_evaluated == 3
+        assert len(EvalCache(tmp_path)) == 6
+
+    def test_current_version_entries_are_reused(self, tmp_path):
+        from repro.dse import Axis, Objective, SearchSpace, explore
+
+        space = SearchSpace((Axis("x", (1, 2)),))
+
+        def evaluator(point, settings):
+            return {"a": float(point["x"])}
+
+        kwargs = dict(objectives=(Objective("a", "min"),),
+                      cache=EvalCache(tmp_path))
+        explore(space, evaluator, **kwargs)
+        warm = explore(space, evaluator, **kwargs)
+        assert warm.cache_hits == 2 and warm.n_evaluated == 0
+
+
 class TestObjectiveOrderingCannotAlias:
     """The cache key covers (point, settings) but *not* the objective
     selection or its order — deliberately: records store the full

@@ -1,0 +1,176 @@
+"""Concurrency edge cases: the pool under awkward and hostile shapes.
+
+The persistent pool has to behave at the corners the happy path never
+visits: more workers than points, one-point batches, a worker that
+dies mid-batch, error policies crossing the process boundary, and
+resuming a cached sweep under a different job count.
+"""
+
+import os
+
+import pytest
+
+from repro.dse import Axis, EvalCache, Objective, SearchSpace, explore
+from repro.dse.pool import PersistentPool
+
+OBJS = (Objective("y", "min"), Objective("z", "max"))
+
+
+def _space(n=3, m=2):
+    return SearchSpace((Axis("a", tuple(range(1, n + 1))),
+                        Axis("b", tuple(range(1, m + 1)))))
+
+
+def plain_eval(point, settings):
+    return {"y": float(point["a"] * point["b"]), "z": float(point["a"])}
+
+
+def lethal_eval(point, settings):
+    """Kills its own process on the marked point — no exception, no
+    goodbye — simulating a segfault or OOM kill."""
+    if point["a"] == settings.get("lethal"):
+        os._exit(13)
+    return {"y": float(point["a"] * point["b"]), "z": float(point["a"])}
+
+
+def raising_eval(point, settings):
+    if point["a"] == settings.get("poison"):
+        raise ValueError(f"bad corner a={point['a']}")
+    return {"y": float(point["a"] * point["b"]), "z": float(point["a"])}
+
+
+class TestShapes:
+    def test_more_workers_than_points(self):
+        """jobs > points: the surplus workers just stay idle."""
+        space = SearchSpace((Axis("a", (1, 2)), Axis("b", (1,))))
+        serial = explore(space, plain_eval, objectives=OBJS)
+        pooled = explore(space, plain_eval, objectives=OBJS, jobs=8)
+        assert ([(r.point, r.objectives) for r in pooled.results]
+                == [(r.point, r.objectives) for r in serial.results])
+
+    def test_single_point_batch_runs_inline(self):
+        """One uncached point is evaluated in the parent — no pool is
+        worth forking for it."""
+        space = SearchSpace((Axis("a", (5,)), Axis("b", (2,))))
+        result = explore(space, plain_eval, objectives=OBJS, jobs=4)
+        assert result.n_evaluated == 1
+        assert result.results[0].objectives == {"y": 10.0, "z": 5.0}
+
+    def test_batch_size_larger_than_sweep(self):
+        result = explore(_space(), plain_eval, objectives=OBJS,
+                         jobs=2, batch_size=1000)
+        assert result.n_evaluated == 6
+        assert all(r.ok for r in result.results)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            explore(_space(), plain_eval, objectives=OBJS,
+                    jobs=2, batch_size=0)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_fails_batch_and_sweep_completes(self):
+        """A worker dying mid-batch costs exactly that batch: its
+        points come back as `worker died` error records, a replacement
+        is forked, and every other point is scored normally."""
+        result = explore(_space(4, 3), lethal_eval, objectives=OBJS,
+                         settings={"lethal": 2}, jobs=2, batch_size=1)
+        dead = [r for r in result.results if not r.ok]
+        alive = [r for r in result.results if r.ok]
+        # batch_size=1: only the lethal points die (a=2 with 3 b values).
+        assert len(dead) == 3
+        assert all(r.error.startswith("worker died:") for r in dead)
+        assert all("exited with code 13" in r.error for r in dead)
+        assert len(alive) == 9
+        # The frontier is computed over the survivors.
+        assert result.frontier
+        assert all(r.ok for r in result.frontier)
+
+    def test_dead_worker_takes_whole_batch_down(self):
+        """Without per-point batches, the innocent points sharing the
+        dying worker's batch are reported failed too — visibly, never
+        silently dropped."""
+        space = SearchSpace((Axis("a", (1, 2, 3, 4)), Axis("b", (1,))))
+        result = explore(space, lethal_eval, objectives=OBJS,
+                         settings={"lethal": 2}, jobs=2, batch_size=2)
+        assert len(result.results) == 4
+        dead = [r for r in result.results if not r.ok]
+        assert len(dead) == 2  # the (a=1, a=2) batch
+        assert {r.point["a"] for r in dead} == {1, 2}
+
+    def test_pool_records_respawns(self):
+        pool = PersistentPool(lethal_eval, {"lethal": 1}, jobs=2)
+        try:
+            replies = pool.map_batches([[{"a": 1, "b": 1}],
+                                        [{"a": 3, "b": 1}]])
+            assert pool.respawns >= 1
+            _, dead_results = replies[0]
+            assert "worker died" in dead_results[0][1]
+            _, ok_results = replies[1]
+            assert ok_results[0][0] == {"y": 3.0, "z": 3.0}
+        finally:
+            pool.close(force=True)
+
+    def test_pool_reusable_after_death(self):
+        """The replacement worker serves later dispatches."""
+        pool = PersistentPool(lethal_eval, {"lethal": 2}, jobs=2)
+        try:
+            pool.map_batches([[{"a": 2, "b": 1}]])
+            replies = pool.map_batches([[{"a": 5, "b": 2}]])
+            _, results = replies[0]
+            assert results[0][0] == {"y": 10.0, "z": 5.0}
+        finally:
+            pool.close(force=True)
+
+
+class TestErrorPolicy:
+    def test_tolerated_errors_cross_the_pipe(self):
+        result = explore(_space(4, 3), raising_eval, objectives=OBJS,
+                         settings={"poison": 3}, jobs=2, batch_size=2)
+        errors = [r for r in result.results if not r.ok]
+        assert len(errors) == 3
+        assert all(r.error == "ValueError: bad corner a=3"
+                   for r in errors)
+
+    def test_fatal_errors_propagate_from_workers(self):
+        with pytest.raises(ValueError, match="bad corner"):
+            explore(_space(4, 3), raising_eval, objectives=OBJS,
+                    settings={"poison": 1}, continue_on_error=False,
+                    jobs=2, batch_size=2)
+
+    def test_pool_requires_two_workers(self):
+        with pytest.raises(ValueError, match="jobs"):
+            PersistentPool(plain_eval, {}, jobs=1)
+
+
+class TestResumeAcrossJobCounts:
+    def test_parallel_resume_of_serial_cache(self, tmp_path):
+        cold = explore(_space(4, 3), plain_eval, objectives=OBJS,
+                       cache=EvalCache(tmp_path), jobs=1)
+        warm = explore(_space(4, 3), plain_eval, objectives=OBJS,
+                       cache=EvalCache(tmp_path), jobs=3, batch_size=2)
+        assert warm.n_evaluated == 0
+        assert warm.cache_hits == 12 and warm.cache_misses == 0
+        assert ([(r.point, r.objectives) for r in warm.results]
+                == [(r.point, r.objectives) for r in cold.results])
+
+    def test_serial_resume_of_parallel_cache(self, tmp_path):
+        explore(_space(4, 3), plain_eval, objectives=OBJS,
+                cache=EvalCache(tmp_path), jobs=3)
+        warm = explore(_space(4, 3), plain_eval, objectives=OBJS,
+                       cache=EvalCache(tmp_path), jobs=1)
+        assert warm.n_evaluated == 0
+        assert all(r.cached for r in warm.results)
+
+    def test_partial_resume_pools_only_the_remainder(self, tmp_path):
+        """Growing an axis re-scores only the new points, through the
+        pool, and the cache ends complete."""
+        explore(_space(2, 2), plain_eval, objectives=OBJS,
+                cache=EvalCache(tmp_path), jobs=1)
+        grown = explore(_space(4, 2), plain_eval, objectives=OBJS,
+                        cache=EvalCache(tmp_path), jobs=2, batch_size=1)
+        assert grown.cache_hits == 4
+        assert grown.n_evaluated == 4
+        full = explore(_space(4, 2), plain_eval, objectives=OBJS,
+                       cache=EvalCache(tmp_path), jobs=2)
+        assert full.n_evaluated == 0 and full.cache_hits == 8

@@ -1,0 +1,102 @@
+"""DseProfile under the persistent pool: the accounting adds up.
+
+The profile is the instrument that justified this rework (it measured
+the old pool's idle overhead); these tests pin that under the
+persistent pool its numbers still reconcile: dispatch/idle accounting
+closes, per-worker dispatch counts match the batching arithmetic, and
+a warm resume shows pure cache traffic.
+"""
+
+import math
+
+import pytest
+
+from repro.dse import Axis, EvalCache, Objective, SearchSpace, explore
+
+OBJS = (Objective("y", "min"), Objective("z", "max"))
+
+
+def _space(n=4, m=3):
+    return SearchSpace((Axis("a", tuple(range(1, n + 1))),
+                        Axis("b", tuple(range(1, m + 1)))))
+
+
+def plain_eval(point, settings):
+    return {"y": float(point["a"] * point["b"]), "z": float(point["a"])}
+
+
+class TestPooledAccounting:
+    def _profiled(self, **kwargs):
+        result = explore(_space(), plain_eval, objectives=OBJS,
+                         profile=True, **kwargs)
+        assert result.profile is not None
+        return result
+
+    def test_busy_plus_idle_covers_the_dispatch_wall(self):
+        """Per worker, busy + idle reconstructs the dispatch window:
+        idle is defined as the window minus busy, and no worker can be
+        busy longer than the window that contained it."""
+        profile = self._profiled(jobs=2, batch_size=2).profile
+        assert profile.dispatch_wall_s > 0
+        for name, w in profile.workers().items():
+            assert w["busy_s"] <= profile.dispatch_wall_s, name
+            assert (w["busy_s"] + w["idle_s"]
+                    == pytest.approx(profile.dispatch_wall_s)), name
+
+    def test_task_counts_sum_to_evaluations(self):
+        result = self._profiled(jobs=2, batch_size=3)
+        workers = result.profile.workers()
+        assert sum(int(w["tasks"]) for w in workers.values()) == 12
+        assert result.n_evaluated == 12
+        assert all(name.startswith("worker-") for name in workers)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 5, 50])
+    def test_dispatch_counts_match_batching(self, batch_size):
+        """The pool receives exactly ceil(points / batch) dispatches
+        and every point is in exactly one of them."""
+        result = self._profiled(jobs=2, batch_size=batch_size)
+        counts = result.profile.dispatch_counts()
+        total_batches = sum(c["batches"] for c in counts.values())
+        total_points = sum(c["points"] for c in counts.values())
+        assert total_batches == math.ceil(12 / batch_size)
+        assert total_points == 12
+        # Dispatch labels and evaluation labels agree.
+        assert set(counts) == set(result.profile.workers())
+
+    def test_per_worker_dispatch_points_match_tasks(self):
+        """Each worker evaluated exactly the points dispatched to it."""
+        result = self._profiled(jobs=3, batch_size=2)
+        counts = result.profile.dispatch_counts()
+        workers = result.profile.workers()
+        for name, c in counts.items():
+            assert c["points"] == int(workers[name]["tasks"]), name
+
+    def test_serial_dispatch_is_one_main_process_batch(self):
+        result = self._profiled(jobs=1)
+        counts = result.profile.dispatch_counts()
+        assert counts == {"MainProcess": {"batches": 1, "points": 12}}
+
+    def test_as_dict_carries_dispatches(self):
+        blob = self._profiled(jobs=2, batch_size=4).profile.as_dict()
+        assert "dispatches" in blob
+        assert sum(c["points"] for c in blob["dispatches"].values()) == 12
+
+
+class TestWarmResumeProfile:
+    def test_warm_resume_is_pure_cache_traffic(self, tmp_path):
+        explore(_space(), plain_eval, objectives=OBJS,
+                cache=EvalCache(tmp_path), jobs=2)
+        warm = explore(_space(), plain_eval, objectives=OBJS,
+                       cache=EvalCache(tmp_path), jobs=2, profile=True)
+        profile = warm.profile
+        assert profile.cache_hits == 12
+        assert profile.cache_misses == 0
+        assert profile.points == []
+        assert profile.dispatches == []
+        assert profile.dispatch_wall_s == 0.0
+
+    def test_cold_run_cache_split_matches_result(self, tmp_path):
+        result = explore(_space(), plain_eval, objectives=OBJS,
+                         cache=EvalCache(tmp_path), jobs=2, profile=True)
+        assert result.profile.cache_hits == result.cache_hits == 0
+        assert result.profile.cache_misses == result.cache_misses == 12

@@ -103,3 +103,102 @@ class TestRegistry:
     def test_unknown_strategy(self):
         with pytest.raises(ValueError, match="unknown strategy"):
             get_strategy("anneal", _space())
+
+
+def exact_surrogate(point, settings):
+    """Surrogate that equals the true toy objective."""
+    return {"y": float(point["a"] * point["b"])}
+
+
+def broken_surrogate(point, settings):
+    if point["a"] == 4:
+        raise RuntimeError("cannot estimate this corner")
+    return {"y": float(point["a"] * point["b"])}
+
+
+def partial_surrogate(point, settings):
+    """Estimates an objective nobody ranks on."""
+    return {"other": 1.0}
+
+
+class TestPrescreen:
+    def _strategy(self, **options):
+        return get_strategy("prescreen", _space(), objectives=OBJS,
+                            **options)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objectives"):
+            get_strategy("prescreen", _space())
+        with pytest.raises(ValueError, match="keep"):
+            self._strategy(keep=0.0)
+        with pytest.raises(ValueError, match="keep"):
+            self._strategy(keep=1.5)
+        with pytest.raises(ValueError, match="min_keep"):
+            self._strategy(min_keep=0)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            self._strategy(inner="anneal")
+
+    def test_prescreen_does_not_nest(self):
+        inner = self._strategy()
+        with pytest.raises(ValueError, match="nest"):
+            get_strategy("prescreen", _space(), objectives=OBJS,
+                         inner=inner)
+
+    def test_name_carries_the_inner(self):
+        assert self._strategy(inner="random").name == "prescreen+random"
+
+    def test_screens_to_whole_fronts(self):
+        """keep=0.1 of 12 points targets ceil(1.2)=2 survivors; whole
+        fronts are kept, so the 2-point second front rides along."""
+        strategy = self._strategy(surrogate=exact_surrogate, keep=0.1,
+                                  min_keep=1)
+        batch = strategy.ask()
+        # y = a*b minimized: front 1 is {(1,10)} (y=10) — short of the
+        # target of 2 — so front 2 {(1,20), (2,10)} (y=20) is kept
+        # whole, in original batch order.
+        assert batch == [{"a": 1, "b": 10}, {"a": 1, "b": 20},
+                         {"a": 2, "b": 10}]
+        assert strategy.stats == {"proposed": 12, "forwarded": 3,
+                                  "screened_out": 9,
+                                  "surrogate_errors": 0}
+
+    def test_small_batches_skip_the_screen(self):
+        space = SearchSpace((Axis("a", (1, 2, 3)),))
+        strategy = get_strategy("prescreen", space, objectives=OBJS,
+                                surrogate=exact_surrogate, min_keep=4)
+        batch = strategy.ask()
+        assert len(batch) == 3  # <= min_keep: everything forwarded
+        assert strategy.stats["forwarded"] == 3
+        assert strategy.stats["screened_out"] == 0
+
+    def test_surrogate_errors_forward_conservatively(self):
+        strategy = self._strategy(surrogate=broken_surrogate, keep=0.1,
+                                  min_keep=1)
+        batch = strategy.ask()
+        points_a = {p["a"] for p in batch}
+        assert 4 in points_a  # unscoreable column forwarded whole
+        assert strategy.stats["surrogate_errors"] == 3
+
+    def test_unrankable_objectives_forward_everything(self):
+        strategy = self._strategy(surrogate=partial_surrogate, keep=0.1)
+        batch = strategy.ask()
+        assert len(batch) == 12
+        assert strategy.stats["screened_out"] == 0
+
+    def test_tell_reaches_the_inner_strategy(self):
+        strategy = self._strategy(inner="evolutionary", population=4,
+                                  generations=2, seed=5,
+                                  surrogate=exact_surrogate, keep=0.5)
+        batch = strategy.ask()
+        strategy.tell([_score(p) for p in batch])
+        assert strategy.inner._archive  # survivors reached the inner
+
+    def test_summary_shape(self):
+        strategy = self._strategy(surrogate=exact_surrogate, keep=0.25)
+        strategy.ask()
+        summary = strategy.summary()
+        assert summary["inner"] == "grid"
+        assert summary["keep"] == 0.25
+        assert summary["proposed"] == 12
+        assert (summary["forwarded"] + summary["screened_out"]
+                == summary["proposed"])

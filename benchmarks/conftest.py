@@ -49,6 +49,9 @@ METRIC_UNITS = {
     "dse_warm_s": "s",
     "dse_host_cpus": "cores",
     "dse_grid_points": "points",
+    "sim_kernel_scale_x": "x",
+    "serving_1M_seed_s": "s",
+    "serving_1M_requests_s": "s",
 }
 
 

@@ -9,10 +9,15 @@ by the trace-identity goldens), so the speedup is pure overhead
 reduction — the kernel must stay >= 2x or the bench fails.
 
 Also records the generation engine's speedup (informational: the
-continuous-batching loop is lighter, so the win is smaller).
+continuous-batching loop is lighter, so the win is smaller), and the
+million-request scale benchmark ``serving_1M_requests``: the calendar
+queue + merged arrivals + batched completions + summary detail against
+the seed kernel (the legacy loop), gated at >= 10x
+(``sim_kernel_scale_x``, enforced again by the CI bench-trend job).
 """
 
 import gc
+import math
 import time
 
 from repro import ProTEA, SynthParams
@@ -22,6 +27,7 @@ from repro.serving import (
     PoissonArrivals,
     attach_generation_lengths,
     fixed_size,
+    summarize,
 )
 from repro.serving.cluster import ClusterSimulator
 from repro.serving.generation import GenerationClusterSimulator
@@ -112,3 +118,65 @@ def test_bench_kernel_vs_legacy_generation(record_perf):
     assert speedup >= 1.0, (
         f"generation kernel regressed below the legacy loop: "
         f"{speedup:.2f}x")
+
+
+def _timed_once(fn):
+    """One GC-quiet wall-clock measurement (the runs are seconds-long,
+    so best-of racing would triple an already heavy bench)."""
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return elapsed, result
+
+
+def test_bench_serving_1M_requests(record_perf):
+    """The web-scale row: ~1M requests through one serving fleet.
+
+    Seed kernel = the preserved legacy loop (full per-request records,
+    binary heap, every arrival an event).  Scaled kernel = the calendar
+    queue with merged arrivals, batched completions, and summary
+    detail.  Both reduce through :func:`summarize`, and the reports
+    must agree (percentiles exactly, means to the ulp) before any
+    number is recorded — the 10x is a refactor, not an approximation.
+    """
+    accel = ProTEA.synthesize(SynthParams())
+    requests = PoissonArrivals(
+        12_600, ModelMix({"model2-lhc-trigger": 1.0}),
+        seed=7).generate(80_000)
+    assert len(requests) > 1_000_000
+    sim = ClusterSimulator(accel, 8, scheduler="round-robin",
+                           batching=fixed_size(8))
+    # Warm the service-time memos on a prefix so neither timed run
+    # pays first-call synthesis costs.
+    sim.run(requests[:2_000], detail="summary")
+    sim.run_legacy(requests[:2_000])
+
+    t_seed, legacy = _timed_once(lambda: sim.run_legacy(requests))
+    t_fast, summary = _timed_once(
+        lambda: sim.run(requests, detail="summary"))
+
+    rep_seed = summarize(legacy)
+    rep_fast = summarize(summary)
+    assert rep_fast.total_requests == len(requests)
+    assert rep_fast.total_requests == rep_seed.total_requests
+    assert rep_fast.p50_ms == rep_seed.p50_ms
+    assert rep_fast.p99_ms == rep_seed.p99_ms
+    assert rep_fast.horizon_ms == rep_seed.horizon_ms
+    assert math.isclose(rep_fast.mean_latency_ms,
+                        rep_seed.mean_latency_ms, rel_tol=1e-12)
+
+    scale = t_seed / t_fast
+    record_perf("sim", "sim_kernel_scale_x", scale, "x",
+                context={"requests": len(requests)})
+    record_perf("sim", "serving_1M_seed_s", t_seed, "s")
+    record_perf("sim", "serving_1M_requests_s", t_fast, "s")
+    assert scale >= 10.0, (
+        f"scale refactor must hold >= 10x over the seed kernel at 1M "
+        f"requests, got {scale:.2f}x ({t_seed:.2f} s -> {t_fast:.2f} s)")

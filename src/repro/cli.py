@@ -123,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--watch-target", type=float, default=0.99,
                      help="SLO attainment target for the --watch error "
                           "budget (fraction in (0, 1))")
+    srv.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="partition the fleet into N independent cells "
+                          "and merge their summary reports (1 = the "
+                          "ordinary single-loop run)")
+    srv.add_argument("--shard-jobs", type=int, default=None, metavar="J",
+                     help="run shard cells in J worker processes "
+                          "(>= 2; default: serially in-process)")
     srv.add_argument("--profile", action="store_true",
                      help="report kernel wall time per event kind")
     srv.add_argument("--json", action="store_true", dest="as_json")
@@ -187,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--watch-target", type=float, default=0.99,
                      help="SLO attainment target for the --watch error "
                           "budget (fraction in (0, 1))")
+    gen.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="partition the fleet into N independent cells "
+                          "and merge their summary reports (1 = the "
+                          "ordinary single-loop run)")
+    gen.add_argument("--shard-jobs", type=int, default=None, metavar="J",
+                     help="run shard cells in J worker processes "
+                          "(>= 2; default: serially in-process)")
     gen.add_argument("--profile", action="store_true",
                      help="report kernel wall time per event kind")
     gen.add_argument("--json", action="store_true", dest="as_json")
@@ -591,6 +605,33 @@ def _run_config(args, command: str, fleet) -> dict:
     return rc
 
 
+def _shard_kwargs(args, observing: bool) -> dict:
+    """Validate ``--shards``/``--shard-jobs`` into simulate() kwargs.
+
+    ``--shards 1`` (the default) is the ordinary single-loop run;
+    anything larger switches to the summary-detail sharded path, which
+    a :func:`summarize`/:func:`summarize_generation` call consumes the
+    same way it consumes a full result.
+    """
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.shards == 1:
+        if args.shard_jobs is not None:
+            raise SystemExit("--shard-jobs needs --shards > 1")
+        return {}
+    if args.profile:
+        raise SystemExit(
+            "--profile times one event loop and cannot span --shards "
+            "cells; profile a --shards 1 run")
+    if observing and args.shard_jobs is not None and args.shard_jobs >= 2:
+        raise SystemExit(
+            "--trace/--metrics/--watch observers cannot cross "
+            "--shard-jobs processes; drop --shard-jobs to run the "
+            "cells serially in-process")
+    return {"detail": "summary", "shards": args.shards,
+            "shard_jobs": args.shard_jobs}
+
+
 def _cmd_serve(args) -> None:
     from .experiments.common import default_accelerator
     from .serving import (get_batching, plan_capacity, render_capacity_plan,
@@ -615,6 +656,10 @@ def _cmd_serve(args) -> None:
                 "--trace/--metrics/--profile/--watch instrument a "
                 "single run and cannot observe a --plan search "
                 "(many runs)")
+        if args.shards != 1:
+            raise SystemExit(
+                "--plan probes fleet sizes with its own runs and "
+                "cannot honor --shards")
         # Gate throughput on the *realized* offered load: for diurnal
         # (where --qps is the peak) and bursty seeds the generated rate
         # sits below nominal, and the nominal gate could never be met.
@@ -639,13 +684,14 @@ def _cmd_serve(args) -> None:
 
     observer, tracer, sampler, watchdog, profiler = _make_observer(
         args, watch_slo_ms=args.slo_ms, watch_slo_flag="--slo-ms")
+    shard_kwargs = _shard_kwargs(args, observing=observer is not None)
     run_cfg = _run_config(args, "serve", fleet)
     result = simulate(
         accel, requests, None if fleet else args.instances,
         scheduler=args.policy, batching=batching,
         reprogram_latency_ms=args.reprogram_ms,
         fleet=fleet, failures=failures,
-        observer=observer, profiler=profiler)
+        observer=observer, profiler=profiler, **shard_kwargs)
     report = summarize(
         result, slo_ms=args.slo_ms,
         watch=watchdog.summary() if watchdog is not None else None)
@@ -702,13 +748,14 @@ def _cmd_generate(args) -> None:
             raise SystemExit(str(exc)) from None
     observer, tracer, sampler, watchdog, profiler = _make_observer(
         args, watch_slo_ms=args.ttft_slo_ms, watch_slo_flag="--ttft-slo-ms")
+    shard_kwargs = _shard_kwargs(args, observing=observer is not None)
     run_cfg = _run_config(args, "generate", fleet)
     result = simulate_generation(
         accel, requests, None if fleet else args.instances,
         slots=args.slots, scheduler=args.policy,
         reprogram_latency_ms=args.reprogram_ms,
         fleet=fleet, failures=failures,
-        observer=observer, profiler=profiler)
+        observer=observer, profiler=profiler, **shard_kwargs)
     report = summarize_generation(
         result, ttft_slo_ms=args.ttft_slo_ms,
         tpot_slo_ms=args.tpot_slo_ms,

@@ -39,14 +39,10 @@ records are byte-identical.
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
-from itertools import islice
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.accelerator import ProTEA
-from ..core.runtime import RuntimeSession
 from ..nn.model_zoo import MODEL_ZOO, TransformerConfig
 from ..sim.failures import FailurePlan
 from ..sim.fleet import FleetSpec
@@ -56,12 +52,6 @@ from .workload import Request
 
 __all__ = ["RequestRecord", "InstanceStats", "SimulationResult",
            "ClusterSimulator", "simulate"]
-
-_EPS = 1e-9
-# Event priorities at equal timestamps: free an instance before new
-# arrivals join, deadline checks last.
-_P_FREE, _P_ARRIVAL, _P_CHECK = 0, 1, 2
-
 
 @dataclass(frozen=True)
 class RequestRecord:
@@ -107,36 +97,6 @@ class InstanceStats:
     failures: int = 0
     #: Total time this instance spent down (failure runs only).
     downtime_ms: float = 0.0
-
-
-class _Instance:
-    """Mutable per-instance state (scheduler-visible via InstanceView)."""
-
-    def __init__(self, idx: int, session: RuntimeSession):
-        self.idx = idx
-        self.session = session
-        self.queue: Deque[Request] = deque()
-        self.busy_until = 0.0
-        self.last_model: Optional[str] = None
-        self.requests = 0
-        self.batches = 0
-        self.busy_ms = 0.0
-        self.pending_check = False
-
-    def backlog(self, now_ms: float) -> int:
-        """Queued requests plus the one in service, if any."""
-        return len(self.queue) + (1 if self.busy_until > now_ms + _EPS else 0)
-
-    def stats(self) -> InstanceStats:
-        return InstanceStats(
-            index=self.idx,
-            requests=self.requests,
-            batches=self.batches,
-            busy_ms=self.busy_ms,
-            reprogram_count=self.session.reprogram_count,
-            switch_count=self.session.switch_count,
-            reprogram_time_ms=self.session.reprogram_time_ms,
-        )
 
 
 @dataclass
@@ -229,19 +189,49 @@ class ClusterSimulator:
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[Request], observer=None,
-            profiler=None) -> SimulationResult:
+            profiler=None, detail: str = "full", shards: int = 1,
+            shard_jobs: Optional[int] = None):
         """Simulate the full stream on the unified kernel.
 
-        Bit-identical to :meth:`run_legacy` on homogeneous, no-failure
-        scenarios (the trace-identity goldens hold the two loops to
-        byte-equal rendered reports) and the only path that understands
-        heterogeneous fleets and failure injection.
+        Bit-identical to the legacy closure loop on homogeneous,
+        no-failure scenarios (the trace-identity goldens hold the two
+        engines to byte-equal rendered reports) and the only path that
+        understands heterogeneous fleets and failure injection.
 
         ``observer``/``profiler`` are forwarded to the engine's
         observability hooks (see :mod:`repro.obs`); observers are
         read-only, so the result is byte-identical with or without
         them.
+
+        ``detail="summary"`` returns a
+        :class:`~repro.sim.summary.ServeSummary` instead of a
+        :class:`SimulationResult` — no per-request records, traces, or
+        depth samples, just the accumulators
+        :func:`~repro.serving.slo.summarize` needs (percentiles exact,
+        means to the ulp).  The web-scale path.
+
+        ``shards > 1`` partitions the fleet into independent cells (see
+        :mod:`repro.sim.shard`) and merges their summaries; it implies
+        ``detail="summary"`` and, with ``shard_jobs >= 2``, runs cells
+        in worker processes.  ``shards=1`` is always the ordinary
+        single-loop run — byte-identical to not passing ``shards`` at
+        all.
         """
+        if shards != 1:
+            from ..sim.shard import run_sharded
+
+            if detail != "summary":
+                raise ValueError(
+                    "sharded runs are summary-detail only: per-request "
+                    "records across cells would defeat the fast path — "
+                    "pass detail='summary' (or shards=1)")
+            if profiler is not None:
+                raise ValueError(
+                    "KernelProfiler cannot span shard cells — profile "
+                    "a shards=1 run")
+            return run_sharded(self, requests, mode="serve",
+                               shards=shards, jobs=shard_jobs,
+                               observer=observer)
         from ..sim.serve import ServeEngine
 
         engine = ServeEngine(
@@ -258,135 +248,51 @@ class ClusterSimulator:
             engine.attach_observer(observer)
         if profiler is not None:
             engine.attach_profiler(profiler)
-        return engine.run(requests)
+        return engine.run(requests, detail=detail)
+
+    # ------------------------------------------------------------------
+    def _shard_cell(self, fleet: FleetSpec, instance_base: int,
+                    requests: Sequence[Request],
+                    failure_horizon_ms: float, rng_seed,
+                    observer=None):
+        """Run one shard cell (summary detail, global instance ids).
+
+        Called by :func:`repro.sim.shard.run_sharded` — in-process on
+        the serial path, inside a pool worker on the parallel one.
+        """
+        from ..sim.serve import ServeEngine
+
+        engine = ServeEngine(
+            self.accel,
+            fleet=fleet,
+            scheduler=self._scheduler(),
+            batching=self.batching,
+            models=self.service.models,
+            reprogram_latency_ms=self.reprogram_latency_ms,
+            check_jitter_ms=self.check_jitter_ms,
+            failures=self.failures,
+            instance_base=instance_base,
+            failure_horizon_ms=failure_horizon_ms,
+            rng_seed=rng_seed,
+        )
+        if observer is not None:
+            engine.attach_observer(observer)
+        return engine.run(requests, detail="summary")
 
     # ------------------------------------------------------------------
     def run_legacy(self, requests: Sequence[Request]) -> SimulationResult:
         """The pre-kernel closure loop, kept as the reference engine.
 
-        The goldens and the kernel-speedup benchmark run both engines
-        over the same seeded scenarios; this one cannot express fleets
-        or failures and refuses to silently ignore them.
+        The goldens and the kernel benchmarks run both engines over the
+        same seeded scenarios; this one cannot express fleets or
+        failures and refuses to silently ignore them.  The loop itself
+        lives in :mod:`repro.serving.legacy` (test support, shared with
+        the generation oracle) — only this delegate ships in the hot
+        module.
         """
-        if not self.fleet.homogeneous:
-            raise ValueError(
-                "run_legacy cannot simulate a heterogeneous fleet — "
-                "use run() (the kernel engine)")
-        if self.failures is not None:
-            raise ValueError(
-                "run_legacy cannot inject failures — use run() (the "
-                "kernel engine)")
-        scheduler = self._scheduler()
-        instances = [
-            _Instance(i, RuntimeSession(
-                self.accel, reprogram_latency_ms=self.reprogram_latency_ms))
-            for i in range(self.n_instances)
-        ]
-        records: List[RequestRecord] = []
-        trace: List[tuple] = []
-        samples: List[Tuple[float, int]] = []
-        heap: List[tuple] = [
-            (req.t_ms, _P_ARRIVAL, i, ("arrival", req))
-            for i, req in enumerate(requests)
-        ]
-        heapq.heapify(heap)
-        seq = len(heap)
+        from .legacy import run_legacy_cluster
 
-        def push(t: float, prio: int, payload: tuple) -> None:
-            nonlocal seq
-            heapq.heappush(heap, (t, prio, seq, payload))
-            seq += 1
-
-        def sample(now: float) -> None:
-            samples.append((now, sum(len(i.queue) for i in instances)))
-
-        def try_dispatch(inst: _Instance, now: float) -> None:
-            if inst.busy_until > now + _EPS or not inst.queue:
-                return
-            model = inst.queue[0].model
-            # Scan at most max_batch entries: decide() clamps there, so
-            # a deep backlog must not make dispatch O(queue length).
-            prefix = 0
-            for req in islice(inst.queue, self.batching.max_batch):
-                if req.model != model:
-                    break
-                prefix += 1
-            size = self.batching.decide(prefix, now - inst.queue[0].t_ms)
-            if size is None:
-                if not inst.pending_check:
-                    assert self.batching.timeout_ms is not None
-                    deadline = inst.queue[0].t_ms + self.batching.timeout_ms
-                    # Optionally wake early (jitter study); once inside
-                    # the jitter window, arm the true deadline so the
-                    # early wakeup cannot respawn itself forever.
-                    target = deadline - self.check_jitter_ms
-                    if target <= now + _EPS:
-                        target = deadline
-                    push(max(target, now), _P_CHECK, ("check", inst))
-                    inst.pending_check = True
-                return
-            batch = [inst.queue.popleft() for _ in range(size)]
-            cfg = self.service.config(model)
-            switch_ms = inst.session.switch_cost_ms(cfg)
-            inst.session.deploy(cfg)
-            total_ms = switch_ms + self.service.batch_service_ms(model, size)
-            complete = now + total_ms
-            inst.busy_until = complete
-            inst.busy_ms += total_ms
-            inst.batches += 1
-            inst.requests += size
-            records.extend(
-                RequestRecord(
-                    rid=req.rid, model=model, instance=inst.idx,
-                    batch_size=size, t_arrival_ms=req.t_ms,
-                    t_dispatch_ms=now, t_complete_ms=complete,
-                ) for req in batch
-            )
-            trace.append(("dispatch", now, inst.idx, model, size, switch_ms))
-            push(complete, _P_FREE, ("free", inst))
-            sample(now)
-
-        while heap:
-            now, _prio, _seq, payload = heapq.heappop(heap)
-            kind = payload[0]
-            if kind == "arrival":
-                req: Request = payload[1]
-                inst = scheduler.pick(instances, req, now)
-                inst.queue.append(req)
-                inst.last_model = req.model
-                trace.append(("arrive", now, req.rid, req.model, inst.idx))
-                sample(now)
-                try_dispatch(inst, now)
-            elif kind == "free":
-                inst = payload[1]
-                trace.append(("free", now, inst.idx))
-                try_dispatch(inst, now)
-            else:  # check
-                # Deadline checks may be stale: the batch that armed
-                # them can have dispatched long ago (dispatch does not
-                # unschedule the event).  The guard is try_dispatch
-                # itself — it re-derives busy state, queue head, and
-                # head age from scratch, so a stale check either no-ops
-                # (busy/empty), re-arms for the *current* head, or
-                # dispatches exactly what the policy would dispatch
-                # anyway.  No reprogram charge happens outside a real
-                # dispatch, so stale events cannot double-charge.
-                inst = payload[1]
-                inst.pending_check = False
-                try_dispatch(inst, now)
-
-        makespan = max((r.t_complete_ms for r in records), default=0.0)
-        records.sort(key=lambda r: r.rid)
-        return SimulationResult(
-            records=records,
-            instances=[i.stats() for i in instances],
-            n_instances=self.n_instances,
-            makespan_ms=makespan,
-            queue_samples=samples,
-            trace=trace,
-            scheduler=scheduler.name,
-            batching=self.batching.name,
-        )
+        return run_legacy_cluster(self, requests)
 
 
 def simulate(
@@ -401,10 +307,14 @@ def simulate(
     failures: Optional[FailurePlan] = None,
     observer=None,
     profiler=None,
-) -> SimulationResult:
+    detail: str = "full",
+    shards: int = 1,
+    shard_jobs: Optional[int] = None,
+):
     """One-call convenience wrapper around :class:`ClusterSimulator`."""
     sim = ClusterSimulator(
         accel, n_instances, scheduler=scheduler, batching=batching,
         models=models, reprogram_latency_ms=reprogram_latency_ms,
         fleet=fleet, failures=failures)
-    return sim.run(requests, observer=observer, profiler=profiler)
+    return sim.run(requests, observer=observer, profiler=profiler,
+                   detail=detail, shards=shards, shard_jobs=shard_jobs)

@@ -33,13 +33,10 @@ byte-identical.
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.accelerator import ProTEA
-from ..core.runtime import RuntimeSession
 from ..nn.model_zoo import MODEL_ZOO, TransformerConfig
 from ..sim.failures import FailurePlan
 from ..sim.fleet import FleetSpec
@@ -55,10 +52,6 @@ __all__ = [
     "simulate_generation",
 ]
 
-_EPS = 1e-9
-# Step completions land before new arrivals at equal timestamps, the
-# same event-priority rule the request-level simulator uses.
-_P_STEP, _P_ARRIVAL = 0, 1
 
 
 @dataclass(frozen=True)
@@ -246,57 +239,6 @@ class GenerationServiceModel:
         return per_layer * cfg.num_layers
 
 
-class _Sequence:
-    """One in-flight request's decoding state."""
-
-    __slots__ = ("req", "cached", "remaining", "t_admit", "t_first")
-
-    def __init__(self, req: GenerationRequest, t_admit: float,
-                 t_first: float):
-        self.req = req
-        #: KV-cache positions held (prompt + emitted tokens).
-        self.cached = req.prompt_tokens
-        #: Tokens still to emit after the prefill's first token.
-        self.remaining = req.output_tokens - 1
-        self.t_admit = t_admit
-        self.t_first = t_first
-
-
-class _Instance:
-    """Mutable per-instance state (scheduler-visible via InstanceView)."""
-
-    def __init__(self, idx: int, session: RuntimeSession):
-        self.idx = idx
-        self.session = session
-        self.queue: Deque[GenerationRequest] = deque()
-        self.active: List[_Sequence] = []
-        self.busy_until = 0.0
-        self.last_model: Optional[str] = None
-        self.requests = 0
-        self.steps = 0
-        self.prefills = 0
-        self.tokens = 0
-        self.busy_ms = 0.0
-        #: Sequences whose step-boundary bookkeeping is pending.
-        self.step_done: List[Tuple[_Sequence, bool]] = []
-
-    def backlog(self, now_ms: float) -> int:
-        """Waiting plus in-flight sequences (scheduler load signal)."""
-        return len(self.queue) + len(self.active)
-
-    def stats(self) -> GenerationInstanceStats:
-        return GenerationInstanceStats(
-            index=self.idx,
-            requests=self.requests,
-            steps=self.steps,
-            prefills=self.prefills,
-            tokens=self.tokens,
-            busy_ms=self.busy_ms,
-            switch_count=self.session.switch_count,
-            reprogram_time_ms=self.session.reprogram_time_ms,
-        )
-
-
 class GenerationClusterSimulator:
     """Event-driven continuous-batching simulator over N instances.
 
@@ -363,7 +305,8 @@ class GenerationClusterSimulator:
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[GenerationRequest], observer=None,
-            profiler=None) -> GenerationSimulationResult:
+            profiler=None, detail: str = "full", shards: int = 1,
+            shard_jobs: Optional[int] = None):
         """Simulate the stream to completion on the unified kernel.
 
         Bit-identical to :meth:`run_legacy` on homogeneous, no-failure,
@@ -375,10 +318,37 @@ class GenerationClusterSimulator:
         observability hooks (see :mod:`repro.obs`); observers are
         read-only, so the result is byte-identical with or without
         them.
+
+        ``detail="summary"`` returns a pre-reduced
+        :class:`~repro.sim.summary.GenerationSummary` instead of the
+        full result — no per-request records, no trace — which
+        :func:`~repro.serving.slo.summarize_generation` accepts
+        directly (percentiles bit-identical, means to the ulp).
+
+        ``shards > 1`` partitions the fleet into independent cells (see
+        :mod:`repro.sim.shard`) and merges their summaries; it implies
+        ``detail="summary"`` and, with ``shard_jobs >= 2``, runs cells
+        in worker processes.  ``shards=1`` is always the ordinary
+        single-loop run.
         """
         from ..sim.generate import GenerationEngine
 
         self._validate(requests)
+        if shards != 1:
+            from ..sim.shard import run_sharded
+
+            if detail != "summary":
+                raise ValueError(
+                    "sharded runs are summary-detail only: per-request "
+                    "records across cells would defeat the fast path — "
+                    "pass detail='summary' (or shards=1)")
+            if profiler is not None:
+                raise ValueError(
+                    "KernelProfiler cannot span shard cells — profile "
+                    "a shards=1 run")
+            return run_sharded(self, requests, mode="generate",
+                               shards=shards, jobs=shard_jobs,
+                               observer=observer)
         engine = GenerationEngine(
             self.service,
             fleet=self.fleet,
@@ -392,155 +362,49 @@ class GenerationClusterSimulator:
             engine.attach_observer(observer)
         if profiler is not None:
             engine.attach_profiler(profiler)
-        return engine.run(requests)
+        return engine.run(requests, detail=detail)
+
+    # ------------------------------------------------------------------
+    def _shard_cell(self, fleet: FleetSpec, instance_base: int,
+                    requests: Sequence[GenerationRequest],
+                    failure_horizon_ms: float, rng_seed,
+                    observer=None):
+        """Run one shard cell (summary detail, global instance ids).
+
+        Called by :func:`repro.sim.shard.run_sharded` — in-process on
+        the serial path, inside a pool worker on the parallel one.
+        The workload was validated once, fleet-wide, before splitting.
+        """
+        from ..sim.generate import GenerationEngine
+
+        engine = GenerationEngine(
+            self.service,
+            fleet=fleet,
+            slots=self.slots,
+            scheduler=self._scheduler(),
+            reprogram_latency_ms=self.reprogram_latency_ms,
+            failures=self.failures,
+            preemption=self.preemption,
+            instance_base=instance_base,
+            failure_horizon_ms=failure_horizon_ms,
+            rng_seed=rng_seed,
+        )
+        if observer is not None:
+            engine.attach_observer(observer)
+        return engine.run(requests, detail="summary")
 
     # ------------------------------------------------------------------
     def run_legacy(self, requests: Sequence[GenerationRequest]
                    ) -> GenerationSimulationResult:
-        """The pre-kernel closure loop, kept as the reference engine."""
-        if not self.fleet.homogeneous:
-            raise ValueError(
-                "run_legacy cannot simulate a heterogeneous fleet — "
-                "use run() (the kernel engine)")
-        if self.failures is not None:
-            raise ValueError(
-                "run_legacy cannot inject failures — use run() (the "
-                "kernel engine)")
-        self._validate(requests)  # before touching .priority: a plain
-        # Request workload must get the guided TypeError, not an
-        # AttributeError from the priority scan below.
-        if self.preemption or any(r.priority for r in requests):
-            raise ValueError(
-                "run_legacy cannot preempt — use run() (the kernel "
-                "engine) for priority workloads")
-        scheduler = self._scheduler()
-        instances = [
-            _Instance(i, RuntimeSession(
-                self.accel, reprogram_latency_ms=self.reprogram_latency_ms))
-            for i in range(self.n_instances)
-        ]
-        records: List[GenerationRecord] = []
-        trace: List[tuple] = []
-        samples: List[Tuple[float, int]] = []
-        heap: List[tuple] = [
-            (req.t_ms, _P_ARRIVAL, i, ("arrival", req))
-            for i, req in enumerate(requests)
-        ]
-        heapq.heapify(heap)
-        seq_no = len(heap)
+        """The pre-kernel closure loop, kept as the reference engine.
 
-        def push(t: float, prio: int, payload: tuple) -> None:
-            nonlocal seq_no
-            heapq.heappush(heap, (t, prio, seq_no, payload))
-            seq_no += 1
+        The loop itself lives in :mod:`repro.serving.legacy` (test
+        support, shared with the serve oracle) — only this delegate
+        ships in the hot module.
+        """
+        from .legacy import run_legacy_generation
 
-        def sample(now: float) -> None:
-            samples.append((now, sum(i.backlog(now) for i in instances)))
-
-        def start_step(inst: _Instance, now: float) -> None:
-            """Admit at the boundary, then run one engine step."""
-            if inst.busy_until > now + _EPS:
-                return
-            # --- admissions: same-model joins while slots are free.
-            admitted: List[GenerationRequest] = []
-            while (inst.queue
-                   and len(inst.active) + len(admitted) < self.slots):
-                head = inst.queue[0]
-                resident = (inst.active[0].req.model if inst.active
-                            else admitted[0].model if admitted else None)
-                if resident is not None and head.model != resident:
-                    break  # mixed weights cannot be resident together
-                admitted.append(inst.queue.popleft())
-            if not admitted and not inst.active:
-                return
-            model = admitted[0].model if admitted else inst.active[0].req.model
-            cfg = self.service.config(model)
-            switch_ms = inst.session.switch_cost_ms(cfg)
-            inst.session.deploy(cfg)
-            inst.last_model = model
-
-            # Decode sweep covers sequences active *before* this step;
-            # the newly admitted prefill inside it and join the next one.
-            decoding = list(inst.active)
-            duration = switch_ms
-            for req in admitted:
-                prefill = self.service.prefill_ms(model, req.prompt_tokens)
-                duration += prefill
-                seq = _Sequence(req, t_admit=now,
-                                t_first=now + duration)
-                inst.active.append(seq)
-                inst.prefills += 1
-                inst.requests += 1
-                inst.tokens += 1  # the prefill's first token
-                trace.append(("admit", now, inst.idx, req.rid,
-                              req.prompt_tokens, req.output_tokens))
-            if decoding:
-                duration += self.service.decode_step_ms(
-                    model, [s.cached + 1 for s in decoding])
-            end = now + duration
-            inst.busy_until = end
-            inst.busy_ms += duration
-            inst.steps += 1
-            inst.step_done = [(s, True) for s in decoding]
-            inst.tokens += len(decoding)
-            trace.append(("step", now, inst.idx, model, len(admitted),
-                          len(decoding), duration))
-            push(end, _P_STEP, ("step", inst))
-            sample(now)
-
-        def finish_step(inst: _Instance, now: float) -> None:
-            """Step boundary: emit tokens, vacate finished sequences."""
-            for seq, decoded in inst.step_done:
-                if decoded:
-                    seq.cached += 1
-                    seq.remaining -= 1
-            inst.step_done = []
-            still: List[_Sequence] = []
-            for seq in inst.active:
-                if seq.remaining <= 0 and seq.t_first <= now + _EPS:
-                    req = seq.req
-                    complete = seq.t_first if req.output_tokens == 1 else now
-                    records.append(GenerationRecord(
-                        rid=req.rid, model=req.model, instance=inst.idx,
-                        prompt_tokens=req.prompt_tokens,
-                        output_tokens=req.output_tokens,
-                        t_arrival_ms=req.t_ms, t_admit_ms=seq.t_admit,
-                        t_first_token_ms=seq.t_first,
-                        t_complete_ms=complete))
-                    trace.append(("finish", now, inst.idx, req.rid))
-                else:
-                    still.append(seq)
-            inst.active = still
-            sample(now)
-            start_step(inst, now)
-
-        while heap:
-            now, _prio, _seq, payload = heapq.heappop(heap)
-            kind = payload[0]
-            if kind == "arrival":
-                req = payload[1]
-                inst = scheduler.pick(instances, req, now)
-                inst.queue.append(req)
-                if inst.last_model is None:
-                    inst.last_model = req.model
-                trace.append(("arrive", now, req.rid, req.model, inst.idx))
-                sample(now)
-                start_step(inst, now)
-            else:  # step boundary
-                finish_step(payload[1], now)
-
-        makespan = max((r.t_complete_ms for r in records), default=0.0)
-        records.sort(key=lambda r: r.rid)
-        return GenerationSimulationResult(
-            records=records,
-            instances=[i.stats() for i in instances],
-            n_instances=self.n_instances,
-            slots=self.slots,
-            makespan_ms=makespan,
-            queue_samples=samples,
-            trace=trace,
-            scheduler=scheduler.name,
-        )
+        return run_legacy_generation(self, requests)
 
 
 def simulate_generation(
@@ -556,10 +420,14 @@ def simulate_generation(
     preemption: Optional[bool] = None,
     observer=None,
     profiler=None,
-) -> GenerationSimulationResult:
+    detail: str = "full",
+    shards: int = 1,
+    shard_jobs: Optional[int] = None,
+):
     """One-call wrapper around :class:`GenerationClusterSimulator`."""
     sim = GenerationClusterSimulator(
         accel, n_instances, slots=slots, scheduler=scheduler, models=models,
         reprogram_latency_ms=reprogram_latency_ms, fleet=fleet,
         failures=failures, preemption=preemption)
-    return sim.run(requests, observer=observer, profiler=profiler)
+    return sim.run(requests, observer=observer, profiler=profiler,
+                   detail=detail, shards=shards, shard_jobs=shard_jobs)

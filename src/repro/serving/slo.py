@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..core.accelerator import ProTEA
 from ..nn.model_zoo import TransformerConfig
+from ..sim.summary import GenerationSummary, ServeSummary
 from .batching import BatchingPolicy
 from .cluster import InstanceStats, SimulationResult, simulate
 from .generation import GenerationSimulationResult
@@ -189,15 +190,23 @@ def _time_weighted_mean(samples: Sequence[tuple], horizon_ms: float) -> float:
     return area / horizon_ms
 
 
-def summarize(result: SimulationResult,
+def summarize(result: Union[SimulationResult, ServeSummary],
               slo_ms: Optional[float] = None,
               watch: Optional[dict] = None) -> ServingReport:
     """Reduce a simulation to its serving metrics.
+
+    Accepts either a full :class:`SimulationResult` or the
+    pre-accumulated :class:`~repro.sim.summary.ServeSummary` of a
+    ``detail="summary"`` run; both produce the same report (percentile
+    fields bit-identical, means equal to the last ulp — the summary
+    path accumulates in completion order, not record order).
 
     ``watch`` is the :meth:`repro.obs.Watchdog.summary` dict of a
     watchdog that observed this run; it rides along into the report
     (and its ``--json``/text renders) untouched.
     """
+    if isinstance(result, ServeSummary):
+        return _summarize_serve_summary(result, slo_ms, watch)
     recs = result.records
     horizon = result.makespan_ms
     horizon_s = horizon / 1e3 if horizon > 0 else math.nan
@@ -262,6 +271,102 @@ def summarize(result: SimulationResult,
         availability=result.availability,
         total_failures=result.total_failures,
         total_retries=result.total_retries,
+        degraded_count=degraded_count,
+        p99_degraded_ms=p99_degraded,
+        watch=watch,
+    )
+
+
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    return ordered[max(1, math.ceil(q / 100 * len(ordered))) - 1]
+
+
+def _summarize_serve_summary(s: ServeSummary,
+                             slo_ms: Optional[float],
+                             watch: Optional[dict]) -> ServingReport:
+    """:func:`summarize` for the accumulated ``detail="summary"`` form.
+
+    Percentiles come from the exact latency multisets the engine
+    collected, so they match the full path bit-for-bit; sums were
+    folded in completion order, so means agree to the last ulp.
+    """
+    horizon = s.makespan_ms
+    horizon_s = horizon / 1e3 if horizon > 0 else math.nan
+    model_names = sorted(s.model_lats)
+    ordered_by_model = {name: sorted(s.model_lats[name])
+                        for name in model_names}
+    if len(model_names) == 1:
+        # Single-model runs dominate the web-scale benchmarks: the
+        # per-model sort IS the overall sort, so don't pay it twice.
+        only = model_names[0]
+        all_lats: List[float] = s.model_lats[only]
+        all_sorted = ordered_by_model[only]
+    else:
+        all_lats = []
+        for name in model_names:
+            all_lats.extend(s.model_lats[name])
+        all_sorted = sorted(all_lats)
+    n = len(all_sorted)
+
+    def attainment(lats: Sequence[float]) -> Optional[float]:
+        if slo_ms is None or not lats:
+            return None
+        return sum(1 for v in lats if v <= slo_ms) / len(lats)
+
+    per_model: Dict[str, ModelMetrics] = {}
+    for name in model_names:
+        lats = s.model_lats[name]
+        cnt = len(lats)
+        ordered = ordered_by_model[name]
+        per_model[name] = ModelMetrics(
+            model=name,
+            count=cnt,
+            throughput_rps=cnt / horizon_s,
+            mean_latency_ms=sum(lats) / cnt,
+            p50_ms=_nearest_rank(ordered, 50),
+            p95_ms=_nearest_rank(ordered, 95),
+            p99_ms=_nearest_rank(ordered, 99),
+            mean_wait_ms=s.model_wait_sum[name] / cnt,
+            mean_batch_size=s.model_batch_sq[name] / cnt,
+            slo_attainment=attainment(lats),
+        )
+
+    degraded_count = p99_degraded = None
+    if s.availability is not None:
+        touched = s.touched_lats or []
+        degraded_count = s.degraded_count
+        p99_degraded = (percentile(touched, 99) if touched
+                        else (_nearest_rank(all_sorted, 99) if n
+                              else math.nan))
+
+    busy = sum(i.busy_ms for i in s.instances)
+    return ServingReport(
+        total_requests=n,
+        horizon_ms=horizon,
+        throughput_rps=n / horizon_s if n else 0.0,
+        utilization=(busy / (s.n_instances * horizon)
+                     if horizon > 0 else 0.0),
+        mean_latency_ms=sum(all_lats) / n if n else math.nan,
+        p50_ms=_nearest_rank(all_sorted, 50) if n else math.nan,
+        p95_ms=_nearest_rank(all_sorted, 95) if n else math.nan,
+        p99_ms=_nearest_rank(all_sorted, 99) if n else math.nan,
+        mean_wait_ms=(sum(s.model_wait_sum[name] for name in model_names)
+                      / n if n else math.nan),
+        mean_queue_depth=s.mean_queue_depth(horizon),
+        max_queue_depth=s.max_queue_depth,
+        total_switches=s.total_switches,
+        total_reprogram_time_ms=s.total_reprogram_time_ms,
+        scheduler=s.scheduler,
+        batching=s.batching,
+        n_instances=s.n_instances,
+        slo_ms=slo_ms,
+        slo_attainment=attainment(all_sorted),
+        per_model=per_model,
+        instances=list(s.instances),
+        availability=s.availability,
+        total_failures=s.total_failures,
+        total_retries=s.total_retries,
         degraded_count=degraded_count,
         p99_degraded_ms=p99_degraded,
         watch=watch,
@@ -367,16 +472,25 @@ class GenerationServingReport:
 
 
 def summarize_generation(
-    result: GenerationSimulationResult,
+    result: Union[GenerationSimulationResult, GenerationSummary],
     ttft_slo_ms: Optional[float] = None,
     tpot_slo_ms: Optional[float] = None,
     watch: Optional[dict] = None,
 ) -> GenerationServingReport:
     """Reduce a generation simulation to its TTFT/TPOT/goodput metrics.
 
+    Accepts either a full :class:`GenerationSimulationResult` or the
+    pre-accumulated :class:`~repro.sim.summary.GenerationSummary` of a
+    ``detail="summary"`` run; both produce the same report (percentile
+    fields bit-identical, means equal to the last ulp — the summary
+    path accumulates in completion order, not record order).
+
     ``watch`` is the :meth:`repro.obs.Watchdog.summary` dict of a
     watchdog that observed this run (see :func:`summarize`).
     """
+    if isinstance(result, GenerationSummary):
+        return _summarize_generation_summary(result, ttft_slo_ms,
+                                             tpot_slo_ms, watch)
     recs = result.records
     horizon = result.makespan_ms
     horizon_s = horizon / 1e3 if horizon > 0 else math.nan
@@ -431,6 +545,76 @@ def summarize_generation(
         total_failures=result.total_failures,
         total_retries=result.total_retries,
         total_preemptions=result.total_preemptions,
+        watch=watch,
+    )
+
+
+def _summarize_generation_summary(
+    s: GenerationSummary,
+    ttft_slo_ms: Optional[float],
+    tpot_slo_ms: Optional[float],
+    watch: Optional[dict],
+) -> GenerationServingReport:
+    """:func:`summarize_generation` for the accumulated summary form.
+
+    Percentiles come from the exact TTFT/TPOT/latency multisets the
+    engine collected, so they match the full path bit-for-bit; sums
+    were folded in completion order, so means agree to the last ulp.
+    Goodput walks the parallel per-request columns (``ttfts``,
+    ``req_tpots``, ``out_tokens``) instead of record objects.
+    """
+    horizon = s.makespan_ms
+    horizon_s = horizon / 1e3 if horizon > 0 else math.nan
+    n = s.total_requests
+
+    slo_active = ttft_slo_ms is not None or tpot_slo_ms is not None
+    good_count = 0
+    good_tokens = 0
+    if slo_active and n:
+        for ttft, tpot, out in zip(s.ttfts, s.req_tpots, s.out_tokens):
+            if ttft_slo_ms is not None and ttft > ttft_slo_ms:
+                continue
+            if (tpot_slo_ms is not None and out > 1
+                    and tpot > tpot_slo_ms):
+                continue
+            good_count += 1
+            good_tokens += out
+
+    busy = sum(i.busy_ms for i in s.instances)
+    mean = lambda xs: sum(xs) / len(xs) if xs else math.nan  # noqa: E731
+    return GenerationServingReport(
+        total_requests=n,
+        total_tokens=s.total_tokens,
+        horizon_ms=horizon,
+        throughput_rps=n / horizon_s if n else 0.0,
+        tokens_per_s=s.total_tokens / horizon_s if n else 0.0,
+        utilization=(busy / (s.n_instances * horizon)
+                     if horizon > 0 else 0.0),
+        mean_ttft_ms=mean(s.ttfts),
+        p50_ttft_ms=_pct(s.ttfts, 50),
+        p95_ttft_ms=_pct(s.ttfts, 95),
+        p99_ttft_ms=_pct(s.ttfts, 99),
+        mean_tpot_ms=mean(s.tpots),
+        p99_tpot_ms=_pct(s.tpots, 99),
+        mean_latency_ms=mean(s.lats),
+        p99_latency_ms=_pct(s.lats, 99),
+        mean_wait_ms=s.wait_sum / n if n else math.nan,
+        mean_queue_depth=s.mean_queue_depth(horizon),
+        total_switches=s.total_switches,
+        total_reprogram_time_ms=s.total_reprogram_time_ms,
+        scheduler=s.scheduler,
+        n_instances=s.n_instances,
+        slots=s.slots,
+        ttft_slo_ms=ttft_slo_ms,
+        tpot_slo_ms=tpot_slo_ms,
+        slo_attainment=(good_count / n if slo_active and n else None),
+        goodput_tokens_per_s=(good_tokens / horizon_s
+                              if slo_active and n else None),
+        instances=list(s.instances),
+        availability=s.availability,
+        total_failures=s.total_failures,
+        total_retries=s.total_retries,
+        total_preemptions=s.total_preemptions,
         watch=watch,
     )
 

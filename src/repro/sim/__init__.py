@@ -2,8 +2,10 @@
 
 Every discrete-event simulator in the repo runs on this package:
 
-* :mod:`.kernel` — the deterministic event heap (:class:`EventQueue`),
-  clock, and driver loop;
+* :mod:`.kernel` — the deterministic event queue contract
+  (:class:`EventQueue`, the reference heap), clock, and driver loop;
+* :mod:`.calendar` — the bucketed :class:`CalendarQueue` production
+  queue, pop-order identical to the heap;
 * :mod:`.rng` — named per-component RNG streams derived from one root
   seed, so adding a stochastic component never perturbs another;
 * :mod:`.fleet` — heterogeneous fleet specs (per-instance speed,
@@ -11,6 +13,8 @@ Every discrete-event simulator in the repo runs on this package:
   capability/health-aware :class:`Dispatcher`;
 * :mod:`.failures` — MTBF/MTTR failure plans and the per-instance
   fault/repair draws;
+* :mod:`.shard` — partitions a fleet into independent cells that run
+  in parallel processes and merge their summary reports exactly;
 * :mod:`.serve` / :mod:`.generate` — the engines behind
   :class:`~repro.serving.cluster.ClusterSimulator` and
   :class:`~repro.serving.generation.GenerationClusterSimulator`,
@@ -21,12 +25,16 @@ The determinism contract is documented in :mod:`.kernel`: equal inputs
 produce byte-identical traces, records, and rendered reports.
 """
 
+from .calendar import CalendarQueue
 from .failures import FailureInjector, FailurePlan
 from .fleet import Dispatcher, FleetSpec, InstanceSpec
 from .kernel import EventQueue, SimClock, Simulation
 from .rng import RngStreams
+from .shard import ShardPlan
+from .summary import GenerationSummary, ServeSummary
 
 __all__ = [
+    "CalendarQueue",
     "EventQueue",
     "SimClock",
     "Simulation",
@@ -36,4 +44,7 @@ __all__ = [
     "InstanceSpec",
     "FailurePlan",
     "FailureInjector",
+    "ShardPlan",
+    "ServeSummary",
+    "GenerationSummary",
 ]

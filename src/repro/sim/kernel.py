@@ -9,7 +9,10 @@ the shared mechanics into one place:
 * :class:`EventQueue` — a binary heap of ``(t_ms, priority, seq,
   payload)`` tuples.  Ties at equal timestamps break on ``(priority,
   insertion sequence)``, so a run is a *pure function* of its inputs —
-  the property behind the trace-identity golden tests.
+  the property behind the trace-identity golden tests.  Production
+  runs actually use :class:`repro.sim.calendar.CalendarQueue`, a
+  bucketed queue with the identical pop order (property-tested); the
+  heap remains the reference implementation and oracle.
 * :class:`SimClock` — monotone simulated time in milliseconds.
 * :class:`Simulation` — the driver: pops events in deterministic order
   and dispatches them to handlers registered per event kind.  Entities
@@ -46,6 +49,7 @@ from itertools import count
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .calendar import CalendarQueue
 from .rng import RngStreams
 
 __all__ = ["Event", "EventQueue", "SimClock", "Simulation"]
@@ -63,11 +67,14 @@ class EventQueue:
     same time and priority pop in push order.  That total order is what
     makes replays of a seeded scenario bit-identical.
 
-    Hot-path contract: ``heap`` and ``counter`` are public precisely so
-    performance-critical engines may inline ``heappush(queue.heap,
-    (t, prio, next(queue.counter), payload))`` and drain the heap with
-    ``heappop`` directly — the tuple layout and the shared counter ARE
-    the kernel's determinism guarantee, whichever path pushes.
+    Hot-path contract: ``counter`` is public precisely so
+    performance-critical engines may build event tuples ``(t, prio,
+    next(queue.counter), payload)`` themselves — the tuple layout and
+    the shared counter ARE the kernel's determinism guarantee,
+    whichever path pushes.  :class:`~repro.sim.calendar.CalendarQueue`
+    honours the same contract and adds a ``head`` attribute for O(1)
+    peeks; engines that merge an external sorted stream against the
+    queue rely on it.
     """
 
     __slots__ = ("heap", "counter")
@@ -114,7 +121,7 @@ class SimClock:
 
 
 class Simulation:
-    """Deterministic event loop over an :class:`EventQueue`.
+    """Deterministic event loop over a kernel event queue.
 
     Subclasses register one handler per event kind (the first element
     of every payload tuple) and call :meth:`run_events`.  The loop is
@@ -125,7 +132,7 @@ class Simulation:
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self.queue = EventQueue()
+        self.queue = CalendarQueue()
         self.clock = SimClock()
         self.rng = RngStreams(seed)
         #: Flat event log ``(kind, t_ms, ...)`` — the replayable trace.
@@ -185,23 +192,23 @@ class Simulation:
     def run_events(self) -> None:
         """Drain the queue, dispatching each event to its handler."""
         self._started = True
-        heap = self.queue.heap
-        pop = heapq.heappop
+        queue = self.queue
+        pop = queue.pop
         clock = self.clock
         handlers = self._handlers
         if self.profiler is not None:
             record = self.profiler.record
-            while heap:
-                now, _prio, _seq, payload = pop(heap)
+            while queue:
+                now, _prio, _seq, payload = pop()
                 clock.now_ms = now
                 t0 = perf_counter()
                 handlers[payload[0]](payload, now)
                 record(payload[0], perf_counter() - t0)
             self._finish_observer()
             return
-        while heap:
-            now, _prio, _seq, payload = pop(heap)
-            clock.now_ms = now  # monotone by heap order; skip the check
+        while queue:
+            now, _prio, _seq, payload = pop()
+            clock.now_ms = now  # monotone by pop order; skip the check
             handlers[payload[0]](payload, now)
         self._finish_observer()
 

@@ -20,7 +20,7 @@ platforms, and Python versions (unlike ``hash()``, which is salted).
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, Union
 
 __all__ = ["RngStreams"]
 
@@ -30,7 +30,7 @@ class RngStreams:
 
     __slots__ = ("seed", "_streams")
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: Union[int, str] = 0) -> None:
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}
 
@@ -46,6 +46,20 @@ class RngStreams:
             rng = random.Random(f"{self.seed}/{name}")
             self._streams[name] = rng
         return rng
+
+    def derive(self, name: str) -> "RngStreams":
+        """A child namespace rooted at ``(seed, name)``.
+
+        The child's streams hash through the same SHA-512 string path —
+        ``derive("cell/4").stream("x")`` seeds from ``"0/cell/4/x"`` —
+        so a derived namespace is exactly as stable and isolated as a
+        top-level one.  Sharded simulations derive one namespace per
+        cell, keyed by the cell's first *global* instance index: the
+        key depends only on which instances the cell holds, never on
+        how many sibling cells exist, so re-partitioning a fleet
+        renumbers nothing.
+        """
+        return RngStreams(f"{self.seed}/{name}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"RngStreams(seed={self.seed}, "

@@ -26,9 +26,14 @@ re-derivations with incremental bookkeeping — queue-depth samples come
 from a running counter instead of an O(instances) sum, batch costs are
 memoized per ``(model, batch size)``, switch accounting compares
 resident-model names instead of re-programming the accelerator every
-batch, and the built-in schedulers run as inlined scans.  Same math,
-same floats, same order — just less work per event (the serving
-benchmark pins the speedup).
+batch, and the built-in schedulers run as inlined scans.  The arrival
+stream never enters the event queue at all: arrivals are stable-sorted
+once and merged against the :class:`~repro.sim.calendar.CalendarQueue`
+of engine events during the drain (one heap push+pop per *batch*, not
+per request).  ``detail="summary"`` additionally skips all record,
+trace, and sample materialization (see :mod:`repro.sim.summary`).
+Same math, same floats, same order — just less work per event (the
+serving benchmarks pin the speedups).
 
 Observer contract: an attached observer sees every trace tuple —
 ``("arrive", t, rid, model, inst)`` (``inst == -1`` while parked),
@@ -45,11 +50,13 @@ byte-identical with any observer attached.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..serving.batching import BatchingPolicy, ServiceTimeModel
-from ..serving.scheduler import LeastLoaded, ModelAffinity, Scheduler
+from ..serving.scheduler import (LeastLoaded, ModelAffinity, RoundRobin,
+                                 Scheduler)
 from ..serving.workload import Request
 from .failures import FailureInjector, FailurePlan
 from .fleet import Dispatcher, FleetSpec, InstanceSpec
@@ -58,6 +65,10 @@ from .kernel import Simulation
 __all__ = ["ServeEngine"]
 
 _EPS = 1e-9
+#: Stable-sort key for the merged arrival stream: equal-time arrivals
+#: keep input order, which is exactly the heap's (priority, seq)
+#: tie-break for a block of same-priority pushes.
+_BY_T = attrgetter("t_ms")
 # Event priorities at equal timestamps (identical to the legacy loop;
 # faults are new and deliberately sort last so a fault at time t sees
 # the state the legacy events left behind).
@@ -137,11 +148,20 @@ class _ServeDispatcher(Dispatcher):
         super().__init__(scheduler, instances)
         # Exact-type checks: a subclass may override semantics, so only
         # the stock policies take the inlined path.
+        self._round_robin = type(scheduler) is RoundRobin
         self._least_loaded = type(scheduler) is LeastLoaded
         self._affinity = type(scheduler) is ModelAffinity
         self._slack = scheduler.slack if self._affinity else 0
 
     def _pick_fast(self, candidates, request, now_ms):
+        if self._round_robin:
+            # Same cursor the scheduler object would advance, so mixing
+            # this path with Scheduler.pick (restricted fleets) cannot
+            # desync the rotation.
+            scheduler = self.scheduler
+            inst = candidates[scheduler._next % len(candidates)]
+            scheduler._next += 1
+            return inst
         edge = now_ms + _EPS
         if self._least_loaded:
             best = None
@@ -181,17 +201,31 @@ class ServeEngine(Simulation):
         reprogram_latency_ms: float = 0.0,
         check_jitter_ms: float = 0.0,
         failures: Optional[FailurePlan] = None,
+        instance_base: int = 0,
+        failure_horizon_ms: Optional[float] = None,
+        rng_seed=0,
     ):
         # All engine randomness flows through FailureInjector's own
-        # streams (seeded by the plan); the base Simulation rng stays
-        # at its default and is unused here.
-        super().__init__()
+        # streams (seeded by the plan); the base Simulation rng carries
+        # the cell namespace under sharding and is otherwise unused.
+        super().__init__(seed=rng_seed)
         self.accel = accel
         self.fleet = fleet
         self.scheduler = scheduler
         self.batching = batching
         self.check_jitter_ms = check_jitter_ms
         self.failures = failures
+        #: First global instance index (sharded cells offset their
+        #: ``_Inst.idx`` so trace rows, records, stats, and — critically
+        #: — ``failure/<idx>`` RNG streams key by *global* identity:
+        #: an instance's fault history never depends on which cell it
+        #: landed in).
+        self.instance_base = instance_base
+        #: Failure-injection horizon override.  A sharded cell sees only
+        #: its own arrival slice, so its default horizon (last local
+        #: arrival) would differ from the unsharded run's; the shard
+        #: driver passes the global last-arrival time instead.
+        self.failure_horizon_ms = failure_horizon_ms
         # One batch-cost memo per distinct pricing target: instances
         # without a target override share the cluster-wide model (and
         # its memo), a PipelineGroup instance prices through its own.
@@ -213,26 +247,39 @@ class ServeEngine(Simulation):
                     cost = _BatchCost(ServiceTimeModel(spec.target, models))
                     costs[id(spec.target)] = cost
             self.instances.append(
-                _Inst(idx, spec, reprogram_latency_ms, cost))
+                _Inst(instance_base + idx, spec, reprogram_latency_ms,
+                      cost))
         self.dispatcher = _ServeDispatcher(scheduler, self.instances)
 
     # ------------------------------------------------------------------
-    def run(self, requests: Sequence[Request]):
+    def run(self, requests: Sequence[Request], detail: str = "full"):
         """Simulate the stream to completion and return the result.
+
+        ``detail="full"`` returns a
+        :class:`~repro.serving.cluster.SimulationResult` with one
+        record per request — the byte-identity surface the goldens pin.
+        ``detail="summary"`` skips record/trace/sample materialization
+        and returns a :class:`~repro.sim.summary.ServeSummary`
+        accumulated on the fly: the web-scale path.  Percentiles from
+        either detail level are bit-identical; summary means may differ
+        in the last ulp (float accumulation order).
 
         Import note: the result dataclasses live in
         :mod:`repro.serving.cluster` (the public façade), imported
         lazily to keep the package graph acyclic.
         """
+        if detail == "summary":
+            return self._run_summary(requests)
+        if detail != "full":
+            raise ValueError(
+                f"unknown detail level {detail!r}: use 'full' or "
+                "'summary'")
         from ..serving.cluster import (InstanceStats, RequestRecord,
                                        SimulationResult)
 
-        from heapq import heappush
-
         self._started = True
         queue = self.queue
-        heap = queue.heap
-        counter = queue.counter
+        push = queue.push
         trace = self.trace
         # Observer wiring: with nothing attached, ``emit`` *is*
         # ``trace.append`` (the pre-hook fast path, unchanged); with an
@@ -257,9 +304,6 @@ class ServeEngine(Simulation):
         check_jitter = self.check_jitter_ms
         failing = self.failures is not None
 
-        def push(t: float, prio: int, payload: tuple) -> None:
-            heappush(heap, (t, prio, next(counter), payload))
-
         # Dispatch: the capability/health filter only matters when a
         # fleet is restricted or failures are live; otherwise bind the
         # policy scan directly (hot path).
@@ -279,12 +323,18 @@ class ServeEngine(Simulation):
         retries: Dict[int, int] = {}
         degraded: Dict[int, bool] = {}
 
-        for req in requests:
-            push(req.t_ms, _P_ARRIVAL, ("arrival", req))
+        # Arrivals never enter the event queue: a stable sort by
+        # timestamp IS their pop order (equal-time arrivals keep input
+        # order, exactly the heap's same-priority seq tie-break), so
+        # the drain below merges this pre-sorted stream against a
+        # queue that only carries engine events.
+        arrivals = sorted(requests, key=_BY_T)
 
         injector: Optional[FailureInjector] = None
         if failing:
-            horizon = max((r.t_ms for r in requests), default=0.0)
+            horizon = (self.failure_horizon_ms
+                       if self.failure_horizon_ms is not None
+                       else arrivals[-1].t_ms if arrivals else 0.0)
             injector = FailureInjector(self.failures, horizon)
             for inst in instances:
                 t_fail = injector.next_failure_ms(inst.idx, 0.0)
@@ -350,8 +400,7 @@ class ServeEngine(Simulation):
             inst.busy_ms += total_ms
             inst.in_flight = (model, size, now, complete, batch)
             emit(("dispatch", now, inst.idx, model, size, switch_ms))
-            heappush(heap, (complete, _P_FREE, next(counter),
-                            ("free", inst, inst.epoch)))
+            push(complete, _P_FREE, ("free", inst, inst.epoch))
             sample_append((now, queued_total + len(pending)))
 
         def route(req: Request, now: float) -> None:
@@ -375,9 +424,8 @@ class ServeEngine(Simulation):
                 note(("requeue", now, req.rid, inst.idx))
             try_dispatch(inst, now)
 
-        def on_arrival(payload: tuple, now: float) -> None:
+        def on_arrival(req: Request, now: float) -> None:
             nonlocal queued_total
-            req: Request = payload[1]
             if failing and dispatcher.down_count:
                 degraded[req.rid] = True
             inst = pick(req, now)
@@ -462,46 +510,68 @@ class ServeEngine(Simulation):
                 for req in parked:
                     route(req, now)
 
-        # Inlined drain loop (see EventQueue's hot-path contract): same
-        # pop discipline as Simulation.run_events, minus the per-event
-        # handler-table indirection.  The profiled variant is a
-        # separate loop so the bare path never pays for the timing.
-        from heapq import heappop
-
+        # Merged drain: an engine event pops ahead of the next arrival
+        # only when strictly earlier, or at the same timestamp with the
+        # free priority — the single engine priority below arrivals.
+        # Check (2) and fault (3) events at an arrival's timestamp sort
+        # after every arrival at that time, exactly as in the heap.
+        # The profiled variant is a separate loop so the bare path
+        # never pays for the timing.
         clock = self.clock
+        pop = queue.pop
+
+        def handle(payload: tuple, now: float) -> None:
+            kind = payload[0]
+            if kind == "free":
+                on_free(payload, now)
+            elif kind == "check":
+                on_check(payload, now)
+            elif kind == "fail":
+                on_fail(payload, now)
+            else:
+                on_recover(payload, now)
+
         if self.profiler is not None:
             record = self.profiler.record
-            while heap:
-                now, _prio, _seq, payload = heappop(heap)
-                clock.now_ms = now
-                kind = payload[0]
+            for req in arrivals:
+                ta = req.t_ms
+                head = queue.head
+                while head is not None and (
+                        head[0] < ta
+                        or (head[0] == ta and head[1] == _P_FREE)):
+                    now, _prio, _seq, payload = pop()
+                    clock.now_ms = now
+                    t0 = perf_counter()
+                    handle(payload, now)
+                    record(payload[0], perf_counter() - t0)
+                    head = queue.head
+                clock.now_ms = ta
                 t0 = perf_counter()
-                if kind == "arrival":
-                    on_arrival(payload, now)
-                elif kind == "free":
-                    on_free(payload, now)
-                elif kind == "check":
-                    on_check(payload, now)
-                elif kind == "fail":
-                    on_fail(payload, now)
-                else:
-                    on_recover(payload, now)
-                record(kind, perf_counter() - t0)
-        else:
-            while heap:
-                now, _prio, _seq, payload = heappop(heap)
+                on_arrival(req, ta)
+                record("arrival", perf_counter() - t0)
+            while queue:
+                now, _prio, _seq, payload = pop()
                 clock.now_ms = now
-                kind = payload[0]
-                if kind == "arrival":
-                    on_arrival(payload, now)
-                elif kind == "free":
-                    on_free(payload, now)
-                elif kind == "check":
-                    on_check(payload, now)
-                elif kind == "fail":
-                    on_fail(payload, now)
-                else:
-                    on_recover(payload, now)
+                t0 = perf_counter()
+                handle(payload, now)
+                record(payload[0], perf_counter() - t0)
+        else:
+            for req in arrivals:
+                ta = req.t_ms
+                head = queue.head
+                while head is not None and (
+                        head[0] < ta
+                        or (head[0] == ta and head[1] == _P_FREE)):
+                    now, _prio, _seq, payload = pop()
+                    clock.now_ms = now
+                    handle(payload, now)
+                    head = queue.head
+                clock.now_ms = ta
+                on_arrival(req, ta)
+            while queue:
+                now, _prio, _seq, payload = pop()
+                clock.now_ms = now  # monotone by pop order
+                handle(payload, now)
         self._finish_observer()
 
         records = [
@@ -543,4 +613,466 @@ class ServeEngine(Simulation):
             availability=availability,
             total_failures=sum(i.failures for i in instances),
             total_retries=sum(retries.values()),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_summary(self, requests: Sequence[Request]):
+        """The ``detail="summary"`` drain: accumulate, don't materialize.
+
+        Same event order, same dispatch decisions, same floats per
+        event as the full path — but no ``RequestRecord`` objects, no
+        trace list, no queue-depth sample list.  Latency multisets are
+        collected per model (percentiles stay exact); wait/batch-size
+        sums and the queue-depth integral are folded in as events fire.
+        An attached observer still sees every trace tuple (tuples are
+        built only when someone is listening); profilers need the full
+        drain and are rejected.
+        """
+        if self.profiler is not None:
+            raise ValueError(
+                "KernelProfiler requires detail='full': the summary "
+                "drain has no per-event handler boundaries to time")
+        self._started = True
+        queue = self.queue
+        push = queue.push
+        note = self.observer
+        observing = note is not None
+        instances = self.instances
+        dispatcher = self.dispatcher
+        batching = self.batching
+        max_batch = batching.max_batch
+        timeout_ms = batching.timeout_ms
+        decide = None if type(batching) is BatchingPolicy else batching.decide
+        check_jitter = self.check_jitter_ms
+        failing = self.failures is not None
+
+        if failing or dispatcher.restricted:
+            pick = dispatcher.pick
+        else:
+            def pick(request, now_ms,
+                     _fast=dispatcher._pick_fast, _all=instances):
+                return _fast(_all, request, now_ms)
+
+        # Per-model accumulators (latency lists keep the exact multiset
+        # for order statistics; sums replace the full path's record
+        # scans).
+        m_lats: Dict[str, List[float]] = {}
+        m_wait: Dict[str, float] = {}
+        m_sq: Dict[str, int] = {}
+        # Queue-depth step integral, same add order as
+        # slo._time_weighted_mean over the full sample list.
+        area = 0.0
+        prev_t = 0.0
+        cur_depth = 0
+        max_depth = 0
+        makespan = 0.0
+        total_done = 0
+        degraded_done = 0
+        queued_total = 0
+        pending: List[Request] = []
+        retries: Dict[int, int] = {}
+        degraded: Dict[int, bool] = {}
+        touched: Optional[List[float]] = [] if failing else None
+
+        arrivals = sorted(requests, key=_BY_T)
+
+        injector: Optional[FailureInjector] = None
+        if failing:
+            horizon = (self.failure_horizon_ms
+                       if self.failure_horizon_ms is not None
+                       else arrivals[-1].t_ms if arrivals else 0.0)
+            injector = FailureInjector(self.failures, horizon)
+            for inst in instances:
+                t_fail = injector.next_failure_ms(inst.idx, 0.0)
+                if t_fail is not None:
+                    push(t_fail, _P_FAULT, ("fail", inst))
+
+        if (not failing and not dispatcher.restricted and decide is None
+                and timeout_ms is None and not observing):
+            # The web-scale drain: everything the per-event closures
+            # below do, inlined into one loop.  The preconditions kill
+            # whole event classes — no failures means no fault/recover
+            # events, no stale epochs, and pick() never parks a request
+            # (``pending`` stays empty); no batching timeout means no
+            # check events.  The engine queue therefore holds only
+            # completion events (priority ``_P_FREE``), so the merge
+            # test against the arrival stream is a plain timestamp
+            # compare: a free at an arrival's exact timestamp pops
+            # first, same as the heap's priority order.
+            rr = dispatcher._round_robin
+            rr_next = 0
+            n_inst = len(instances)
+            pick_fast = dispatcher._pick_fast
+            pop = queue.pop
+
+            def dispatch(inst: _Inst, now: float) -> None:
+                # try_dispatch with the idle/queue checks hoisted to
+                # the call sites and the no-timeout policy constant-
+                # folded: size is the same-model head prefix, capped.
+                nonlocal queued_total, area, prev_t, cur_depth
+                iq = inst.queue
+                model = iq[0].model
+                if max_batch == 1:
+                    size = 1
+                else:
+                    size = 0
+                    for r in iq:
+                        if size >= max_batch or r.model != model:
+                            break
+                        size += 1
+                batch = [iq.popleft() for _ in range(size)]
+                queued_total -= size
+                if inst.resident != model:
+                    inst.cost.svc.config(model)  # validate, then reside
+                    inst.resident = model
+                    inst.switch_count += 1
+                    inst.reprogram_time_ms += inst.reprogram_ms
+                    switch_ms = inst.reprogram_ms
+                else:
+                    switch_ms = 0.0
+                inst.deploys += 1
+                total_ms = switch_ms + inst.cost.ms(model, size) / inst.speed
+                complete = now + total_ms
+                inst.busy_until = complete
+                inst.busy_ms += total_ms
+                inst.in_flight = (model, size, now, complete, batch)
+                push(complete, _P_FREE, ("free", inst, inst.epoch))
+                area += cur_depth * (now - prev_t)
+                prev_t = now
+                cur_depth = queued_total  # depth fell: max unchanged
+
+            def free_event(head: tuple) -> None:
+                nonlocal makespan, total_done
+                inst: _Inst = head[3][1]
+                model, size, t_disp, t_done, batch = inst.in_flight
+                inst.in_flight = None
+                inst.batches += 1
+                inst.requests += size
+                lats = m_lats.get(model)
+                if lats is None:
+                    lats = m_lats[model] = []
+                    m_wait[model] = 0.0
+                    m_sq[model] = 0
+                append = lats.append
+                wait = 0.0
+                for r in batch:
+                    t0 = r.t_ms
+                    append(t_done - t0)
+                    wait += t_disp - t0
+                m_wait[model] += wait
+                m_sq[model] += size * size
+                total_done += size
+                makespan = t_done  # free events pop in time order
+                if inst.queue:
+                    dispatch(inst, t_done)
+
+            for req in arrivals:
+                ta = req.t_ms
+                head = queue.head
+                while head is not None and head[0] <= ta:
+                    pop()
+                    free_event(head)
+                    head = queue.head
+                if rr:
+                    inst = instances[rr_next]
+                    rr_next += 1
+                    if rr_next == n_inst:
+                        rr_next = 0
+                else:
+                    inst = pick_fast(instances, req, ta)
+                inst.queue.append(req)
+                queued_total += 1
+                inst.last_model = req.model
+                d = queued_total
+                area += cur_depth * (ta - prev_t)
+                prev_t = ta
+                cur_depth = d
+                if d > max_depth:
+                    max_depth = d
+                if inst.busy_until <= ta + _EPS:
+                    dispatch(inst, ta)
+            while queue:
+                head = queue.head
+                pop()
+                free_event(head)
+            # Nothing in the fast drain reads the clock; leave it at
+            # the last event time for the shared epilogue.
+            self.clock.now_ms = max(
+                makespan, arrivals[-1].t_ms if arrivals else 0.0)
+            return self._build_summary(
+                total_done, makespan, m_lats, m_wait, m_sq, area, prev_t,
+                cur_depth, max_depth, retries, degraded_done, touched,
+                failing)
+
+        def sample(now: float, d: int) -> None:
+            nonlocal area, prev_t, cur_depth, max_depth
+            area += cur_depth * (now - prev_t)
+            prev_t = now
+            cur_depth = d
+            if d > max_depth:
+                max_depth = d
+
+        def try_dispatch(inst: _Inst, now: float) -> None:
+            nonlocal queued_total
+            if inst.down or inst.busy_until > now + _EPS or not inst.queue:
+                return
+            iq = inst.queue
+            head = iq[0]
+            model = head.model
+            if max_batch == 1:
+                prefix = 1
+            else:
+                prefix = 0
+                for req in iq:
+                    if prefix >= max_batch or req.model != model:
+                        break
+                    prefix += 1
+            if decide is not None:
+                size = decide(prefix, now - head.t_ms)
+            elif prefix >= max_batch:
+                size = max_batch
+            elif timeout_ms is None:
+                size = prefix
+            elif now - head.t_ms + _EPS >= timeout_ms:
+                size = prefix
+            else:
+                size = None
+            if size is None:
+                if not inst.pending_check:
+                    assert timeout_ms is not None
+                    deadline = head.t_ms + timeout_ms
+                    target = deadline - check_jitter
+                    if target <= now + _EPS:
+                        target = deadline
+                    push(target if target > now else now, _P_CHECK,
+                         ("check", inst))
+                    inst.pending_check = True
+                return
+            batch = [iq.popleft() for _ in range(size)]
+            queued_total -= size
+            switched = inst.resident != model
+            if switched:
+                inst.cost.svc.config(model)  # validate before residency
+                inst.resident = model
+                inst.switch_count += 1
+                inst.reprogram_time_ms += inst.reprogram_ms
+                switch_ms = inst.reprogram_ms
+            else:
+                switch_ms = 0.0
+            inst.deploys += 1
+            total_ms = switch_ms + inst.cost.ms(model, size) / inst.speed
+            complete = now + total_ms
+            inst.busy_until = complete
+            inst.busy_ms += total_ms
+            inst.in_flight = (model, size, now, complete, batch)
+            if observing:
+                note(("dispatch", now, inst.idx, model, size, switch_ms))
+            push(complete, _P_FREE, ("free", inst, inst.epoch))
+            sample(now, queued_total + len(pending))
+
+        def route(req: Request, now: float) -> None:
+            nonlocal queued_total
+            inst = pick(req, now)
+            if inst is None:
+                pending.append(req)
+                if observing:
+                    note(("requeue", now, req.rid, -1))
+                return
+            inst.queue.append(req)
+            queued_total += 1
+            inst.last_model = req.model
+            if observing:
+                note(("requeue", now, req.rid, inst.idx))
+            try_dispatch(inst, now)
+
+        def on_arrival(req: Request, now: float) -> None:
+            nonlocal queued_total
+            if failing and dispatcher.down_count:
+                degraded[req.rid] = True
+            inst = pick(req, now)
+            if inst is None:
+                pending.append(req)
+                if observing:
+                    note(("arrive", now, req.rid, req.model, -1))
+                sample(now, queued_total + len(pending))
+                return
+            inst.queue.append(req)
+            queued_total += 1
+            inst.last_model = req.model
+            if observing:
+                note(("arrive", now, req.rid, req.model, inst.idx))
+            sample(now, queued_total + len(pending))
+            try_dispatch(inst, now)
+
+        def on_free(payload: tuple, now: float) -> None:
+            nonlocal makespan, total_done, degraded_done
+            inst: _Inst = payload[1]
+            if payload[2] != inst.epoch:
+                return  # batch aborted by a failure; event is stale
+            model, size, t_disp, t_done, batch = inst.in_flight
+            inst.in_flight = None
+            inst.batches += 1
+            inst.requests += size
+            if observing:
+                note(("free", now, inst.idx))
+            lats = m_lats.get(model)
+            if lats is None:
+                lats = m_lats[model] = []
+                m_wait[model] = 0.0
+                m_sq[model] = 0
+            append = lats.append
+            wait = 0.0
+            if failing:
+                for req in batch:
+                    t0 = req.t_ms
+                    lat = t_done - t0
+                    append(lat)
+                    wait += t_disp - t0
+                    rid = req.rid
+                    deg = degraded.get(rid, False)
+                    if deg:
+                        degraded_done += 1
+                    if deg or retries.get(rid):
+                        touched.append(lat)
+            else:
+                for req in batch:
+                    t0 = req.t_ms
+                    append(t_done - t0)
+                    wait += t_disp - t0
+            m_wait[model] += wait
+            m_sq[model] += size * size
+            total_done += size
+            makespan = t_done  # free events pop in time order
+            try_dispatch(inst, now)
+
+        def on_check(payload: tuple, now: float) -> None:
+            inst: _Inst = payload[1]
+            inst.pending_check = False
+            try_dispatch(inst, now)
+
+        def on_fail(payload: tuple, now: float) -> None:
+            nonlocal queued_total
+            inst: _Inst = payload[1]
+            inst.down = True
+            inst.down_since = now
+            inst.failures += 1
+            dispatcher.down_count += 1
+            if observing:
+                note(("fail", now, inst.idx))
+            lost: List[Request] = []
+            if inst.in_flight is not None and inst.busy_until > now + _EPS:
+                inst.busy_ms -= inst.busy_until - now
+                inst.busy_until = now
+                inst.epoch += 1
+                batch = inst.in_flight[4]
+                inst.in_flight = None
+                for req in batch:
+                    retries[req.rid] = retries.get(req.rid, 0) + 1
+                lost.extend(batch)
+            inst.resident = None  # weights are lost with the instance
+            queued = list(inst.queue)
+            inst.queue.clear()
+            queued_total -= len(queued)
+            sample(now, queued_total + len(pending))
+            for req in lost:
+                route(req, now)
+            for req in queued:
+                route(req, now)
+            assert injector is not None
+            push(now + injector.repair_duration_ms(inst.idx), _P_FAULT,
+                 ("recover", inst))
+
+        def on_recover(payload: tuple, now: float) -> None:
+            inst: _Inst = payload[1]
+            inst.down = False
+            inst.downtime_ms += now - inst.down_since
+            dispatcher.down_count -= 1
+            if observing:
+                note(("recover", now, inst.idx))
+            assert injector is not None
+            t_fail = injector.next_failure_ms(inst.idx, now)
+            if t_fail is not None:
+                push(t_fail, _P_FAULT, ("fail", inst))
+            if pending:
+                parked, pending[:] = list(pending), []
+                for req in parked:
+                    route(req, now)
+
+        # Same merged drain as the full path (see run()).
+        clock = self.clock
+        pop = queue.pop
+
+        def handle(payload: tuple, now: float) -> None:
+            kind = payload[0]
+            if kind == "free":
+                on_free(payload, now)
+            elif kind == "check":
+                on_check(payload, now)
+            elif kind == "fail":
+                on_fail(payload, now)
+            else:
+                on_recover(payload, now)
+
+        for req in arrivals:
+            ta = req.t_ms
+            head = queue.head
+            while head is not None and (
+                    head[0] < ta
+                    or (head[0] == ta and head[1] == _P_FREE)):
+                now, _prio, _seq, payload = pop()
+                clock.now_ms = now
+                handle(payload, now)
+                head = queue.head
+            clock.now_ms = ta
+            on_arrival(req, ta)
+        while queue:
+            now, _prio, _seq, payload = pop()
+            clock.now_ms = now  # monotone by pop order
+            handle(payload, now)
+        self._finish_observer()
+        return self._build_summary(
+            total_done, makespan, m_lats, m_wait, m_sq, area, prev_t,
+            cur_depth, max_depth, retries, degraded_done, touched, failing)
+
+    def _build_summary(self, total_done, makespan, m_lats, m_wait, m_sq,
+                       area, prev_t, cur_depth, max_depth, retries,
+                       degraded_done, touched, failing):
+        """Fold the drain accumulators into a :class:`ServeSummary`."""
+        from ..serving.cluster import InstanceStats
+        from .summary import ServeSummary
+
+        instances = self.instances
+        availability: Optional[float] = None
+        if failing:
+            horizon = max(makespan, self.clock.now_ms)
+            availability = (
+                1.0 - sum(i.downtime_ms for i in instances)
+                / (len(instances) * horizon) if horizon > 0 else 1.0)
+        return ServeSummary(
+            total_requests=total_done,
+            makespan_ms=makespan,
+            n_instances=len(instances),
+            scheduler=self.scheduler.name,
+            batching=self.batching.name,
+            model_lats=m_lats,
+            model_wait_sum=m_wait,
+            model_batch_sq=m_sq,
+            instances=[
+                InstanceStats(
+                    index=i.idx, requests=i.requests, batches=i.batches,
+                    busy_ms=i.busy_ms, reprogram_count=i.deploys,
+                    switch_count=i.switch_count,
+                    reprogram_time_ms=i.reprogram_time_ms,
+                    failures=i.failures, downtime_ms=i.downtime_ms,
+                ) for i in instances
+            ],
+            depth_area=area,
+            depth_last_t=prev_t,
+            depth_last=cur_depth,
+            max_queue_depth=max_depth,
+            availability=availability,
+            total_failures=sum(i.failures for i in instances),
+            total_retries=sum(retries.values()),
+            degraded_count=degraded_done if failing else None,
+            touched_lats=touched,
         )

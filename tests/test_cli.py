@@ -790,3 +790,54 @@ class TestObsCommand:
     def test_obs_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["obs"])
+
+
+class TestShardsFlag:
+    SERVE = ["serve", "--qps", "200", "--duration-ms", "400",
+             "--instances", "4", "--batch", "fixed", "--batch-size", "4"]
+
+    def test_shards_one_is_the_default_run(self, capsys):
+        """--shards 1 must be byte-identical to omitting the flag."""
+        assert main(self.SERVE + ["--json"]) == 0
+        plain = capsys.readouterr().out
+        assert main(self.SERVE + ["--shards", "1", "--json"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_sharded_serve_is_deterministic(self, capsys):
+        argv = self.SERVE + ["--shards", "2", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == first
+        assert first["total_requests"] > 0
+        assert first["instances"] == 4
+
+    def test_sharded_generate_reports(self, capsys):
+        assert main(["generate", "--qps", "20", "--duration-ms", "300",
+                     "--instances", "2", "--shards", "2", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["total_requests"] > 0
+        assert {"p50", "p95", "p99"} <= set(blob["ttft_ms"])
+
+    def test_shard_jobs_needs_shards(self):
+        with pytest.raises(SystemExit, match="needs --shards"):
+            main(self.SERVE + ["--shard-jobs", "2"])
+
+    def test_nonpositive_shards_rejected(self):
+        with pytest.raises(SystemExit, match="--shards must be >= 1"):
+            main(self.SERVE + ["--shards", "0"])
+
+    def test_profile_rejected_with_shards(self):
+        with pytest.raises(SystemExit, match="cannot span --shards"):
+            main(self.SERVE + ["--shards", "2", "--profile"])
+
+    def test_observer_rejected_with_shard_jobs(self, tmp_path):
+        trace = tmp_path / "t.json"
+        with pytest.raises(SystemExit, match="cannot cross"):
+            main(self.SERVE + ["--shards", "2", "--shard-jobs", "2",
+                               "--trace", str(trace)])
+
+    def test_plan_rejects_shards(self):
+        with pytest.raises(SystemExit, match="cannot honor --shards"):
+            main(self.SERVE + ["--plan", "--slo-ms", "20",
+                               "--shards", "2"])

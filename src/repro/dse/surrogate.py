@@ -10,18 +10,22 @@ latency, bandwidth, and resource terms, estimate queueing with a
 closed-form M/M/c wait, and never simulate.  On the benchmark grid one
 surrogate call is ~100x cheaper than one full evaluation.
 
-The estimates are deliberately aligned with the full evaluator:
+The closed forms themselves live in :mod:`repro.analytic` (this module
+grew them first; the package promotion kept ``erlang_c`` re-exported
+here for compatibility).  The estimates are deliberately aligned with
+the full evaluator:
 
 * ``latency_ms`` / ``throughput_inf_s`` / ``power_w`` / ``util_pct``
   reuse the very same analytic models the full evaluator starts from,
   so on those axes the surrogate ranks points *exactly* as the full
   stack does;
-* ``p99_ms`` replaces the serving simulation with an Erlang-C
-  (M/M/c) wait estimate: ``p99 ≈ service + ln(Pw/0.01)/(c·mu − lambda)``,
-  the exponential tail of the queueing delay, with a deterministic
-  saturation penalty once offered load reaches capacity;
+* ``p99_ms`` replaces the serving simulation with the M/M/c wait
+  quantile of :func:`repro.analytic.queueing.p99_estimate_ms` — the
+  exponential tail of the queueing delay, floored at the
+  mass-weighted conditional-wait quantile at low load and capped by
+  the fluid wait through saturation;
 * ``ttft_p99_ms`` / ``tokens_per_s`` fall back to the unloaded
-  analytic generation report (a lower bound on the simulated tail);
+  analytic generation estimate (a lower bound on the simulated tail);
 * the failure and watchdog objectives have no closed form and are
   simply absent — the prescreen ranks on whatever subset it can score.
 
@@ -32,9 +36,11 @@ record rather than silently dropping them.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..analytic.generation import estimate_generation
+from ..analytic.queueing import erlang_c  # noqa: F401  (compat re-export)
+from ..analytic.queueing import p99_estimate_ms as _p99_estimate_ms
 from ..isa.controller import ResynthesisRequiredError
 from ..nn.model_zoo import get_model
 from ..parallel import PipelinePartitioner, get_link
@@ -53,53 +59,6 @@ SURROGATE_OBJECTIVE_NAMES: Tuple[str, ...] = (
 #: (synth variant, model, devices, link) shares its plan.
 _PLAN_MEMO: Dict[Tuple[int, int, str, str, int, str],
                  Tuple[float, float]] = {}
-
-
-def erlang_c(servers: int, erlangs: float) -> float:
-    """P(wait) for an M/M/c queue offered ``erlangs`` of load.
-
-    Computed through the numerically-stable Erlang-B recurrence
-    (no factorials); ``erlangs >= servers`` returns 1.0 — saturated
-    queues wait with certainty.
-    """
-    if servers < 1:
-        raise ValueError(f"servers must be >= 1, got {servers}")
-    if erlangs < 0:
-        raise ValueError(f"offered load must be >= 0, got {erlangs}")
-    if erlangs == 0:
-        return 0.0
-    if erlangs >= servers:
-        return 1.0
-    blocking = 1.0
-    for k in range(1, servers + 1):
-        blocking = erlangs * blocking / (k + erlangs * blocking)
-    rho = erlangs / servers
-    return blocking / (1.0 - rho * (1.0 - blocking))
-
-
-def _p99_estimate_ms(latency_ms: float, unit_inf_s: float, fleet: int,
-                     qps: float, duration_ms: float) -> float:
-    """Closed-form tail estimate: service time + M/M/c wait tail.
-
-    Saturated points (offered load at or beyond fleet capacity) get a
-    deterministic ``latency + duration`` penalty — the queue grows for
-    the whole workload horizon — which ranks them behind every stable
-    point without producing an undominatable infinity.
-    """
-    service_ms = latency_ms
-    mu_per_ms = unit_inf_s / 1e3          # service rate per instance
-    lam_per_ms = qps / 1e3                # offered arrival rate
-    if mu_per_ms <= 0:
-        return service_ms + duration_ms
-    erlangs = lam_per_ms / mu_per_ms
-    if erlangs >= fleet:
-        return service_ms + duration_ms
-    wait_probability = erlang_c(fleet, erlangs)
-    drain_per_ms = fleet * mu_per_ms - lam_per_ms
-    if wait_probability <= 0.01:
-        return service_ms
-    tail_ms = math.log(wait_probability / 0.01) / drain_per_ms
-    return service_ms + max(0.0, tail_ms)
 
 
 def _unit_latency(accel, cfg, devices: int, link_name: str,
@@ -168,9 +127,10 @@ def surrogate_point(point: Mapping[str, Any],
     if opts["gen_objectives"]:
         try:
             prompt, output = _generation_lengths(accel, opts)
-            report = accel.generation_report(cfg, prompt, output)
-            estimate["ttft_p99_ms"] = report.ttft_ms
-            estimate["tokens_per_s"] = report.tokens_per_s * fleet
+            gen = estimate_generation(accel, cfg, prompt, output,
+                                      fleet=fleet)
+            estimate["ttft_p99_ms"] = gen.ttft_p99_ms
+            estimate["tokens_per_s"] = gen.tokens_per_s
         except (ValueError, ResynthesisRequiredError):
             # No analytic generation split for this point: leave the
             # pair absent and let the prescreen rank on the rest.

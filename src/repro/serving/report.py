@@ -167,14 +167,35 @@ def render_serving_report(report: ServingReport,
 
 
 def render_capacity_plan(plan: CapacityPlan) -> str:
-    """Probe table plus the winning fleet's serving summary."""
+    """Probe table plus the winning fleet's serving summary.
+
+    Analytic-only plans (``confirm=False``: no simulated probes, no
+    report) render the closed-form estimate table instead.
+    """
+    title = (f"Capacity plan: p99 <= {plan.target_p99_ms:g} ms"
+             + (f", qps >= {plan.target_qps:g}" if plan.target_qps else "")
+             + f"  ->  {plan.instances} instance(s)")
+    if plan.report is None:
+        est = plan.analytic.estimate
+        head = render_table(
+            ("metric", "value"),
+            [("instances (analytic)", plan.instances),
+             ("offered erlangs", est.erlangs),
+             ("mean / peak qps", f"{est.mean_qps:.4g} / {est.peak_qps:.4g}"),
+             ("p50 / p95 / p99 (ms)",
+              f"{est.p50_ms:.3g} / {est.p95_ms:.3g} / {est.p99_ms:.3g}"),
+             ("p99 bracket (ms)",
+              f"[{est.p99_lo_ms:.3g}, {est.p99_hi_ms:.3g}]"),
+             ("throughput (req/s)", est.throughput_rps),
+             ("utilization", est.utilization)],
+            title=title + "  [analytic, unconfirmed]",
+        )
+        return head
     head = render_table(
         ("instances", "p99 ms", "meets SLO"),
         [(n, p99, p99 <= plan.target_p99_ms)
          for n, p99 in plan.probes.items()],
-        title=(f"Capacity plan: p99 <= {plan.target_p99_ms:g} ms"
-               + (f", qps >= {plan.target_qps:g}" if plan.target_qps else "")
-               + f"  ->  {plan.instances} instance(s)"),
+        title=title,
     )
     body = render_serving_report(
         plan.report, title=f"At {plan.instances} instance(s)")

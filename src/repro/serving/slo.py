@@ -5,18 +5,26 @@ so two runs with identical traces report bit-identical metrics.
 
 :func:`plan_capacity` answers the deployment question the paper's
 single-instance numbers cannot: *how many reprogrammable instances does
-a target traffic level need to stay inside a p99 latency SLO?*  It
-replays the same seeded workload against growing fleet sizes
-(exponential probe, then binary search), so the returned minimum is
-confirmed by, and reproducible from, a direct simulation run.
+a target traffic level need to stay inside a p99 latency SLO?*  It is
+analytic-first: the closed-form model (:mod:`repro.analytic`) proposes
+a fleet size, and the event simulation confirms at — and binary-
+searches the bracket around — the proposal instead of probing up from
+one instance.  The confirming probes replay the same seeded workload
+at ``detail="summary"`` (exact for every statistic the planner reads),
+so the returned minimum is still confirmed by, and reproducible from,
+a direct simulation run; ``mode="probe"`` keeps the seed probe-from-1
+search, and ``confirm=False`` skips simulation entirely and returns
+the analytic proposal.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analytic.capacity import FleetProposal
 from ..core.accelerator import ProTEA
 from ..nn.model_zoo import TransformerConfig
 from ..sim.summary import GenerationSummary, ServeSummary
@@ -624,15 +632,23 @@ class CapacityPlan:
     """Outcome of :func:`plan_capacity`."""
 
     instances: int
-    report: ServingReport
+    #: Simulated report at ``instances`` (None for analytic-only plans,
+    #: i.e. ``confirm=False`` — the estimate then lives in ``analytic``).
+    report: Optional[ServingReport]
     target_p99_ms: float
     target_qps: Optional[float]
-    #: Fleet sizes probed along the way: {n: achieved p99_ms}.
+    #: Fleet sizes probed by confirming simulations: {n: achieved
+    #: p99_ms} (empty for analytic-only plans).
     probes: Dict[int, float] = field(default_factory=dict)
+    #: The closed-form proposal the search started from (None in
+    #: ``mode="probe"``, the seed probe-from-1 search).
+    analytic: Optional["FleetProposal"] = None
 
     @property
     def meets_slo(self) -> bool:
-        return self.report.p99_ms <= self.target_p99_ms
+        if self.report is not None:
+            return self.report.p99_ms <= self.target_p99_ms
+        return self.analytic.estimate.p99_ms <= self.target_p99_ms
 
 
 def plan_capacity(
@@ -646,13 +662,35 @@ def plan_capacity(
     reprogram_latency_ms: float = 0.0,
     max_instances: int = 256,
     failures=None,
+    *,
+    mode: str = "analytic",
+    confirm: bool = True,
+    probe_detail: str = "summary",
+    shards: int = 1,
+    shard_jobs: Optional[int] = None,
 ) -> CapacityPlan:
     """Minimum fleet size meeting the p99 SLO (and target throughput).
 
-    Replays the *same* request list against growing fleets: exponential
-    probing finds a feasible size, then binary search pins the minimum
-    (queueing delay is monotone non-increasing in fleet size for these
-    policies).  Raises ``RuntimeError`` if even ``max_instances`` fails.
+    Analytic-first (``mode="analytic"``, the default): the closed-form
+    model of :mod:`repro.analytic` proposes a fleet size, a confirming
+    simulation checks it, and a gallop + binary search around the
+    proposal pins the minimum (queueing delay is monotone
+    non-increasing in fleet size for these policies).  A good proposal
+    costs 2-3 simulated probes instead of the ~2·log2(n) the seed
+    search spends probing up from one instance — and the final answer
+    is identical, because the same simulator issues the verdict either
+    way.  ``mode="probe"`` keeps the seed search (exponential probing
+    from 1, then binary search); ``confirm=False`` skips simulation
+    entirely and returns the analytic proposal (``report=None``,
+    estimate in ``plan.analytic``).
+
+    Confirming probes run at ``probe_detail`` (``"summary"`` by
+    default: exact for every statistic the planner reads, without
+    materializing per-request records) and can be sharded across
+    worker processes (``shards``/``shard_jobs``, summary detail only —
+    see :meth:`ClusterSimulator.run_sharded`).
+
+    Raises ``RuntimeError`` if even ``max_instances`` fails.
 
     ``failures`` (a :class:`~repro.sim.failures.FailurePlan`) plans
     capacity under fault injection — each instance's fault history is
@@ -667,21 +705,62 @@ def plan_capacity(
         raise ValueError(
             "cannot plan capacity over an empty fleet: max_instances "
             "must be >= 1")
+    if mode not in ("analytic", "probe"):
+        raise ValueError(f"unknown plan mode {mode!r}; "
+                         "available: ['analytic', 'probe']")
+    if probe_detail not in ("summary", "full"):
+        raise ValueError(f"unknown probe detail {probe_detail!r}; "
+                         "available: ['full', 'summary']")
+    if not confirm and mode != "analytic":
+        raise ValueError("confirm=False requires mode='analytic' "
+                         "(an unconfirmed plan IS the analytic proposal)")
+    if shards != 1 and probe_detail != "summary":
+        raise ValueError("sharded probes require probe_detail='summary' "
+                         "(per-request records cannot be sharded)")
+
+    proposal = None
+    if mode == "analytic":
+        # Lazy: repro.analytic builds on the serving layer's service-
+        # time model, so importing it at module scope would be a cycle.
+        from ..analytic.capacity import propose_fleet
+
+        proposal = propose_fleet(
+            accel, requests, target_p99_ms, target_qps,
+            batching=batching, models=models,
+            reprogram_latency_ms=reprogram_latency_ms,
+            max_instances=max_instances, failures=failures)
+        if not confirm:
+            return CapacityPlan(
+                instances=proposal.instances,
+                report=None,
+                target_p99_ms=target_p99_ms,
+                target_qps=target_qps,
+                analytic=proposal,
+            )
 
     probes: Dict[int, float] = {}
     reports: Dict[int, ServingReport] = {}
+    verdicts: Dict[int, bool] = {}
 
     def meets(n: int) -> bool:
+        if n in verdicts:
+            return verdicts[n]
+        # Every shard cell needs at least one instance, so probes below
+        # the shard count degrade gracefully to one cell per instance.
+        eff_shards = min(shards, n)
         result = simulate(accel, requests, n, scheduler=scheduler,
                           batching=batching, models=models,
                           reprogram_latency_ms=reprogram_latency_ms,
-                          failures=failures)
+                          failures=failures, detail=probe_detail,
+                          shards=eff_shards,
+                          shard_jobs=shard_jobs if eff_shards > 1 else None)
         report = summarize(result, slo_ms=target_p99_ms)
         probes[n] = report.p99_ms
         reports[n] = report
         ok = report.p99_ms <= target_p99_ms
         if target_qps is not None:
             ok = ok and report.throughput_rps >= 0.95 * target_qps
+        verdicts[n] = ok
         return ok
 
     def _infeasible_msg() -> str:
@@ -705,12 +784,38 @@ def plan_capacity(
         return (f"no fleet of <= {max_instances} instances meets "
                 + " and ".join(parts))
 
-    lo, hi = 0, 1  # lo: largest known-infeasible size
-    while not meets(hi):
-        lo = hi
-        if hi >= max_instances:
-            raise RuntimeError(_infeasible_msg())
-        hi = min(2 * hi, max_instances)
+    if mode == "probe":
+        lo, hi = 0, 1  # lo: largest known-infeasible size
+        while not meets(hi):
+            lo = hi
+            if hi >= max_instances:
+                raise RuntimeError(_infeasible_msg())
+            hi = min(2 * hi, max_instances)
+    elif meets(proposal.instances):
+        # Gallop down from the proposal with doubling steps until a
+        # fleet misses (or the floor), establishing the bracket.
+        hi, lo, step = proposal.instances, 0, 1
+        while hi - step >= 1:
+            cand = hi - step
+            if meets(cand):
+                hi = cand
+                step *= 2
+            else:
+                lo = cand
+                break
+    else:
+        # The analytic proposal was optimistic: gallop up until a
+        # fleet meets (or max_instances proves infeasible).
+        lo, step = proposal.instances, 1
+        while True:
+            if lo >= max_instances:
+                raise RuntimeError(_infeasible_msg())
+            cand = min(lo + step, max_instances)
+            if meets(cand):
+                hi = cand
+                break
+            lo = cand
+            step *= 2
     while hi - lo > 1:
         mid = (lo + hi) // 2
         if meets(mid):
@@ -723,4 +828,5 @@ def plan_capacity(
         target_p99_ms=target_p99_ms,
         target_qps=target_qps,
         probes=dict(sorted(probes.items())),
+        analytic=proposal,
     )

@@ -1,0 +1,72 @@
+"""Closed-form generation estimates: surrogate equivalence + loading."""
+
+import pytest
+
+from repro.analytic import estimate_generation
+from repro.nn.model_zoo import MODEL_ZOO
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MODEL_ZOO["model2-lhc-trigger"]
+
+
+class TestUnloaded:
+    def test_matches_the_analytic_latency_report(self, default_accel, cfg):
+        """With no offered qps every field is the unloaded
+        prefill/decode value — exactly what the DSE surrogate has
+        always reported."""
+        report = default_accel.generation_report(cfg, 64, 32)
+        est = estimate_generation(default_accel, cfg, 64, 32)
+        assert est.ttft_ms == report.ttft_ms
+        assert est.tpot_ms == report.tpot_ms
+        assert est.latency_ms == report.total_ms
+        assert est.tokens_per_s == report.tokens_per_s
+        assert est.ttft_p99_ms == report.ttft_ms
+        assert est.erlangs == 0.0
+
+    def test_fleet_scales_token_throughput(self, default_accel, cfg):
+        one = estimate_generation(default_accel, cfg, 64, 32, fleet=1)
+        four = estimate_generation(default_accel, cfg, 64, 32, fleet=4)
+        assert four.tokens_per_s == pytest.approx(4 * one.tokens_per_s)
+        assert four.ttft_ms == one.ttft_ms
+
+    def test_rejects_empty_fleet(self, default_accel, cfg):
+        with pytest.raises(ValueError):
+            estimate_generation(default_accel, cfg, 64, 32, fleet=0)
+        with pytest.raises(ValueError):
+            estimate_generation(default_accel, cfg, 64, 32, slots=0)
+
+
+class TestLoaded:
+    def test_offered_load_pushes_the_ttft_tail_out(self, default_accel,
+                                                   cfg):
+        unloaded = estimate_generation(default_accel, cfg, 64, 32,
+                                       fleet=2, slots=4)
+        total_ms = unloaded.latency_ms
+        # 80% occupancy of the 8 decode slots.
+        qps = 0.8 * 8 / (total_ms / 1e3)
+        loaded = estimate_generation(default_accel, cfg, 64, 32,
+                                     fleet=2, slots=4, qps=qps)
+        assert loaded.ttft_p99_ms > unloaded.ttft_p99_ms
+        assert loaded.erlangs == pytest.approx(6.4)
+
+    def test_more_slots_shrink_the_tail(self, default_accel, cfg):
+        base = estimate_generation(default_accel, cfg, 64, 32,
+                                   fleet=1, slots=1)
+        qps = 0.7 / (base.latency_ms / 1e3)
+        tails = [
+            estimate_generation(default_accel, cfg, 64, 32,
+                                fleet=1, slots=s, qps=qps).ttft_p99_ms
+            for s in (1, 2, 4)
+        ]
+        assert tails[0] >= tails[1] >= tails[2]
+
+    def test_saturation_needs_a_horizon(self, default_accel, cfg):
+        base = estimate_generation(default_accel, cfg, 64, 32)
+        qps = 3.0 / (base.latency_ms / 1e3)  # 3 erlangs on 1 slot
+        with pytest.raises(ValueError, match="duration_ms"):
+            estimate_generation(default_accel, cfg, 64, 32, qps=qps)
+        est = estimate_generation(default_accel, cfg, 64, 32, qps=qps,
+                                  duration_ms=250.0)
+        assert est.ttft_p99_ms == pytest.approx(base.ttft_ms + 250.0)

@@ -173,6 +173,49 @@ class TestServe:
         assert 1 <= blob["instances"] <= 8
 
 
+class TestServePlanKnobs:
+    PLAN = ["serve", "--plan", "--slo-ms", "50", "--qps", "200",
+            "--duration-ms", "500"]
+
+    def test_analytic_only_skips_simulation(self, capsys):
+        assert main(self.PLAN + ["--analytic-only", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["mode"] == "analytic-only"
+        assert blob["probes"] == {}
+        assert "report" not in blob
+        assert blob["analytic"]["instances"] == blob["instances"]
+        assert blob["analytic"]["estimate"]["latency_ms"]["p99"] <= 50.0
+
+    def test_analytic_only_text_render(self, capsys):
+        assert main(self.PLAN + ["--analytic-only"]) == 0
+        out = capsys.readouterr().out
+        assert "[analytic, unconfirmed]" in out
+
+    def test_confirm_probe_matches_default(self, capsys):
+        """Both search modes must land on the same confirmed plan."""
+        assert main(self.PLAN + ["--json"]) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert main(self.PLAN + ["--confirm", "probe", "--json"]) == 0
+        probe = json.loads(capsys.readouterr().out)
+        assert default["mode"] == "analytic"
+        assert probe["mode"] == "probe"
+        assert probe["instances"] == default["instances"]
+        assert (probe["report"]["latency_ms"]["p99"]
+                == default["report"]["latency_ms"]["p99"])
+        assert "analytic" not in probe
+        assert default["analytic"]["instances"] >= 1
+
+    def test_analytic_only_conflicts_with_confirm_probe(self):
+        with pytest.raises(SystemExit, match="drop one of the two"):
+            main(self.PLAN + ["--analytic-only", "--confirm", "probe"])
+
+    def test_knobs_require_plan(self):
+        with pytest.raises(SystemExit, match="add --plan"):
+            main(["serve", "--qps", "50", "--analytic-only"])
+        with pytest.raises(SystemExit, match="add --plan"):
+            main(["serve", "--qps", "50", "--confirm", "probe"])
+
+
 class TestServeSwitchTime:
     def test_json_reports_per_instance_switch_ms(self, capsys):
         """The JSON path must carry the reprogramming *time* per
@@ -837,7 +880,23 @@ class TestShardsFlag:
             main(self.SERVE + ["--shards", "2", "--shard-jobs", "2",
                                "--trace", str(trace)])
 
-    def test_plan_rejects_shards(self):
-        with pytest.raises(SystemExit, match="cannot honor --shards"):
+    def test_plan_threads_shards_through_probes(self, capsys):
+        """--plan probes run summary-detail, so a sharded plan search
+        works (cells share nothing, so it plans for a *sharded*
+        deployment) and is deterministic run to run."""
+        argv = ["serve", "--plan", "--slo-ms", "20", "--qps", "200",
+                "--duration-ms", "400", "--shards", "2", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["instances"] >= 1
+        assert first["report"]["latency_ms"]["p99"] <= 20.0
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == first
+
+    def test_plan_shards_still_validated(self):
+        with pytest.raises(SystemExit, match="--shards must be >= 1"):
             main(self.SERVE + ["--plan", "--slo-ms", "20",
-                               "--shards", "2"])
+                               "--shards", "0"])
+        with pytest.raises(SystemExit, match="needs --shards"):
+            main(self.SERVE + ["--plan", "--slo-ms", "20",
+                               "--shard-jobs", "2"])
